@@ -1,0 +1,34 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench_e*/bench_fig* binary regenerates one row of the experiment
+// index in DESIGN.md: it prints the workload, the measured series, and the
+// paper's analytical expectation next to each other. EXPERIMENTS.md
+// records the output of a full run.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace oblivious::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "=============================================================\n"
+            << id << "\n" << claim << "\n"
+            << "=============================================================\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+// Benches honor OBLV_BENCH_SCALE (default 1) to run larger sweeps.
+inline int scale() {
+  const char* env = std::getenv("OBLV_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const int s = std::atoi(env);
+  return s >= 1 ? s : 1;
+}
+
+}  // namespace oblivious::bench

@@ -1,0 +1,106 @@
+// E11 -- online routing (Section 1's motivating setting): latency vs
+// offered load under continuous Bernoulli arrivals.
+//
+// Packets arrive at every node with probability `rate` per step and pick
+// their paths obliviously at injection. Sweeping the rate traces the
+// classic latency/throughput curve; the saturation point is governed by
+// the worst-edge load, i.e. by the congestion properties the paper proves.
+// Expected shape: on *local* traffic the hierarchical algorithm saturates
+// at a rate close to e-cube (it preserves locality) while Valiant -- which
+// hauls every packet across the mesh -- saturates an order of magnitude
+// earlier; on transpose traffic the randomized algorithms sustain higher
+// load than deterministic e-cube.
+#include <iomanip>
+#include <limits>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "routing/registry.hpp"
+#include "simulator/online.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace {
+
+using namespace oblivious;
+
+void sweep(const Mesh& mesh, TrafficPattern pattern, const char* pattern_name,
+           const std::vector<Algorithm>& algorithms,
+           const std::vector<double>& rates) {
+  std::cout << "\ntraffic " << pattern_name << " on " << mesh.describe()
+            << " (mean latency in steps; '--' = saturated, queues diverge):\n";
+  std::vector<std::string> headers = {"rate"};
+  for (const Algorithm a : algorithms) headers.push_back(algorithm_name(a));
+  Table table(headers);
+  std::vector<std::string> labels;
+  std::vector<ChartSeries> chart_series;
+  static constexpr char kMarkers[] = "EVBTH";
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    chart_series.push_back(
+        {algorithm_name(algorithms[i]), {}, kMarkers[i % 5]});
+  }
+  const std::int64_t horizon = 128;
+  for (const double rate : rates) {
+    table.row().add(rate, 3);
+    labels.push_back(std::to_string(rate).substr(0, 5));
+    std::size_t algo_index = 0;
+    for (const Algorithm a : algorithms) {
+      const auto router = make_router(a, mesh);
+      Rng wrng(17);
+      const OnlineWorkload workload =
+          bernoulli_arrivals(mesh, rate, horizon, pattern, wrng,
+                             /*local_distance=*/4);
+      OnlineOptions options;
+      options.seed = 7;
+      options.max_steps = 8 * horizon;
+      options.saturation_queue_per_node = 4;
+      const OnlineResult result =
+          simulate_online(mesh, *router, workload, options);
+      if (result.completed || result.delivered > result.injected * 95 / 100) {
+        table.add(result.latency.mean(), 1);
+        chart_series[algo_index].ys.push_back(result.latency.mean());
+      } else {
+        table.add("--");
+        chart_series[algo_index].ys.push_back(
+            std::numeric_limits<double>::quiet_NaN());
+      }
+      ++algo_index;
+    }
+  }
+  table.print(std::cout);
+  AsciiChart chart(labels, 12);
+  for (auto& series : chart_series) chart.add_series(std::move(series));
+  std::cout << "\nmean latency vs offered rate (missing marker = saturated):\n"
+            << chart.render();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E11 / online routing",
+                "latency vs offered load under continuous arrivals "
+                "(packets route obliviously at injection time)");
+
+  const Mesh mesh({32, 32});
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kEcube, Algorithm::kValiant, Algorithm::kBoundedValiant,
+      Algorithm::kAccessTree, Algorithm::kHierarchical2d};
+
+  sweep(mesh, TrafficPattern::kLocal, "local (distance 4)", algorithms,
+        {0.01, 0.02, 0.05, 0.08, 0.12, 0.2, 0.4});
+  sweep(mesh, TrafficPattern::kUniform, "uniform random", algorithms,
+        {0.01, 0.02, 0.05, 0.1, 0.15});
+  sweep(mesh, TrafficPattern::kTranspose, "transpose", algorithms,
+        {0.01, 0.02, 0.05, 0.1, 0.15});
+
+  bench::note(
+      "\nExpected: under local traffic the saturation ordering follows the\n"
+      "stretch: shortest-path routers (e-cube, bounded-valiant) last the\n"
+      "longest, the paper's hierarchical algorithm sustains a constant\n"
+      "factor less (its stretch is bounded by a constant), the access tree\n"
+      "is clearly worse at the same rates (unbounded stretch), and Valiant\n"
+      "-- which hauls every local packet across the mesh -- saturates an\n"
+      "order of magnitude earlier. Under global patterns the gap closes:\n"
+      "every path is long anyway, and the bounded-stretch algorithms pay\n"
+      "only their constant overheads.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E13 -- Section 6 (future work) / related work [4, 8]: other specific
+// networks. The d-dimensional hypercube is the side-2 d-cube, so the whole
+// library applies unchanged: dimension-order routing is classic bit-fixing,
+// Valiant-Brebner [4] is the original two-phase hypercube scheme, and the
+// Borodin-Hopcroft / Kaklamanis et al. [5, 8] lower bound says every
+// deterministic oblivious algorithm has a permutation with congestion
+// Omega(sqrt(N)/d) -- which the Pi_A construction finds automatically.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/evaluate.hpp"
+#include "bench_common.hpp"
+#include "routing/registry.hpp"
+#include "workloads/adversarial.hpp"
+#include "workloads/generators.hpp"
+
+int main() {
+  using namespace oblivious;
+  bench::banner("E13 / hypercube (Section 6: other networks)",
+                "bit-fixing vs Valiant [4] on the d-cube; the deterministic "
+                "lower bound of [5, 8] via the Pi_A construction");
+
+  std::cout << "Random permutations on the d-dimensional hypercube:\n";
+  Table table({"d", "N", "algorithm", "C", "C/C*", "D"});
+  for (const int d : {6, 8, 10}) {
+    const Mesh cube = Mesh::cube(d, 2);
+    Rng wrng(5);
+    const RoutingProblem problem = random_permutation(cube, wrng);
+    const double lb = best_lower_bound(cube, problem);
+    for (const Algorithm a : {Algorithm::kEcube, Algorithm::kRandomDimOrder,
+                              Algorithm::kValiant}) {
+      const auto router = make_router(a, cube);
+      RouteAllOptions options;
+      options.seed = 9;
+      const RouteSetMetrics m =
+          evaluate_with_bound(cube, *router, problem, lb, options);
+      table.row()
+          .add(d)
+          .add(cube.num_nodes())
+          .add(m.algorithm)
+          .add(m.congestion)
+          .add(m.congestion_ratio, 2)
+          .add(m.dilation);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe bit-transpose permutation (address (a|b) -> (b|a)), the\n"
+               "classic Omega(sqrt(N)) instance for deterministic bit-fixing:\n";
+  Table adversarial({"d", "N", "sqrt(N)", "C bit-fixing", "C random-order",
+                     "C valiant"});
+  for (const int d : {6, 8, 10, 12}) {
+    const Mesh cube = Mesh::cube(d, 2);
+    // Transpose of the address halves: coordinate (bit) i swaps with
+    // i + d/2. All 2^(d/2) packets with a == b share the route prefix.
+    RoutingProblem hard;
+    for (NodeId u = 0; u < cube.num_nodes(); ++u) {
+      Coord c = cube.coord(u);
+      Coord o = c;
+      for (int i = 0; i < d / 2; ++i) {
+        std::swap(o[static_cast<std::size_t>(i)],
+                  o[static_cast<std::size_t>(i + d / 2)]);
+      }
+      hard.demands.push_back({u, cube.node_id(o)});
+    }
+    RouteAllOptions options;
+    options.seed = 3;
+    std::int64_t congestion[3];
+    int i = 0;
+    for (const Algorithm a : {Algorithm::kEcube, Algorithm::kRandomDimOrder,
+                              Algorithm::kValiant}) {
+      const auto router = make_router(a, cube);
+      congestion[i++] =
+          evaluate_with_bound(cube, *router, hard, 1.0, options).congestion;
+    }
+    adversarial.row()
+        .add(d)
+        .add(cube.num_nodes())
+        .add(std::sqrt(static_cast<double>(cube.num_nodes())), 1)
+        .add(congestion[0])
+        .add(congestion[1])
+        .add(congestion[2]);
+  }
+  adversarial.print(std::cout);
+  bench::note(
+      "\nExpected: on random permutations all algorithms are fine (C/C*\n"
+      "small), but on the structured worst case deterministic bit-fixing\n"
+      "pays Theta(sqrt(N)/d)-scale congestion [5, 8] while the randomized\n"
+      "two-phase scheme stays flat -- the hypercube face of the same\n"
+      "randomization story the paper tells on the mesh.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E15 -- flit-level (virtual cut-through) delivery: the C-and-D tradeoff
+// under packet pipelining.
+//
+// With F-flit packets the delivery time is Omega(C*F + D): the congestion
+// term is amplified F-fold while the distance term is paid once. That
+// shifts the balance further toward the paper's point -- an algorithm
+// must keep BOTH C and D small, and bounded stretch keeps D from bloating
+// the pipeline. We sweep F and compare algorithms on local traffic.
+#include <iostream>
+
+#include "analysis/evaluate.hpp"
+#include "bench_common.hpp"
+#include "routing/registry.hpp"
+#include "simulator/cut_through.hpp"
+#include "workloads/generators.hpp"
+
+int main() {
+  using namespace oblivious;
+  bench::banner("E15 / virtual cut-through",
+                "flit-level delivery: makespan ~ C*F + D, so stretch "
+                "control matters more as packets grow");
+
+  const Mesh mesh({32, 32});
+  Rng wrng(3);
+  RoutingProblem problem = random_pairs_at_distance(
+      mesh, wrng, static_cast<std::size_t>(mesh.num_nodes()), 4);
+
+  std::cout << "local traffic (distance 4), makespan by flits per packet:\n";
+  std::vector<std::string> headers = {"algorithm", "C", "D"};
+  for (const int f : {1, 4, 16}) headers.push_back("F=" + std::to_string(f));
+  headers.push_back("F=16: makespan/(C*F+D)");
+  Table table(headers);
+  for (const Algorithm a :
+       {Algorithm::kEcube, Algorithm::kValiant, Algorithm::kAccessTree,
+        Algorithm::kHierarchical2d}) {
+    const auto router = make_router(a, mesh);
+    RouteAllOptions options;
+    options.seed = 7;
+    const std::vector<Path> paths = route_all(mesh, *router, problem, options);
+    table.row().add(router->name());
+    std::int64_t c = 0;
+    std::int64_t d = 0;
+    bool first = true;
+    std::int64_t last_makespan = 0;
+    for (const std::int64_t flits : {1, 4, 16}) {
+      CutThroughOptions ct;
+      ct.flits_per_packet = flits;
+      const CutThroughResult r = simulate_cut_through(mesh, paths, ct);
+      if (first) {
+        c = r.congestion;
+        d = r.dilation;
+        table.add(c).add(d);
+        first = false;
+      }
+      table.add(r.makespan);
+      last_makespan = r.makespan;
+    }
+    table.add(static_cast<double>(last_makespan) /
+                  static_cast<double>(c * 16 + d),
+              2);
+  }
+  table.print(std::cout);
+  bench::note(
+      "\nExpected: every makespan tracks C*F + D within a small constant.\n"
+      "As F grows the congestion term dominates, so at F = 16 the ordering\n"
+      "is essentially the congestion ordering -- and the algorithms that\n"
+      "kept C and D small on local traffic win decisively (e-cube ~7x,\n"
+      "hierarchical ~2x over Valiant/access-tree, which pay both a larger\n"
+      "C and a pipeline full of unnecessary hops).");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E2 -- Theorem 3.9: congestion O(C* log n) with high probability in 2D.
+//
+// Part 1: all algorithms on the classic hard workloads of one mesh size,
+// reporting C and the competitive ratio C/C* (C* = boundary lower bound).
+// Part 2: scaling of the hierarchical router's ratio with log n, which
+// Theorem 3.9 predicts grows at most linearly in log n.
+//
+// Expected shape: hierarchical-2d's ratio is a small multiple of 1 on all
+// workloads and grows (at most) like log n, while e-cube's ratio can blow
+// up on adversarial instances (see E6) and Valiant pays extra on local
+// traffic.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/evaluate.hpp"
+#include "bench_common.hpp"
+#include "routing/registry.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace oblivious;
+
+struct Workload {
+  std::string name;
+  RoutingProblem problem;
+};
+
+std::vector<Workload> make_workloads(const Mesh& mesh, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Workload> w;
+  w.push_back({"transpose", transpose(mesh)});
+  w.push_back({"bit-reversal", bit_reversal(mesh)});
+  w.push_back({"random-perm", random_permutation(mesh, rng)});
+  w.push_back({"tornado", tornado(mesh)});
+  w.push_back({"block-exch l=8", block_exchange(mesh, 8)});
+  w.push_back({"hotspot", hotspot(mesh, rng,
+                                  static_cast<std::size_t>(mesh.num_nodes() / 8))});
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E2 / Theorem 3.9",
+                "2D congestion vs the optimal lower bound: C = O(C* log n)");
+
+  const Mesh mesh({64, 64});
+  std::cout << "Part 1: all algorithms, " << mesh.describe() << "\n";
+  for (const Workload& w : make_workloads(mesh, 5)) {
+    const double lb = best_lower_bound(mesh, w.problem);
+    std::cout << "\nworkload " << w.name << " (C* >= " << lb << "):\n";
+    Table table({"algorithm", "C", "C/C*", "D", "max stretch"});
+    for (const Algorithm a : algorithms_for(mesh)) {
+      const auto router = make_router(a, mesh);
+      RouteAllOptions options;
+      options.seed = 31;
+      const RouteSetMetrics m =
+          evaluate_with_bound(mesh, *router, w.problem, lb, options);
+      table.row()
+          .add(m.algorithm)
+          .add(m.congestion)
+          .add(m.congestion_ratio, 2)
+          .add(m.dilation)
+          .add(m.max_stretch, 2);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nPart 2: scaling of hierarchical-2d with n (random "
+               "permutation):\n";
+  Table scaling({"mesh", "log2 n", "C* >=", "C", "C/C*", "(C/C*)/log2 n"});
+  for (const std::int64_t side : {8, 16, 32, 64, 128}) {
+    const Mesh m({side, side});
+    Rng rng(17);
+    const RoutingProblem problem = random_permutation(m, rng);
+    const double lb = best_lower_bound(m, problem);
+    const auto router = make_router(Algorithm::kHierarchical2d, m);
+    RouteAllOptions options;
+    options.seed = 23;
+    const RouteSetMetrics metrics =
+        evaluate_with_bound(m, *router, problem, lb, options);
+    const double logn = std::log2(static_cast<double>(m.num_nodes()));
+    scaling.row()
+        .add(m.describe())
+        .add(logn, 1)
+        .add(lb, 1)
+        .add(metrics.congestion)
+        .add(metrics.congestion_ratio, 2)
+        .add(metrics.congestion_ratio / logn, 3);
+  }
+  scaling.print(std::cout);
+  bench::note(
+      "\nExpected: the last column (ratio normalized by log n) is bounded by\n"
+      "a constant -- that is exactly the O(C* log n) guarantee.");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E3 -- Theorem 4.2: the d-dimensional algorithm has stretch O(d^2).
+//
+// Measures max stretch of hierarchical-nd over random pairs for d = 1..5,
+// next to the d^2 trend and the explicit 40 d (d+1) proof constant, and
+// contrasts it with the *diagonal* direct generalization of the 2D
+// construction, whose stretch the paper says degrades to O(2^d) -- the
+// ablation that motivates the type-j families of Section 4.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "routing/hierarchical.hpp"
+#include "util/bits.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace oblivious;
+
+RunningStats measure(const Mesh& mesh, const Router& router, std::size_t pairs,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Rng pair_rng(seed ^ 0xabcdef);
+  RunningStats stretch;
+  while (stretch.count() < pairs) {
+    const NodeId s = static_cast<NodeId>(
+        pair_rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    const NodeId t = static_cast<NodeId>(
+        pair_rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    if (s == t) continue;
+    stretch.add(path_stretch(mesh, router.route(s, t, rng)));
+  }
+  return stretch;
+}
+
+// The 2D construction applied verbatim in d dimensions: a single
+// diagonally shifted family per level (Section 4 opening remark).
+class DiagonalAncestorRouter final : public Router {
+ public:
+  explicit DiagonalAncestorRouter(const Mesh& mesh)
+      : inner_(mesh, AncestorRouter::Hierarchy::kAccessGraph) {}
+  Path route(NodeId s, NodeId t, Rng& rng) const override {
+    return inner_.route(s, t, rng);
+  }
+  std::string name() const override { return "diagonal-ablation"; }
+
+ private:
+  AncestorRouter inner_;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("E3 / Theorem 4.2",
+                "d-dimensional stretch: O(d^2) with the type-j families, "
+                "O(2^d) with the naive diagonal generalization");
+
+  const std::size_t pairs = 1500 * static_cast<std::size_t>(bench::scale());
+  Table table({"d", "mesh", "max stretch (type-j)", "max stretch (diagonal)",
+               "d^2", "40d(d+1)"});
+  for (int d = 1; d <= 5; ++d) {
+    const std::int64_t side = d == 1 ? 4096 : (d == 2 ? 64 : (d == 3 ? 16 : 8));
+    const Mesh mesh = Mesh::cube(d, side, /*torus=*/true);
+    const NdRouter typej(mesh);
+    const DiagonalAncestorRouter diagonal(mesh);
+    const RunningStats st_typej = measure(mesh, typej, pairs, 11);
+    const RunningStats st_diag = measure(mesh, diagonal, pairs, 13);
+    table.row()
+        .add(d)
+        .add(mesh.describe())
+        .add(st_typej.max(), 2)
+        .add(st_diag.max(), 2)
+        .add(static_cast<std::int64_t>(d) * d)
+        .add(static_cast<std::int64_t>(40) * d * (d + 1));
+  }
+  table.print(std::cout);
+  bench::note(
+      "\nExpected: the type-j column stays well inside the 40d(d+1) proof\n"
+      "constant for every d. The random-pair stretch alone understates the\n"
+      "diagonal construction's weakness, which is a worst-case phenomenon;\n"
+      "the table below measures it directly.");
+
+  // The failure mode of the diagonal generalization is worst-case, not
+  // average-case: a level of the hierarchy is unusable for a pair when one
+  // dimension straddles a type-1 cell boundary while another straddles a
+  // type-2 boundary -- with only two families, two dimensions suffice to
+  // veto a level. Choosing the pair (c - 1, c) with per-dimension
+  // trailing-zero counts {0, 1, ..., d-2} plus one large one kills the
+  // deepest d-1 levels simultaneously, forcing the deepest common ancestor
+  // to height ~d for a pair at distance d: bridge side 2^d, stretch
+  // Theta(2^d / d) -- the blow-up the paper cites when motivating the
+  // Theta(d) type-j families. The type-j bridge side is capped at
+  // 8(d+1) dist (Lemma 4.1) regardless of placement.
+  bench::note(
+      "\nAdversarial pairs (c-1, c), c_i with trailing-zero counts\n"
+      "{big, 0, 1, ..., d-2}: bridge height excess over log2(dist):");
+  Table excess_table({"d", "dist", "diagonal: dca height", "diagonal: excess",
+                      "diagonal: stretch bound 2^h/dist",
+                      "type-j: bridge height", "type-j excess cap"});
+  for (int d = 2; d <= 6; ++d) {
+    const std::int64_t side = 64;  // k = 6
+    const Mesh mesh = Mesh::cube(d, side, /*torus=*/true);
+    const Decomposition diagonal(mesh, DecompositionConfig::section3());
+    const NdRouter typej(mesh);
+    Coord c;
+    c.resize(static_cast<std::size_t>(d));
+    c[0] = side / 2;  // trailing zeros k-1: kills type-1 at every level
+    for (int j = 1; j < d; ++j) {
+      // exactly j-1 trailing zeros: kills type-2 at the level with side 2^j.
+      c[static_cast<std::size_t>(j)] = std::int64_t{1} << (j - 1);
+    }
+    Coord s = c;
+    for (int j = 0; j < d; ++j) s[static_cast<std::size_t>(j)] -= 1;
+    const std::int64_t dist = mesh.distance(s, c);
+    const int logd = ceil_log2(static_cast<std::uint64_t>(dist));
+    const RegularSubmesh dca = diagonal.deepest_common(s, c, true);
+    const int h = diagonal.height_of(dca.level);
+    const auto [m1_h, bridge_h] =
+        typej.heights_for(mesh.node_id(s), mesh.node_id(c));
+    excess_table.row()
+        .add(d)
+        .add(dist)
+        .add(h)
+        .add(h - logd)
+        .add(static_cast<double>(std::int64_t{1} << h) /
+                 static_cast<double>(dist),
+             1)
+        .add(bridge_h)
+        .add(ceil_log2(8 * static_cast<std::uint64_t>(d + 1)));
+  }
+  excess_table.print(std::cout);
+  bench::note(
+      "\nExpected: the diagonal dca height (and hence its bridge side\n"
+      "2^h ~ 2^d) grows linearly in d for these pairs while dist = d only\n"
+      "grows linearly -- stretch 2^h/dist ~ 2^d/d, unbounded in d. The\n"
+      "type-j bridge height is pinned at log2(dist) + log2(8(d+1)): the\n"
+      "exponential worst case is traded for a d^2 constant. (At laptop-\n"
+      "scale d <= 5 the two are comparable; the separation is asymptotic.)");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E4 -- Theorem 4.3: d-dimensional congestion O(d^2 C* log n) w.h.p.
+//
+// Random permutations on d-cubes for d = 1..4: C, the boundary lower
+// bound, and the ratio normalized by d^2 log n, which the theorem predicts
+// is bounded by a constant.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/evaluate.hpp"
+#include "bench_common.hpp"
+#include "routing/registry.hpp"
+#include "workloads/generators.hpp"
+
+int main() {
+  using namespace oblivious;
+  bench::banner("E4 / Theorem 4.3",
+                "d-dimensional congestion: C = O(d^2 C* log n) w.h.p.");
+
+  Table table({"d", "mesh", "C* >=", "C", "C/C*", "(C/C*)/(d^2 log2 n)"});
+  for (int d = 1; d <= 4; ++d) {
+    const std::int64_t side = d == 1 ? 4096 : (d == 2 ? 64 : (d == 3 ? 16 : 8));
+    const Mesh mesh = Mesh::cube(d, side);
+    Rng rng(29);
+    const RoutingProblem problem = random_permutation(mesh, rng);
+    const double lb = best_lower_bound(mesh, problem);
+    const auto router = make_router(Algorithm::kHierarchicalNd, mesh);
+    RouteAllOptions options;
+    options.seed = 37;
+    const RouteSetMetrics m =
+        evaluate_with_bound(mesh, *router, problem, lb, options);
+    const double logn = std::log2(static_cast<double>(mesh.num_nodes()));
+    table.row()
+        .add(d)
+        .add(mesh.describe())
+        .add(lb, 1)
+        .add(m.congestion)
+        .add(m.congestion_ratio, 2)
+        .add(m.congestion_ratio / (d * d * logn), 4);
+  }
+  table.print(std::cout);
+
+  bench::note(
+      "\nPer-workload detail for d = 3 (16^3):");
+  const Mesh mesh = Mesh::cube(3, 16);
+  Rng rng(41);
+  const struct {
+    std::string name;
+    RoutingProblem problem;
+  } workloads[] = {{"random-perm", random_permutation(mesh, rng)},
+                   {"tornado", tornado(mesh)},
+                   {"block-exch l=4", block_exchange(mesh, 4)},
+                   {"transpose(0,1)", transpose(mesh)}};
+  Table detail({"workload", "algorithm", "C", "C/C*"});
+  for (const auto& w : workloads) {
+    const double lb = best_lower_bound(mesh, w.problem);
+    for (const Algorithm a :
+         {Algorithm::kEcube, Algorithm::kValiant, Algorithm::kHierarchicalNd}) {
+      const auto router = make_router(a, mesh);
+      RouteAllOptions options;
+      options.seed = 43;
+      const RouteSetMetrics m =
+          evaluate_with_bound(mesh, *router, w.problem, lb, options);
+      detail.row().add(w.name).add(m.algorithm).add(m.congestion).add(
+          m.congestion_ratio, 2);
+    }
+  }
+  detail.print(std::cout);
+  bench::note(
+      "\nExpected: the normalized column is constant-bounded, and\n"
+      "hierarchical-nd stays within a small factor of the bound across\n"
+      "workloads.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E5 -- Lemma 3.3 / Lemma 4.1: bridges are found at height
+// log2(dist) + O(1).
+//
+// Exhaustive (64x64) histogram of height(dca) - ceil(log2 dist) for the
+// Section 3 decomposition, mesh and torus, plus the d-dimensional bridge
+// height against its prescribed value for the Section 4 decomposition.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "decomposition/decomposition.hpp"
+#include "routing/hierarchical.hpp"
+#include "util/bits.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace oblivious;
+  bench::banner("E5 / Lemma 3.3 + Lemma 4.1",
+                "bridge (deepest common ancestor) height <= log2(dist) + 2");
+
+  for (const bool torus : {false, true}) {
+    const Mesh mesh({64, 64}, torus);
+    const Decomposition dec = Decomposition::section3(mesh);
+    IntHistogram excess;  // height - ceil(log2 dist), shifted by +8
+    const std::int64_t stride = 11;  // samples ~n^2/11 pairs deterministically
+    for (NodeId s = 0; s < mesh.num_nodes(); ++s) {
+      for (NodeId t = s % stride + 1; t < mesh.num_nodes(); t += stride) {
+        if (s == t) continue;
+        const std::int64_t dist = mesh.distance(s, t);
+        const RegularSubmesh dca =
+            dec.deepest_common(mesh.coord(s), mesh.coord(t), true);
+        const int h = dec.height_of(dca.level);
+        excess.add(h - ceil_log2(static_cast<std::uint64_t>(dist)) + 8);
+      }
+    }
+    std::cout << "\n" << mesh.describe()
+              << ": distribution of height - ceil(log2 dist):\n";
+    Table table({"excess", "pairs", "fraction"});
+    for (std::int64_t e = 0; e <= excess.max_value(); ++e) {
+      if (excess.count(e) == 0) continue;
+      table.row()
+          .add(e - 8)
+          .add(static_cast<std::int64_t>(excess.count(e)))
+          .add(static_cast<double>(excess.count(e)) /
+                   static_cast<double>(excess.total()),
+               4);
+    }
+    table.print(std::cout);
+    std::cout << "max excess: " << excess.max_value() - 8
+              << " (Lemma 3.3 bound: 2)\n";
+  }
+
+  bench::note("\nSection 4 (d = 3, torus): bridge found at prescribed height:");
+  const Mesh mesh3 = Mesh::cube(3, 32, /*torus=*/true);
+  const NdRouter router(mesh3);
+  Rng rng(3);
+  std::int64_t at_prescribed = 0;
+  std::int64_t total = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const NodeId s = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(mesh3.num_nodes())));
+    const NodeId t = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(mesh3.num_nodes())));
+    if (s == t) continue;
+    const auto [m1_height, bridge_height] = router.heights_for(s, t);
+    const RegularSubmesh bridge = router.bridge_for(s, t);
+    ++total;
+    if (router.decomposition().height_of(bridge.level) == bridge_height) {
+      ++at_prescribed;
+    }
+  }
+  std::cout << at_prescribed << " / " << total
+            << " random pairs found their bridge exactly at the height "
+               "prescribed by Lemma 4.1 (torus: expected all)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// F1 -- Figure 1 of the paper: the 2D mesh decomposition.
+//
+// Renders the type-1 and type-2 families of an 8x8 mesh level by level
+// (the paper draws the analogous picture) and tabulates, for a larger
+// mesh, the exact submesh counts per level/type together with the
+// properties of Lemma 3.1 verified exhaustively.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "decomposition/decomposition.hpp"
+#include "decomposition/render.hpp"
+
+int main() {
+  using namespace oblivious;
+  bench::banner("F1 / Figure 1",
+                "2D mesh decomposition: type-1 quadtree + diagonally shifted "
+                "type-2 submeshes (corners discarded at the mesh border)");
+
+  const Mesh small({8, 8});
+  const Decomposition dec = Decomposition::section3(small);
+  for (int level = 1; level <= 2; ++level) {
+    std::cout << render_level(dec, level);
+  }
+
+  bench::note("Submesh census on the 64x64 mesh:");
+  const Mesh big({64, 64});
+  const Decomposition bigdec = Decomposition::section3(big);
+  Table table({"level", "side m_l", "shift m_l/2", "type-1 count",
+               "type-2 count", "type-2 internal", "type-2 truncated"});
+  for (int level = 0; level <= bigdec.leaf_level(); ++level) {
+    std::int64_t t1 = 0;
+    std::int64_t t2 = 0;
+    std::int64_t internal = 0;
+    bigdec.for_each_submesh(level, 1, [&](const RegularSubmesh&) { ++t1; });
+    if (bigdec.num_types(level) >= 2) {
+      bigdec.for_each_submesh(level, 2, [&](const RegularSubmesh& sm) {
+        ++t2;
+        if (!sm.truncated) ++internal;
+      });
+    }
+    table.row()
+        .add(level)
+        .add(bigdec.side_at(level))
+        .add(bigdec.side_at(level) / 2)
+        .add(t1)
+        .add(t2)
+        .add(internal)
+        .add(t2 - internal);
+  }
+  table.print(std::cout);
+
+  bench::note(
+      "\nLemma 3.1 checks (exhaustive on 64x64): type-1 partitions every\n"
+      "level; the type-2 family is disjoint; every regular submesh splits\n"
+      "exactly into type-1 children -- all verified in the test suite\n"
+      "(decomposition_test.cpp); counts above show the structure.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// P1 -- path-selection throughput (google-benchmark).
+//
+// Routes random pairs with every algorithm; reports ns/path. Oblivious
+// selection is a few microseconds per packet -- fast enough for online,
+// per-packet use, which is the deployment model the paper argues for.
+#include <benchmark/benchmark.h>
+
+#include "routing/registry.hpp"
+
+namespace {
+
+using namespace oblivious;
+
+void route_benchmark(benchmark::State& state, Algorithm algorithm,
+                     const Mesh& mesh) {
+  const auto router = make_router(algorithm, mesh);
+  Rng rng(1);
+  Rng pair_rng(2);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(
+        pair_rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    const NodeId t = static_cast<NodeId>(
+        pair_rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    benchmark::DoNotOptimize(router->route(s, t, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+const Mesh& mesh_2d() {
+  static const Mesh mesh = Mesh::cube(2, 64);
+  return mesh;
+}
+
+const Mesh& mesh_3d() {
+  static const Mesh mesh = Mesh::cube(3, 16, /*torus=*/true);
+  return mesh;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const Algorithm a : algorithms_for(mesh_2d())) {
+    benchmark::RegisterBenchmark(
+        ("route_2d_64x64/" + algorithm_name(a)).c_str(),
+        [a](benchmark::State& state) { route_benchmark(state, a, mesh_2d()); });
+  }
+  for (const Algorithm a : algorithms_for(mesh_3d())) {
+    benchmark::RegisterBenchmark(
+        ("route_3d_16x16x16/" + algorithm_name(a)).c_str(),
+        [a](benchmark::State& state) { route_benchmark(state, a, mesh_3d()); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

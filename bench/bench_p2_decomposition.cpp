@@ -1,0 +1,80 @@
+// P2 -- decomposition query throughput (google-benchmark).
+//
+// The hierarchical routers lean on three O(d)-per-level primitives:
+// containment queries, deepest-common-ancestor scans, and the prescribed
+// Section 4 bridge search. All are arithmetic on (level, type, anchor);
+// nothing is materialized, so queries are tens of nanoseconds even on a
+// million-node mesh.
+#include <benchmark/benchmark.h>
+
+#include "analysis/lower_bound.hpp"
+#include "decomposition/decomposition.hpp"
+#include "routing/hierarchical.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using namespace oblivious;
+
+const Mesh& big_mesh() {
+  static const Mesh mesh = Mesh::cube(2, 1024);  // ~1M nodes
+  return mesh;
+}
+
+void bm_submesh_at(benchmark::State& state) {
+  const Decomposition dec = Decomposition::section3(big_mesh());
+  Rng rng(1);
+  const int level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Coord p{static_cast<std::int64_t>(rng.uniform_below(1024)),
+            static_cast<std::int64_t>(rng.uniform_below(1024))};
+    benchmark::DoNotOptimize(dec.submesh_at(p, level, 2));
+  }
+}
+BENCHMARK(bm_submesh_at)->Arg(1)->Arg(5)->Arg(9);
+
+void bm_deepest_common(benchmark::State& state) {
+  const Decomposition dec = Decomposition::section3(big_mesh());
+  Rng rng(2);
+  for (auto _ : state) {
+    Coord s{static_cast<std::int64_t>(rng.uniform_below(1024)),
+            static_cast<std::int64_t>(rng.uniform_below(1024))};
+    Coord t{static_cast<std::int64_t>(rng.uniform_below(1024)),
+            static_cast<std::int64_t>(rng.uniform_below(1024))};
+    benchmark::DoNotOptimize(dec.deepest_common(s, t, true));
+  }
+}
+BENCHMARK(bm_deepest_common);
+
+void bm_nd_bridge_search(benchmark::State& state) {
+  static const Mesh mesh = Mesh::cube(3, 64, /*torus=*/true);
+  const NdRouter router(mesh);
+  Rng rng(3);
+  for (auto _ : state) {
+    const NodeId s = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    NodeId t = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    if (t == s) t = (t + 1) % mesh.num_nodes();
+    benchmark::DoNotOptimize(router.bridge_for(s, t));
+  }
+}
+BENCHMARK(bm_nd_bridge_search);
+
+void bm_boundary_lower_bound(benchmark::State& state) {
+  // Full boundary-congestion scan of a 4096-packet problem on 64x64.
+  static const Mesh mesh = Mesh::cube(2, 64);
+  const Decomposition dec = Decomposition::section4(mesh);
+  RoutingProblem problem;
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    problem.demands.push_back({u, mesh.num_nodes() - 1 - u});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(congestion_lower_bound(mesh, dec, problem));
+  }
+}
+BENCHMARK(bm_boundary_lower_bound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

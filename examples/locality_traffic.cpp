@@ -1,0 +1,63 @@
+// Demonstrates the paper's headline point: oblivious routing that respects
+// locality. Packets to nearby destinations (the traffic the paper's
+// introduction motivates) must not be dragged across the network.
+//
+// The example routes distance-controlled traffic with the access-tree
+// baseline (Maggs et al. [9]: near-optimal congestion, unbounded stretch)
+// and with the paper's bridge-based algorithm, then delivers both path
+// sets and compares end-to-end delivery times.
+//
+//   ./locality_traffic [side] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/evaluate.hpp"
+#include "routing/registry.hpp"
+#include "simulator/simulator.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oblivious;
+  const std::int64_t side = argc > 1 ? std::atoll(argv[1]) : 64;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  const Mesh mesh = Mesh::cube(2, side);
+  std::cout << "network: " << mesh.describe() << "\n";
+  std::cout << "workload: every node talks to a partner at distance 2, plus\n"
+            << "          the pairs straddling the central bisector\n\n";
+
+  Rng wrng(seed);
+  RoutingProblem problem = random_pairs_at_distance(
+      mesh, wrng, static_cast<std::size_t>(mesh.num_nodes() / 2), 2);
+  const RoutingProblem straddlers = cut_straddlers(mesh);
+  problem.demands.insert(problem.demands.end(), straddlers.demands.begin(),
+                         straddlers.demands.end());
+
+  const double lb = best_lower_bound(mesh, problem);
+  Table table({"algorithm", "C", "D", "max stretch", "mean stretch",
+               "delivery makespan"});
+  for (const Algorithm a : {Algorithm::kAccessTree, Algorithm::kHierarchical2d,
+                            Algorithm::kValiant}) {
+    const auto router = make_router(a, mesh);
+    RouteAllOptions options;
+    options.seed = seed;
+    const std::vector<Path> paths = route_all(mesh, *router, problem, options);
+    const RouteSetMetrics m = measure_paths(mesh, problem, paths, lb);
+    const SimulationResult sim = simulate(mesh, paths);
+    table.row()
+        .add(router->name())
+        .add(m.congestion)
+        .add(m.dilation)
+        .add(m.max_stretch, 1)
+        .add(m.mean_stretch, 2)
+        .add(sim.makespan);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe access tree hauls bisector-straddling packets (distance\n"
+            << "1!) through submeshes as large as the whole mesh -- dilation\n"
+            << "and delivery time grow with the network. The bridge submeshes\n"
+            << "of the paper cap the stretch at 64 regardless of size.\n";
+  return 0;
+}

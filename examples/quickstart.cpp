@@ -1,0 +1,46 @@
+// Quickstart: route a hard permutation obliviously on a 2D mesh, inspect
+// the path quality, and deliver the packets in the synchronous model.
+//
+//   ./quickstart [side] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/oblivious_routing.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oblivious;
+  const std::int64_t side = argc > 1 ? std::atoll(argv[1]) : 64;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  // The paper's 2D algorithm on a side x side mesh.
+  ObliviousMeshRouting system(Mesh::cube(2, side), Algorithm::kHierarchical2d);
+  std::cout << "network: " << system.mesh().describe() << "\n";
+  std::cout << "algorithm: " << system.router().name() << "\n\n";
+
+  // A hard workload: the transpose permutation.
+  const RoutingProblem problem = transpose(system.mesh());
+  const RoutingRun run = system.route(problem, seed);
+
+  const RouteSetMetrics& m = run.metrics;
+  std::cout << "packets           : " << m.packets << "\n";
+  std::cout << "congestion C      : " << m.congestion << "\n";
+  std::cout << "lower bound C*    : >= " << m.lower_bound << "\n";
+  std::cout << "competitive ratio : " << m.congestion_ratio << "\n";
+  std::cout << "dilation D        : " << m.dilation << "\n";
+  std::cout << "max stretch       : " << m.max_stretch
+            << "  (Theorem 3.4 guarantees <= 64)\n";
+  std::cout << "mean stretch      : " << m.mean_stretch << "\n";
+  std::cout << "random bits/packet: " << m.bits_per_packet.mean() << "\n\n";
+
+  // Deliver the packets: at most one packet per edge per time step.
+  const SimulationResult sim = system.deliver(run.paths);
+  std::cout << "delivery makespan : " << sim.makespan << " steps (completed: "
+            << (sim.completed ? "yes" : "no") << ")\n";
+  std::cout << "max(C, D) bound   : " << std::max(sim.congestion, sim.dilation)
+            << "  -> schedule within " << sim.optimality_ratio()
+            << "x of the trivial lower bound\n";
+  std::cout << "mean packet delay : " << sim.queueing_delay.mean()
+            << " steps of queueing\n";
+  return 0;
+}

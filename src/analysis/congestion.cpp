@@ -1,0 +1,111 @@
+#include "analysis/congestion.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+EdgeLoadMap::EdgeLoadMap(const Mesh& mesh)
+    : mesh_(&mesh), loads_(static_cast<std::size_t>(mesh.num_edges()), 0) {}
+
+void EdgeLoadMap::add_path(const Path& path) {
+  if (path.nodes.size() < 2) return;
+  // Strides of a unit step per dimension.
+  SmallVec<std::int64_t, 8> strides;
+  strides.resize(static_cast<std::size_t>(mesh_->dim()), 1);
+  for (int d = mesh_->dim() - 2; d >= 0; --d) {
+    strides[static_cast<std::size_t>(d)] =
+        strides[static_cast<std::size_t>(d) + 1] * mesh_->side(d + 1);
+  }
+  // Walk the path with an incrementally maintained coordinate so each hop
+  // costs O(d) instead of a full id->coord conversion per node.
+  Coord cur = mesh_->coord(path.nodes.front());
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const NodeId b = path.nodes[i + 1];
+    const std::int64_t delta = b - path.nodes[i];
+    bool matched = false;
+    for (int d = 0; d < mesh_->dim() && !matched; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      const std::int64_t side = mesh_->side(d);
+      const std::int64_t s = strides[dd];
+      if (delta == s && cur[dd] + 1 < side) {
+        // +1 step, keyed at the lower endpoint (current coordinate).
+        loads_[static_cast<std::size_t>(mesh_->edge_id(cur, d))]++;
+        cur[dd] += 1;
+        matched = true;
+      } else if (delta == -s && cur[dd] - 1 >= 0) {
+        cur[dd] -= 1;
+        loads_[static_cast<std::size_t>(mesh_->edge_id(cur, d))]++;
+        matched = true;
+      } else if (mesh_->torus() && side > 2 && cur[dd] == side - 1 &&
+                 delta == -s * (side - 1)) {
+        // Wrap +1: keyed at coordinate side-1.
+        loads_[static_cast<std::size_t>(mesh_->edge_id(cur, d))]++;
+        cur[dd] = 0;
+        matched = true;
+      } else if (mesh_->torus() && side > 2 && cur[dd] == 0 &&
+                 delta == s * (side - 1)) {
+        // Wrap -1: also keyed at coordinate side-1.
+        cur[dd] = side - 1;
+        loads_[static_cast<std::size_t>(mesh_->edge_id(cur, d))]++;
+        matched = true;
+      }
+    }
+    OBLV_REQUIRE(matched, "path hop is not a mesh edge");
+  }
+}
+
+void EdgeLoadMap::add_paths(const std::vector<Path>& paths) {
+  for (const Path& p : paths) add_path(p);
+}
+
+void EdgeLoadMap::clear() { std::fill(loads_.begin(), loads_.end(), 0U); }
+
+std::uint32_t EdgeLoadMap::load(EdgeId e) const {
+  OBLV_REQUIRE(e >= 0 && e < mesh_->num_edges(), "edge id out of range");
+  return loads_[static_cast<std::size_t>(e)];
+}
+
+std::uint32_t EdgeLoadMap::max_load() const {
+  std::uint32_t best = 0;
+  for (const std::uint32_t l : loads_) best = std::max(best, l);
+  return best;
+}
+
+EdgeId EdgeLoadMap::argmax() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < loads_.size(); ++i) {
+    if (loads_[i] > loads_[best]) best = i;
+  }
+  return static_cast<EdgeId>(best);
+}
+
+double EdgeLoadMap::mean_nonzero() const {
+  std::uint64_t sum = 0;
+  std::int64_t used = 0;
+  for (const std::uint32_t l : loads_) {
+    if (l > 0) {
+      sum += l;
+      ++used;
+    }
+  }
+  return used > 0 ? static_cast<double>(sum) / static_cast<double>(used) : 0.0;
+}
+
+std::int64_t EdgeLoadMap::edges_used() const {
+  std::int64_t used = 0;
+  for (const std::uint32_t l : loads_) {
+    if (l > 0) ++used;
+  }
+  return used;
+}
+
+IntHistogram EdgeLoadMap::histogram() const {
+  IntHistogram h;
+  for (const std::uint32_t l : loads_) h.add(static_cast<std::int64_t>(l));
+  return h;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,43 @@
+// Edge-load (congestion) accounting over a set of paths.
+//
+// The congestion C of a path set is the maximum number of paths crossing
+// any edge (Section 2); edges are undirected, matching the paper's model
+// of one packet per edge per time step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "util/stats.hpp"
+
+namespace oblivious {
+
+class EdgeLoadMap {
+ public:
+  explicit EdgeLoadMap(const Mesh& mesh);
+
+  void add_path(const Path& path);
+  void add_paths(const std::vector<Path>& paths);
+  void clear();
+
+  const Mesh& mesh() const { return *mesh_; }
+  std::uint32_t load(EdgeId e) const;
+  // C = max edge load.
+  std::uint32_t max_load() const;
+  // An edge achieving the maximum load.
+  EdgeId argmax() const;
+  // Mean load over edges with non-zero load.
+  double mean_nonzero() const;
+  // Number of edges with non-zero load.
+  std::int64_t edges_used() const;
+  // Load histogram over all edges (including zero loads).
+  IntHistogram histogram() const;
+
+ private:
+  const Mesh* mesh_;
+  std::vector<std::uint32_t> loads_;
+};
+
+}  // namespace oblivious

@@ -1,0 +1,119 @@
+#include "analysis/evaluate.hpp"
+
+#include <algorithm>
+
+#include "analysis/congestion.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace oblivious {
+
+std::vector<Path> route_all(const Mesh& mesh, const Router& router,
+                            const RoutingProblem& problem,
+                            const RouteAllOptions& options,
+                            RunningStats* bits_per_packet) {
+  Rng rng(options.seed);
+  BitMeter meter;
+  if (options.meter_bits) rng.attach_meter(&meter);
+  std::vector<Path> paths;
+  paths.reserve(problem.size());
+  for (const Demand& demand : problem.demands) {
+    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
+                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
+                 "demand endpoints must be mesh nodes");
+    const std::uint64_t bits_before = meter.bits;
+    Path path = router.route(demand.src, demand.dst, rng);
+    OBLV_CHECK(!path.nodes.empty() && path.source() == demand.src &&
+                   path.destination() == demand.dst,
+               "router returned a path with wrong endpoints");
+    if (options.erase_cycles) path = remove_cycles(std::move(path));
+    if (bits_per_packet != nullptr && options.meter_bits) {
+      bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
+                                     const RoutingProblem& problem,
+                                     ThreadPool& pool, std::uint64_t seed) {
+  for (const Demand& demand : problem.demands) {
+    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
+                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
+                 "demand endpoints must be mesh nodes");
+  }
+  std::vector<Path> paths(problem.size());
+  parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Demand& demand = problem.demands[i];
+      Rng rng(splitmix64(seed ^ splitmix64(static_cast<std::uint64_t>(i))));
+      paths[i] = router.route(demand.src, demand.dst, rng);
+      OBLV_CHECK(!paths[i].nodes.empty() && paths[i].source() == demand.src &&
+                     paths[i].destination() == demand.dst,
+                 "router returned a path with wrong endpoints");
+    }
+  });
+  return paths;
+}
+
+RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
+                              const std::vector<Path>& paths,
+                              double lower_bound) {
+  OBLV_REQUIRE(paths.size() == problem.size(), "one path per demand required");
+  RouteSetMetrics m;
+  m.packets = paths.size();
+  m.max_distance = problem.max_distance(mesh);
+  m.lower_bound = lower_bound;
+
+  EdgeLoadMap loads(mesh);
+  RunningStats stretch;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const Path& path = paths[i];
+    loads.add_path(path);
+    m.dilation = std::max(m.dilation, path.length());
+    if (problem.demands[i].src != problem.demands[i].dst) {
+      stretch.add(path_stretch(mesh, path));
+    }
+  }
+  m.congestion = static_cast<std::int64_t>(loads.max_load());
+  m.max_stretch = stretch.count() > 0 ? stretch.max() : 1.0;
+  m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
+  m.congestion_ratio = static_cast<double>(m.congestion) /
+                       std::max(lower_bound, 1.0);
+  return m;
+}
+
+double best_lower_bound(const Mesh& mesh, const RoutingProblem& problem) {
+  if (mesh.is_square() && mesh.sides_power_of_two()) {
+    const Decomposition decomp = Decomposition::section4(mesh);
+    return congestion_lower_bound(mesh, decomp, problem).value();
+  }
+  return congestion_lower_bound(mesh, problem).value();
+}
+
+RouteSetMetrics evaluate_with_bound(const Mesh& mesh, const Router& router,
+                                    const RoutingProblem& problem,
+                                    double lower_bound,
+                                    const RouteAllOptions& options) {
+  WallTimer timer;
+  RunningStats bits;
+  const std::vector<Path> paths =
+      route_all(mesh, router, problem, options, &bits);
+  const double seconds = timer.elapsed_seconds();
+  RouteSetMetrics m = measure_paths(mesh, problem, paths, lower_bound);
+  m.algorithm = router.name();
+  m.bits_per_packet = bits;
+  m.routing_seconds = seconds;
+  return m;
+}
+
+RouteSetMetrics evaluate(const Mesh& mesh, const Router& router,
+                         const RoutingProblem& problem,
+                         const RouteAllOptions& options) {
+  return evaluate_with_bound(mesh, router, problem,
+                             best_lower_bound(mesh, problem), options);
+}
+
+}  // namespace oblivious

@@ -1,0 +1,80 @@
+// End-to-end path-quality evaluation: route a whole problem with one
+// algorithm and measure congestion C, dilation D, stretch, the congestion
+// lower bound, and per-packet random-bit consumption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/lower_bound.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "routing/router.hpp"
+#include "util/stats.hpp"
+#include "workloads/problem.hpp"
+
+namespace oblivious {
+
+struct RouteSetMetrics {
+  std::string algorithm;
+  std::size_t packets = 0;
+  std::int64_t congestion = 0;        // C
+  std::int64_t dilation = 0;          // D = max path length
+  std::int64_t max_distance = 0;      // D* = max shortest distance
+  double max_stretch = 0.0;
+  double mean_stretch = 0.0;
+  double lower_bound = 0.0;           // C* lower bound (boundary/average)
+  double congestion_ratio = 0.0;      // C / max(lower_bound, 1)
+  RunningStats bits_per_packet;       // random bits drawn per packet
+  double routing_seconds = 0.0;
+};
+
+struct RouteAllOptions {
+  std::uint64_t seed = 1;
+  // Remove cycles from the selected paths (the paper notes this never
+  // increases congestion).
+  bool erase_cycles = false;
+  // Collect per-packet random-bit statistics (small overhead).
+  bool meter_bits = true;
+};
+
+// Routes every demand independently (obliviously).
+std::vector<Path> route_all(const Mesh& mesh, const Router& router,
+                            const RoutingProblem& problem,
+                            const RouteAllOptions& options,
+                            RunningStats* bits_per_packet = nullptr);
+
+// Parallel batch routing: demands are routed concurrently on the pool.
+// Because path selection is oblivious, parallelism is trivially safe; the
+// per-packet rng is derived deterministically from (seed, packet index),
+// so the result is identical for any thread count and chunking -- but it
+// intentionally differs from route_all's single-stream draw order.
+class ThreadPool;
+std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
+                                     const RoutingProblem& problem,
+                                     ThreadPool& pool, std::uint64_t seed);
+
+// Computes metrics for an existing path set.
+RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
+                              const std::vector<Path>& paths,
+                              double lower_bound);
+
+// Route + measure in one call. The congestion lower bound uses the
+// hierarchical decomposition when the mesh supports one, otherwise the cut
+// bounds.
+RouteSetMetrics evaluate(const Mesh& mesh, const Router& router,
+                         const RoutingProblem& problem,
+                         const RouteAllOptions& options = {});
+
+// As above but with a caller-supplied lower bound (avoids recomputing it
+// when comparing many algorithms on the same problem).
+RouteSetMetrics evaluate_with_bound(const Mesh& mesh, const Router& router,
+                                    const RoutingProblem& problem,
+                                    double lower_bound,
+                                    const RouteAllOptions& options = {});
+
+// The best congestion lower bound available for this mesh.
+double best_lower_bound(const Mesh& mesh, const RoutingProblem& problem);
+
+}  // namespace oblivious

@@ -1,0 +1,64 @@
+#include "analysis/heatmap.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+std::string render_load_heatmap(const EdgeLoadMap& loads, int width) {
+  const Mesh& mesh = loads.mesh();
+  OBLV_REQUIRE(mesh.dim() == 2, "heatmap rendering requires a 2D mesh");
+  OBLV_REQUIRE(width >= 1, "width must be positive");
+
+  // Node intensity = max load over incident edges.
+  std::vector<std::uint32_t> node_load(
+      static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (EdgeId e = 0; e < mesh.num_edges(); ++e) {
+    const std::uint32_t l = loads.load(e);
+    if (l == 0) continue;
+    const auto [a, b] = mesh.edge_endpoints(e);
+    node_load[static_cast<std::size_t>(a)] =
+        std::max(node_load[static_cast<std::size_t>(a)], l);
+    node_load[static_cast<std::size_t>(b)] =
+        std::max(node_load[static_cast<std::size_t>(b)], l);
+  }
+  const std::uint32_t peak =
+      *std::max_element(node_load.begin(), node_load.end());
+
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = sizeof(kRamp) - 2;  // index 0..9
+
+  const std::int64_t rows = std::min<std::int64_t>(mesh.side(0), width);
+  const std::int64_t cols = std::min<std::int64_t>(mesh.side(1), width);
+  std::ostringstream os;
+  os << "peak edge load " << peak << "; ramp \"" << kRamp << "\"\n";
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      // Cell = max over the node block it covers.
+      const std::int64_t x0 = r * mesh.side(0) / rows;
+      const std::int64_t x1 = (r + 1) * mesh.side(0) / rows;
+      const std::int64_t y0 = c * mesh.side(1) / cols;
+      const std::int64_t y1 = (c + 1) * mesh.side(1) / cols;
+      std::uint32_t cell = 0;
+      for (std::int64_t x = x0; x < std::max(x1, x0 + 1); ++x) {
+        for (std::int64_t y = y0; y < std::max(y1, y0 + 1); ++y) {
+          cell = std::max(cell, node_load[static_cast<std::size_t>(
+                                    mesh.node_id(Coord{x, y}))]);
+        }
+      }
+      const int level =
+          peak == 0 ? 0
+                    : static_cast<int>((static_cast<std::uint64_t>(cell) *
+                                        kLevels) /
+                                       peak);
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace oblivious

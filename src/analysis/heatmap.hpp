@@ -1,0 +1,18 @@
+// ASCII load heatmaps for 2D meshes.
+//
+// Renders a character per node whose intensity is the maximum load on its
+// incident edges, so hot spots (the diagonal of e-cube on transpose, the
+// trapped edge of Pi_A) are visible at a glance in the examples and CLI.
+#pragma once
+
+#include <string>
+
+#include "analysis/congestion.hpp"
+
+namespace oblivious {
+
+// 2D meshes only; `width` bounds the rendered grid (larger meshes are
+// downsampled by taking the max over each cell of nodes).
+std::string render_load_heatmap(const EdgeLoadMap& loads, int width = 64);
+
+}  // namespace oblivious

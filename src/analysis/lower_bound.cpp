@@ -1,0 +1,125 @@
+#include "analysis/lower_bound.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+double CongestionLowerBound::value() const {
+  return std::max({boundary, average, boundary > 0.0 || average > 0.0 ? 1.0 : 0.0});
+}
+
+namespace {
+
+double average_load_bound(const Mesh& mesh, const RoutingProblem& problem) {
+  if (mesh.num_edges() == 0) return 0.0;
+  return static_cast<double>(problem.total_distance(mesh)) /
+         static_cast<double>(mesh.num_edges());
+}
+
+}  // namespace
+
+CongestionLowerBound congestion_lower_bound(const Mesh& mesh,
+                                            const Decomposition& decomposition,
+                                            const RoutingProblem& problem) {
+  OBLV_REQUIRE(&decomposition.mesh() == &mesh, "decomposition of a different mesh");
+  CongestionLowerBound out;
+  out.average = average_load_bound(mesh, problem);
+
+  struct KeyHash {
+    std::size_t operator()(const std::tuple<int, int, std::int64_t>& key) const {
+      const auto& [level, type, grid] = key;
+      std::size_t h = std::hash<std::int64_t>{}(grid);
+      h ^= static_cast<std::size_t>(level) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<std::size_t>(type) * 0xc2b2ae3d27d4eb4fULL;
+      return h;
+    }
+  };
+  // Crossing counts |Pi'| keyed by submesh identity; the submesh itself is
+  // kept alongside so the argmax can be reported.
+  std::unordered_map<std::tuple<int, int, std::int64_t>,
+                     std::pair<std::int64_t, RegularSubmesh>, KeyHash>
+      crossings;
+
+  const int k = decomposition.leaf_level();
+  for (const Demand& demand : problem.demands) {
+    if (demand.src == demand.dst) continue;
+    const Coord cs = mesh.coord(demand.src);
+    const Coord ct = mesh.coord(demand.dst);
+    // Levels 1..k-1: the root contains everything (never crossed) and leaf
+    // submeshes have out() counted too (single nodes) -- include level k,
+    // it yields the max-degree bound for hot spots.
+    for (int level = 1; level <= k; ++level) {
+      for (int type = 1; type <= decomposition.num_types(level); ++type) {
+        const auto sm_s = decomposition.submesh_at(cs, level, type);
+        if (sm_s.has_value() && !sm_s->region.contains(mesh, ct)) {
+          auto it = crossings
+                        .try_emplace(std::make_tuple(level, type, sm_s->grid_key),
+                                     0, *sm_s)
+                        .first;
+          ++it->second.first;
+        }
+        const auto sm_t = decomposition.submesh_at(ct, level, type);
+        if (sm_t.has_value() && !sm_t->region.contains(mesh, cs)) {
+          auto it = crossings
+                        .try_emplace(std::make_tuple(level, type, sm_t->grid_key),
+                                     0, *sm_t)
+                        .first;
+          ++it->second.first;
+        }
+      }
+    }
+  }
+
+  for (const auto& [key, entry] : crossings) {
+    const auto& [count, submesh] = entry;
+    const std::int64_t out_edges = mesh.boundary_edge_count(submesh.region);
+    OBLV_CHECK(out_edges > 0, "crossed submesh must have boundary edges");
+    const double b = static_cast<double>(count) / static_cast<double>(out_edges);
+    if (b > out.boundary) {
+      out.boundary = b;
+      out.boundary_argmax = submesh;
+    }
+  }
+  return out;
+}
+
+CongestionLowerBound congestion_lower_bound(const Mesh& mesh,
+                                            const RoutingProblem& problem) {
+  CongestionLowerBound out;
+  out.average = average_load_bound(mesh, problem);
+
+  // Per-dimension prefix cuts: the submeshes [0, c] x (full other dims).
+  for (int d = 0; d < mesh.dim(); ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    const std::int64_t side = mesh.side(d);
+    if (side < 2) continue;
+    std::vector<std::int64_t> src_at(static_cast<std::size_t>(side), 0);
+    std::vector<std::int64_t> dst_at(static_cast<std::size_t>(side), 0);
+    for (const Demand& demand : problem.demands) {
+      if (demand.src == demand.dst) continue;
+      ++src_at[static_cast<std::size_t>(mesh.coord(demand.src)[dd])];
+      ++dst_at[static_cast<std::size_t>(mesh.coord(demand.dst)[dd])];
+    }
+    const std::int64_t cross_section = mesh.num_nodes() / side;
+    std::int64_t src_prefix = 0;
+    std::int64_t dst_prefix = 0;
+    for (std::int64_t c = 0; c + 1 < side; ++c) {
+      src_prefix += src_at[static_cast<std::size_t>(c)];
+      dst_prefix += dst_at[static_cast<std::size_t>(c)];
+      // Packets with exactly one endpoint in the prefix must cross one of
+      // the cut's edges (on the torus the cut has two sides).
+      const std::int64_t crossing = std::abs(src_prefix - dst_prefix);
+      const std::int64_t cut_edges =
+          (mesh.torus() && side > 2) ? 2 * cross_section : cross_section;
+      const double b =
+          static_cast<double>(crossing) / static_cast<double>(cut_edges);
+      out.boundary = std::max(out.boundary, b);
+    }
+  }
+  return out;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,71 @@
+#include "analysis/trials.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "analysis/congestion.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
+                             const RoutingProblem& problem, int trials,
+                             std::uint64_t base_seed, ThreadPool* pool) {
+  OBLV_REQUIRE(trials >= 1, "need at least one trial");
+  TrialSummary summary;
+  summary.lower_bound = best_lower_bound(mesh, problem);
+
+  std::vector<double> edge_load_sums(static_cast<std::size_t>(mesh.num_edges()),
+                                     0.0);
+  std::mutex merge_mutex;
+
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    TrialSummary local;
+    std::vector<double> local_sums(static_cast<std::size_t>(mesh.num_edges()),
+                                   0.0);
+    for (std::size_t t = begin; t < end; ++t) {
+      RouteAllOptions options;
+      options.seed = base_seed + t;
+      options.meter_bits = false;
+      const std::vector<Path> paths = route_all(mesh, router, problem, options);
+      EdgeLoadMap loads(mesh);
+      loads.add_paths(paths);
+      local.congestion.add(static_cast<double>(loads.max_load()));
+      std::int64_t dilation = 0;
+      double max_stretch = 1.0;
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        dilation = std::max(dilation, paths[i].length());
+        if (problem.demands[i].src != problem.demands[i].dst) {
+          max_stretch = std::max(max_stretch, path_stretch(mesh, paths[i]));
+        }
+      }
+      local.dilation.add(static_cast<double>(dilation));
+      local.max_stretch.add(max_stretch);
+      for (EdgeId e = 0; e < mesh.num_edges(); ++e) {
+        local_sums[static_cast<std::size_t>(e)] +=
+            static_cast<double>(loads.load(e));
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    summary.congestion.merge(local.congestion);
+    summary.dilation.merge(local.dilation);
+    summary.max_stretch.merge(local.max_stretch);
+    for (std::size_t e = 0; e < edge_load_sums.size(); ++e) {
+      edge_load_sums[e] += local_sums[e];
+    }
+  };
+
+  if (pool != nullptr) {
+    parallel_for_chunks(*pool, static_cast<std::size_t>(trials), run_range);
+  } else {
+    run_range(0, static_cast<std::size_t>(trials));
+  }
+
+  for (const double sum : edge_load_sums) {
+    summary.max_expected_edge_load = std::max(
+        summary.max_expected_edge_load, sum / static_cast<double>(trials));
+  }
+  return summary;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,66 @@
+// Public facade of the library.
+//
+// Typical use:
+//
+//   using namespace oblivious;
+//   ObliviousMeshRouting system(Mesh::cube(2, 64), Algorithm::kHierarchical2d);
+//   RoutingProblem problem = transpose(system.mesh());
+//   RoutingRun run = system.route(problem, /*seed=*/7);
+//   // run.paths       : one path per packet, selected obliviously
+//   // run.metrics     : congestion, dilation, stretch, lower bound, bits
+//   SimulationResult sim = system.deliver(run.paths);
+//   // sim.makespan    : steps to deliver every packet, vs max(C, D)
+//
+// Everything the facade does is also available through the individual
+// modules (mesh/, decomposition/, routing/, workloads/, analysis/,
+// simulator/) for finer control.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluate.hpp"
+#include "mesh/mesh.hpp"
+#include "routing/registry.hpp"
+#include "simulator/simulator.hpp"
+#include "workloads/problem.hpp"
+
+namespace oblivious {
+
+struct RoutingRun {
+  std::vector<Path> paths;
+  RouteSetMetrics metrics;
+};
+
+class ObliviousMeshRouting {
+ public:
+  ObliviousMeshRouting(Mesh mesh, Algorithm algorithm);
+
+  const Mesh& mesh() const { return mesh_; }
+  const Router& router() const { return *router_; }
+  Algorithm algorithm() const { return algorithm_; }
+
+  // Selects a path for a single packet.
+  Path route_one(NodeId s, NodeId t, std::uint64_t seed) const;
+
+  // Routes a whole problem obliviously and measures path quality.
+  RoutingRun route(const RoutingProblem& problem,
+                   std::uint64_t seed = 1) const;
+
+  // Delivers a path set in the synchronous one-packet-per-edge model.
+  SimulationResult deliver(const std::vector<Path>& paths,
+                           const SimulationOptions& options = {}) const;
+
+  // route + deliver in one call.
+  SimulationResult route_and_deliver(const RoutingProblem& problem,
+                                     std::uint64_t seed = 1,
+                                     const SimulationOptions& options = {}) const;
+
+ private:
+  Mesh mesh_;
+  Algorithm algorithm_;
+  std::unique_ptr<Router> router_;
+};
+
+}  // namespace oblivious

@@ -1,0 +1,110 @@
+#include "decomposition/access_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+AccessGraph::AccessGraph(const Decomposition& decomposition)
+    : decomp_(&decomposition) {
+  const Mesh& mesh = decomp_->mesh();
+  OBLV_REQUIRE(mesh.num_nodes() <= 1 << 16,
+               "explicit access graph is for small meshes only");
+
+  const int k = decomp_->leaf_level();
+  by_level_.resize(static_cast<std::size_t>(k) + 1);
+  for (int level = 0; level <= k; ++level) {
+    decomp_->for_each_submesh(level, [&](const RegularSubmesh& sm) {
+      const int idx = static_cast<int>(nodes_.size());
+      nodes_.push_back(AccessGraphNode{sm, {}, {}});
+      by_level_[static_cast<std::size_t>(level)].push_back(idx);
+      index_.emplace(std::make_tuple(sm.level, sm.type, sm.grid_key), idx);
+    });
+  }
+
+  // Edge (u_l, u_{l+1}) exists iff the submesh of u_l completely contains
+  // the submesh of u_{l+1}.
+  for (int level = 0; level < k; ++level) {
+    for (const int pi : by_level_[static_cast<std::size_t>(level)]) {
+      for (const int ci : by_level_[static_cast<std::size_t>(level) + 1]) {
+        const Region& parent = nodes_[static_cast<std::size_t>(pi)].submesh.region;
+        const Region& child = nodes_[static_cast<std::size_t>(ci)].submesh.region;
+        if (parent.contains_region(mesh, child)) {
+          nodes_[static_cast<std::size_t>(pi)].children.push_back(ci);
+          nodes_[static_cast<std::size_t>(ci)].parents.push_back(pi);
+        }
+      }
+    }
+  }
+}
+
+std::vector<int> AccessGraph::nodes_at_level(int level) const {
+  OBLV_REQUIRE(level >= 0 && level <= decomp_->leaf_level(), "level out of range");
+  return by_level_[static_cast<std::size_t>(level)];
+}
+
+std::optional<int> AccessGraph::find(int level, int type, std::int64_t grid_key) const {
+  const auto it = index_.find(std::make_tuple(level, type, grid_key));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+int AccessGraph::leaf_of(const Coord& p) const {
+  const RegularSubmesh leaf = decomp_->type1_at(p, decomp_->leaf_level());
+  const auto idx = find(leaf.level, leaf.type, leaf.grid_key);
+  OBLV_CHECK(idx.has_value(), "leaf missing from access graph");
+  return *idx;
+}
+
+bool AccessGraph::is_ancestor(int ancestor_idx, int descendant_idx) const {
+  // Climb the unique type-1 parent chain from the descendant; the ancestor
+  // may be of any type but all intermediate nodes must be type-1
+  // (definition of a monotonic path, Section 3.2).
+  int current = descendant_idx;
+  while (true) {
+    const AccessGraphNode& node = nodes_[static_cast<std::size_t>(current)];
+    if (node.submesh.level <= 0) return false;
+    if (std::find(node.parents.begin(), node.parents.end(), ancestor_idx) !=
+        node.parents.end()) {
+      return true;
+    }
+    // Continue through the type-1 parent only.
+    int type1_parent = -1;
+    for (const int pi : node.parents) {
+      if (nodes_[static_cast<std::size_t>(pi)].submesh.type == 1) {
+        type1_parent = pi;
+        break;
+      }
+    }
+    if (type1_parent < 0) return false;
+    current = type1_parent;
+  }
+}
+
+std::vector<int> AccessGraph::bitonic_path(const Coord& s, const Coord& t) const {
+  const int k = decomp_->leaf_level();
+  const RegularSubmesh bridge = decomp_->deepest_common(s, t, true);
+  const auto bridge_idx = find(bridge.level, bridge.type, bridge.grid_key);
+  OBLV_CHECK(bridge_idx.has_value(), "bridge missing from access graph");
+
+  std::vector<int> path;
+  // Monotonic ascent from the leaf of s.
+  for (int level = k; level > bridge.level; --level) {
+    const RegularSubmesh sm = decomp_->type1_at(s, level);
+    const auto idx = find(sm.level, sm.type, sm.grid_key);
+    OBLV_CHECK(idx.has_value(), "type-1 submesh missing from access graph");
+    path.push_back(*idx);
+  }
+  path.push_back(*bridge_idx);
+  // Monotonic descent to the leaf of t.
+  for (int level = bridge.level + 1; level <= k; ++level) {
+    const RegularSubmesh sm = decomp_->type1_at(t, level);
+    const auto idx = find(sm.level, sm.type, sm.grid_key);
+    OBLV_CHECK(idx.has_value(), "type-1 submesh missing from access graph");
+    path.push_back(*idx);
+  }
+  return path;
+}
+
+}  // namespace oblivious

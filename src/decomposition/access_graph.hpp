@@ -1,0 +1,73 @@
+// Explicitly materialized access graph (Section 3.2).
+//
+// The access graph G(M) has one node per regular submesh; an edge connects
+// a level-l node to a level-(l+1) node when the larger submesh completely
+// contains the smaller one. It is *not* a tree: a submesh can have up to
+// two parents in 2D (its type-1 parent and a shifted parent), which is
+// exactly what creates the short bridge paths the paper exploits.
+//
+// This materialization is O(total submeshes) and is meant for small meshes
+// (tests, figures); the routing algorithms use the implicit
+// `Decomposition` queries instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "decomposition/decomposition.hpp"
+
+namespace oblivious {
+
+struct AccessGraphNode {
+  RegularSubmesh submesh;
+  std::vector<int> parents;   // node indices at level-1
+  std::vector<int> children;  // node indices at level+1
+};
+
+class AccessGraph {
+ public:
+  explicit AccessGraph(const Decomposition& decomposition);
+
+  const Decomposition& decomposition() const { return *decomp_; }
+  const std::vector<AccessGraphNode>& nodes() const { return nodes_; }
+  const AccessGraphNode& node(int idx) const {
+    return nodes_.at(static_cast<std::size_t>(idx));
+  }
+
+  std::vector<int> nodes_at_level(int level) const;
+
+  // Index of a node by identity, or nullopt if not in the graph.
+  std::optional<int> find(int level, int type, std::int64_t grid_key) const;
+
+  // The leaf (level k, single mesh node) containing p.
+  int leaf_of(const Coord& p) const;
+
+  // True when `ancestor_idx` is reachable from `descendant_idx` following
+  // a monotonic path (all intermediate submeshes type-1; Section 3.2).
+  bool is_ancestor(int ancestor_idx, int descendant_idx) const;
+
+  // The bitonic access-graph path between the leaves of s and t: the
+  // type-1 chain up from s, the deepest common ancestor (the bridge),
+  // and the type-1 chain down to t. Returns node indices.
+  std::vector<int> bitonic_path(const Coord& s, const Coord& t) const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::tuple<int, int, std::int64_t>& key) const {
+      const auto& [level, type, grid] = key;
+      std::size_t h = std::hash<std::int64_t>{}(grid);
+      h ^= std::hash<int>{}(level) + 0x9e3779b9U + (h << 6) + (h >> 2);
+      h ^= std::hash<int>{}(type) + 0x9e3779b9U + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  const Decomposition* decomp_;
+  std::vector<AccessGraphNode> nodes_;
+  std::vector<std::vector<int>> by_level_;
+  std::unordered_map<std::tuple<int, int, std::int64_t>, int, KeyHash> index_;
+};
+
+}  // namespace oblivious

@@ -1,0 +1,63 @@
+#include "decomposition/render.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+namespace {
+
+char symbol_for(std::size_t index) {
+  static constexpr char kSymbols[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  return kSymbols[index % (sizeof(kSymbols) - 1)];
+}
+
+}  // namespace
+
+std::string render_family(const Decomposition& decomposition, int level, int type,
+                          int dim_x, int dim_y, std::int64_t slice) {
+  const Mesh& mesh = decomposition.mesh();
+  OBLV_REQUIRE(dim_x != dim_y || mesh.dim() == 1, "need two distinct dimensions");
+  OBLV_REQUIRE(dim_x >= 0 && dim_x < mesh.dim(), "dim_x out of range");
+  OBLV_REQUIRE(mesh.dim() == 1 || (dim_y >= 0 && dim_y < mesh.dim()),
+               "dim_y out of range");
+
+  const std::int64_t side = mesh.side(0);
+  std::map<std::int64_t, std::size_t> key_to_symbol;
+  std::ostringstream os;
+  const std::int64_t rows = mesh.dim() == 1 ? 1 : side;
+  for (std::int64_t y = 0; y < rows; ++y) {
+    for (std::int64_t x = 0; x < side; ++x) {
+      Coord p;
+      p.resize(static_cast<std::size_t>(mesh.dim()), slice);
+      p[static_cast<std::size_t>(dim_x)] = x;
+      if (mesh.dim() > 1) p[static_cast<std::size_t>(dim_y)] = y;
+      const auto sm = decomposition.submesh_at(p, level, type);
+      if (!sm.has_value()) {
+        os << '.';
+        continue;
+      }
+      const auto [it, _] = key_to_symbol.emplace(sm->grid_key, key_to_symbol.size());
+      os << symbol_for(it->second);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_level(const Decomposition& decomposition, int level) {
+  std::ostringstream os;
+  for (int type = 1; type <= decomposition.num_types(level); ++type) {
+    os << "level " << level << ", type " << type
+       << " (side " << decomposition.side_at(level)
+       << ", shift " << (type - 1) * decomposition.shift_lambda(level) << "):\n";
+    os << render_family(decomposition, level, type);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace oblivious

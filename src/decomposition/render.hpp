@@ -1,0 +1,23 @@
+// ASCII rendering of the decomposition, reproducing the construction
+// figures of the paper (Figure 1: 2D type-1/type-2 levels; Figure 2: the
+// shifted type-j families of the 3-dimensional decomposition, drawn as a
+// 2D slice).
+#pragma once
+
+#include <string>
+
+#include "decomposition/decomposition.hpp"
+
+namespace oblivious {
+
+// Renders one family at one level as a character grid over a 2D slice of
+// the mesh (dimensions dim_x, dim_y; all other coordinates fixed to
+// `slice`). Every submesh gets its own letter; '.' marks nodes not covered
+// by any valid submesh of the family (discarded corners).
+std::string render_family(const Decomposition& decomposition, int level, int type,
+                          int dim_x = 0, int dim_y = 1, std::int64_t slice = 0);
+
+// Renders all families of a level, side by side descriptions.
+std::string render_level(const Decomposition& decomposition, int level);
+
+}  // namespace oblivious

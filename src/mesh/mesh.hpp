@@ -1,0 +1,100 @@
+// The d-dimensional mesh/torus network of Section 2 of the paper.
+//
+// The mesh M is a d-dimensional grid with side length m_i in dimension i
+// and a link between each pair of neighboring nodes. `Mesh` provides the
+// coordinate arithmetic every other module builds on: node <-> coordinate
+// conversion, adjacency, L1 distances (wrap-aware on the torus), a stable
+// undirected edge numbering, and boundary-edge counts out(M') for
+// submeshes (used by the boundary-congestion lower bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/types.hpp"
+
+namespace oblivious {
+
+class Region;  // defined in mesh/region.hpp
+
+class Mesh {
+ public:
+  // `sides[i]` is the number of nodes along dimension i (all >= 1).
+  // When `torus` is true every dimension wraps around.
+  explicit Mesh(std::vector<std::int64_t> sides, bool torus = false);
+
+  // Convenience factory: d dimensions of equal side length.
+  static Mesh cube(int dim, std::int64_t side, bool torus = false);
+
+  int dim() const { return static_cast<int>(sides_.size()); }
+  std::int64_t side(int d) const { return sides_[static_cast<std::size_t>(d)]; }
+  const std::vector<std::int64_t>& sides() const { return sides_; }
+  bool torus() const { return torus_; }
+  bool is_square() const;       // all sides equal
+  bool sides_power_of_two() const;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  EdgeId num_edges() const { return num_edges_; }
+
+  // --- node <-> coordinate -------------------------------------------------
+  NodeId node_id(const Coord& c) const;
+  Coord coord(NodeId id) const;
+  bool contains(const Coord& c) const;
+
+  // Canonicalizes a coordinate onto the torus (per-dimension mod side).
+  // Precondition: torus() is true, or the coordinate is already in range.
+  Coord wrap(Coord c) const;
+
+  // --- adjacency -----------------------------------------------------------
+  // Neighbor of `u` one step along dimension `d` in direction `dir` (+1/-1).
+  // Returns kInvalidNode when stepping off a non-torus boundary.
+  NodeId step(NodeId u, int d, int dir) const;
+  std::vector<NodeId> neighbors(NodeId u) const;
+  bool adjacent(NodeId a, NodeId b) const;
+
+  // --- distance ------------------------------------------------------------
+  // L1 (shortest-path) distance; uses the shorter way around on the torus.
+  std::int64_t distance(const Coord& a, const Coord& b) const;
+  std::int64_t distance(NodeId a, NodeId b) const;
+  // Per-dimension signed displacement of a shortest route from a to b
+  // (magnitude <= side/2 on the torus).
+  std::int64_t displacement(std::int64_t from, std::int64_t to, int d) const;
+  // Maximum possible distance between any two nodes.
+  std::int64_t diameter() const;
+
+  // --- edges ---------------------------------------------------------------
+  // Undirected edge between u and its +1 neighbor along dimension d.
+  // On the torus this includes the wrap edge (coordinate side-1 -> 0).
+  EdgeId edge_id(const Coord& u, int d) const;
+  // Edge between two adjacent nodes (precondition: adjacent(a,b)).
+  EdgeId edge_between(NodeId a, NodeId b) const;
+  // Inverse of the numbering: endpoints (u, v) with v = u + e_d.
+  std::pair<NodeId, NodeId> edge_endpoints(EdgeId e) const;
+  // Dimension an edge runs along.
+  int edge_dim(EdgeId e) const;
+
+  // --- submesh boundaries ----------------------------------------------------
+  // Number of edges crossing the boundary of the region: out(M') in the
+  // paper's notation (Section 2).
+  std::int64_t boundary_edge_count(const Region& r) const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<std::int64_t> sides_;
+  bool torus_;
+  NodeId num_nodes_ = 0;
+  EdgeId num_edges_ = 0;
+  // Mixed-radix strides for node_id computation: strides_[d] = prod of
+  // sides_[d+1..].
+  std::vector<std::int64_t> node_strides_;
+  // Edge numbering: edges of dimension d occupy
+  // [edge_offsets_[d], edge_offsets_[d+1]). Within a dimension, edges are
+  // indexed by the coordinate of their lower endpoint in a mixed-radix
+  // space where dimension d has radix side-1 (mesh) or side (torus).
+  std::vector<EdgeId> edge_offsets_;
+  std::vector<std::int64_t> edge_dim_radix_;  // side-1 or side, per dim
+};
+
+}  // namespace oblivious

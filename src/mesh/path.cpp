@@ -1,0 +1,61 @@
+#include "mesh/path.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mesh/mesh.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+bool is_valid_path(const Mesh& mesh, const Path& path) {
+  if (path.nodes.empty()) return false;
+  for (const NodeId u : path.nodes) {
+    if (u < 0 || u >= mesh.num_nodes()) return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    if (!mesh.adjacent(path.nodes[i], path.nodes[i + 1])) return false;
+  }
+  return true;
+}
+
+bool is_simple_path(const Path& path) {
+  std::unordered_set<NodeId> seen;
+  seen.reserve(path.nodes.size());
+  for (const NodeId u : path.nodes) {
+    if (!seen.insert(u).second) return false;
+  }
+  return true;
+}
+
+double path_stretch(const Mesh& mesh, const Path& path) {
+  OBLV_REQUIRE(!path.nodes.empty(), "stretch of an empty path");
+  const std::int64_t dist = mesh.distance(path.source(), path.destination());
+  if (dist == 0) return 1.0;
+  return static_cast<double>(path.length()) / static_cast<double>(dist);
+}
+
+Path remove_cycles(Path path) {
+  if (path.nodes.size() <= 2) return path;
+  std::vector<NodeId> out;
+  out.reserve(path.nodes.size());
+  std::unordered_map<NodeId, std::size_t> position;
+  position.reserve(path.nodes.size());
+  for (const NodeId u : path.nodes) {
+    const auto it = position.find(u);
+    if (it != position.end()) {
+      // Already visited at out[it->second]: erase the loop in between.
+      for (std::size_t i = it->second + 1; i < out.size(); ++i) {
+        position.erase(out[i]);
+      }
+      out.resize(it->second + 1);
+    } else {
+      position.emplace(u, out.size());
+      out.push_back(u);
+    }
+  }
+  path.nodes = std::move(out);
+  return path;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,43 @@
+// Packet paths and the path-quality primitives of Section 2.
+//
+// A path is the full node sequence from source to destination. The length
+// |p| is its edge count, and stretch(p) = |p| / dist(s, t).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/types.hpp"
+
+namespace oblivious {
+
+class Mesh;
+
+struct Path {
+  std::vector<NodeId> nodes;
+
+  NodeId source() const { return nodes.front(); }
+  NodeId destination() const { return nodes.back(); }
+  // Number of edges.
+  std::int64_t length() const {
+    return static_cast<std::int64_t>(nodes.size()) - 1;
+  }
+  bool empty() const { return nodes.empty(); }
+};
+
+// True when every consecutive pair of nodes is adjacent in the mesh and the
+// path is non-empty.
+bool is_valid_path(const Mesh& mesh, const Path& path);
+
+// True when no node repeats.
+bool is_simple_path(const Path& path);
+
+// stretch(p) = |p| / dist(s,t); returns 1.0 for zero-length s == t paths.
+double path_stretch(const Mesh& mesh, const Path& path);
+
+// Loop erasure: removes all cycles, preserving source and destination and
+// keeping a subsequence of the original nodes. The paper notes cycles can
+// always be removed without increasing congestion (Section 3.3).
+Path remove_cycles(Path path);
+
+}  // namespace oblivious

@@ -1,0 +1,147 @@
+#include "mesh/region.hpp"
+
+#include <sstream>
+
+#include "mesh/mesh.hpp"
+#include "rng/rng.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+Region::Region(Coord anchor, Coord extent)
+    : anchor_(std::move(anchor)), extent_(std::move(extent)) {
+  OBLV_REQUIRE(anchor_.size() == extent_.size(), "anchor/extent dimension mismatch");
+  for (std::size_t d = 0; d < extent_.size(); ++d) {
+    OBLV_REQUIRE(extent_[d] >= 1, "region extent must be >= 1");
+  }
+}
+
+Region Region::whole(const Mesh& mesh) {
+  Coord anchor;
+  Coord extent;
+  anchor.resize(static_cast<std::size_t>(mesh.dim()), 0);
+  extent.resize(static_cast<std::size_t>(mesh.dim()));
+  for (int d = 0; d < mesh.dim(); ++d) {
+    extent[static_cast<std::size_t>(d)] = mesh.side(d);
+  }
+  return Region(std::move(anchor), std::move(extent));
+}
+
+Region Region::box(Coord lo, Coord hi) {
+  OBLV_REQUIRE(lo.size() == hi.size(), "box corner dimension mismatch");
+  Coord extent;
+  extent.resize(lo.size());
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    OBLV_REQUIRE(hi[d] >= lo[d], "box needs hi >= lo");
+    extent[d] = hi[d] - lo[d] + 1;
+  }
+  return Region(std::move(lo), std::move(extent));
+}
+
+std::int64_t Region::volume() const {
+  std::int64_t v = 1;
+  for (std::size_t d = 0; d < extent_.size(); ++d) v *= extent_[d];
+  return v;
+}
+
+std::int64_t Region::max_extent() const {
+  std::int64_t m = 0;
+  for (std::size_t d = 0; d < extent_.size(); ++d) m = std::max(m, extent_[d]);
+  return m;
+}
+
+std::int64_t Region::min_extent() const {
+  std::int64_t m = extent_.empty() ? 0 : extent_[0];
+  for (std::size_t d = 0; d < extent_.size(); ++d) m = std::min(m, extent_[d]);
+  return m;
+}
+
+bool Region::contains(const Mesh& mesh, const Coord& c) const {
+  OBLV_REQUIRE(c.size() == anchor_.size(), "coordinate dimension mismatch");
+  for (int d = 0; d < dim(); ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    if (mesh.torus()) {
+      if (pos_mod(c[dd] - anchor_[dd], mesh.side(d)) >= extent_[dd]) return false;
+    } else {
+      if (c[dd] < anchor_[dd] || c[dd] >= anchor_[dd] + extent_[dd]) return false;
+    }
+  }
+  return true;
+}
+
+bool Region::contains_node(const Mesh& mesh, NodeId id) const {
+  return contains(mesh, mesh.coord(id));
+}
+
+bool Region::contains_region(const Mesh& mesh, const Region& other) const {
+  OBLV_REQUIRE(other.dim() == dim(), "region dimension mismatch");
+  for (int d = 0; d < dim(); ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    if (mesh.torus()) {
+      if (other.extent_[dd] > extent_[dd]) return false;
+      const std::int64_t off = pos_mod(other.anchor_[dd] - anchor_[dd], mesh.side(d));
+      if (off + other.extent_[dd] > extent_[dd]) return false;
+    } else {
+      if (other.anchor_[dd] < anchor_[dd] ||
+          other.anchor_[dd] + other.extent_[dd] > anchor_[dd] + extent_[dd]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Coord Region::offset_of(const Mesh& mesh, const Coord& c) const {
+  OBLV_REQUIRE(contains(mesh, c), "coordinate not inside region");
+  Coord off;
+  off.resize(anchor_.size());
+  for (int d = 0; d < dim(); ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    off[dd] = mesh.torus() ? pos_mod(c[dd] - anchor_[dd], mesh.side(d))
+                           : c[dd] - anchor_[dd];
+  }
+  return off;
+}
+
+Coord Region::coord_at(const Mesh& mesh, const Coord& offset) const {
+  OBLV_REQUIRE(offset.size() == anchor_.size(), "offset dimension mismatch");
+  Coord c;
+  c.resize(anchor_.size());
+  for (int d = 0; d < dim(); ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    OBLV_REQUIRE(offset[dd] >= 0 && offset[dd] < extent_[dd], "offset out of range");
+    c[dd] = anchor_[dd] + offset[dd];
+    if (mesh.torus()) c[dd] = pos_mod(c[dd], mesh.side(d));
+  }
+  OBLV_CHECK(mesh.contains(c), "region node escapes the mesh");
+  return c;
+}
+
+Coord Region::random_coord(const Mesh& mesh, Rng& rng) const {
+  Coord off;
+  off.resize(anchor_.size());
+  for (std::size_t d = 0; d < extent_.size(); ++d) {
+    off[d] = static_cast<std::int64_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(extent_[d])));
+  }
+  return coord_at(mesh, off);
+}
+
+NodeId Region::random_node(const Mesh& mesh, Rng& rng) const {
+  return mesh.node_id(random_coord(mesh, rng));
+}
+
+std::string Region::describe() const {
+  std::ostringstream os;
+  os << "[";
+  for (int d = 0; d < dim(); ++d) {
+    if (d > 0) os << ",";
+    os << anchor_[static_cast<std::size_t>(d)] << "+"
+       << extent_[static_cast<std::size_t>(d)];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace oblivious

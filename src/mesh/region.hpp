@@ -1,0 +1,74 @@
+// An axis-aligned submesh, possibly wrapping around on the torus.
+//
+// Regular submeshes of the hierarchical decomposition are represented as an
+// anchor (the node with the smallest coordinate, canonicalized into the
+// mesh) plus a per-dimension extent. On the torus a region may wrap; on the
+// plain mesh anchors are always in range so a region is an ordinary box.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mesh/types.hpp"
+
+namespace oblivious {
+
+class Mesh;
+class Rng;
+
+class Region {
+ public:
+  Region() = default;
+  Region(Coord anchor, Coord extent);
+
+  // Full mesh as a region.
+  static Region whole(const Mesh& mesh);
+
+  // Box [lo, hi] inclusive (no wrapping).
+  static Region box(Coord lo, Coord hi);
+
+  const Coord& anchor() const { return anchor_; }
+  const Coord& extent() const { return extent_; }
+  int dim() const { return static_cast<int>(anchor_.size()); }
+  std::int64_t extent_at(int d) const { return extent_[static_cast<std::size_t>(d)]; }
+  std::int64_t anchor_at(int d) const { return anchor_[static_cast<std::size_t>(d)]; }
+
+  // Number of nodes in the region.
+  std::int64_t volume() const;
+
+  // Largest and smallest side length.
+  std::int64_t max_extent() const;
+  std::int64_t min_extent() const;
+
+  // True when the coordinate lies inside the region (wrap-aware).
+  bool contains(const Mesh& mesh, const Coord& c) const;
+  bool contains_node(const Mesh& mesh, NodeId id) const;
+
+  // True when `other` is completely inside this region.
+  bool contains_region(const Mesh& mesh, const Region& other) const;
+
+  // Per-dimension offset of `c` from the anchor, in [0, extent) (wrap-aware).
+  // Precondition: contains(mesh, c).
+  Coord offset_of(const Mesh& mesh, const Coord& c) const;
+
+  // Coordinate at the given offset from the anchor (wrap-aware).
+  Coord coord_at(const Mesh& mesh, const Coord& offset) const;
+
+  // Uniformly random node of the region. Charges ceil(log2(extent)) bits
+  // per dimension through the rng's meter.
+  Coord random_coord(const Mesh& mesh, Rng& rng) const;
+  NodeId random_node(const Mesh& mesh, Rng& rng) const;
+
+  bool operator==(const Region& other) const {
+    return anchor_ == other.anchor_ && extent_ == other.extent_;
+  }
+  bool operator!=(const Region& other) const { return !(*this == other); }
+
+  std::string describe() const;
+
+ private:
+  Coord anchor_;
+  Coord extent_;
+};
+
+}  // namespace oblivious

@@ -1,0 +1,23 @@
+// Fundamental identifier and coordinate types for the mesh substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "util/small_vec.hpp"
+
+namespace oblivious {
+
+// Linear node index in [0, n).
+using NodeId = std::int64_t;
+
+// Linear undirected edge index in [0, E).
+using EdgeId = std::int64_t;
+
+// A d-dimensional integer coordinate. Inline up to 8 dimensions, which
+// covers every experiment in the paper (d is a small constant).
+using Coord = SmallVec<std::int64_t, 8>;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+}  // namespace oblivious

@@ -1,0 +1,96 @@
+#include "offline/greedy.hpp"
+
+#include <algorithm>
+
+#include "routing/staircase.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+namespace {
+
+// Edge ids of a path (paths here are short; recomputing is cheap enough).
+std::vector<EdgeId> edges_of(const Mesh& mesh, const Path& path) {
+  std::vector<EdgeId> edges;
+  edges.reserve(static_cast<std::size_t>(path.length()));
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    edges.push_back(mesh.edge_between(path.nodes[i], path.nodes[i + 1]));
+  }
+  return edges;
+}
+
+}  // namespace
+
+OfflineResult offline_route(const Mesh& mesh, const RoutingProblem& problem,
+                            const OfflineOptions& options) {
+  OBLV_REQUIRE(options.max_rounds >= 1, "need at least one round");
+  OBLV_REQUIRE(options.candidates_per_packet >= 1, "need candidates");
+
+  const RandomStaircaseRouter sampler(mesh);
+  Rng rng(options.seed);
+
+  OfflineResult result;
+  result.paths.reserve(problem.size());
+  std::vector<std::vector<EdgeId>> path_edges(problem.size());
+  std::vector<std::int64_t> load(static_cast<std::size_t>(mesh.num_edges()), 0);
+
+  // Initial assignment: independent random staircase paths.
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    const Demand& demand = problem.demands[i];
+    result.paths.push_back(sampler.route(demand.src, demand.dst, rng));
+    path_edges[i] = edges_of(mesh, result.paths[i]);
+    for (const EdgeId e : path_edges[i]) ++load[static_cast<std::size_t>(e)];
+  }
+
+  // Best-response sweeps: each packet switches to the cheapest candidate
+  // under the marginal potential cost sum (2 load + 1). The potential
+  // sum_e load^2 strictly decreases on every switch, so this terminates.
+  const auto marginal_cost = [&](const std::vector<EdgeId>& edges) {
+    std::int64_t cost = 0;
+    for (const EdgeId e : edges) {
+      cost += 2 * load[static_cast<std::size_t>(e)] + 1;
+    }
+    return cost;
+  };
+
+  for (result.rounds = 0; result.rounds < options.max_rounds; ++result.rounds) {
+    bool any_switch = false;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      const Demand& demand = problem.demands[i];
+      if (demand.src == demand.dst) continue;
+      // Remove this packet's contribution, then compare candidates.
+      for (const EdgeId e : path_edges[i]) --load[static_cast<std::size_t>(e)];
+      std::int64_t best_cost = marginal_cost(path_edges[i]);
+      Path best_path;  // empty: keep current
+      std::vector<EdgeId> best_edges;
+      for (int c = 0; c < options.candidates_per_packet; ++c) {
+        Path candidate = sampler.route(demand.src, demand.dst, rng);
+        std::vector<EdgeId> candidate_edges = edges_of(mesh, candidate);
+        const std::int64_t cost = marginal_cost(candidate_edges);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_path = std::move(candidate);
+          best_edges = std::move(candidate_edges);
+        }
+      }
+      if (!best_path.nodes.empty()) {
+        result.paths[i] = std::move(best_path);
+        path_edges[i] = std::move(best_edges);
+        ++result.total_switches;
+        any_switch = true;
+      }
+      for (const EdgeId e : path_edges[i]) ++load[static_cast<std::size_t>(e)];
+    }
+    if (!any_switch) {
+      result.converged = true;
+      ++result.rounds;
+      break;
+    }
+  }
+
+  result.congestion =
+      load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  return result;
+}
+
+}  // namespace oblivious

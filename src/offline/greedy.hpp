@@ -1,0 +1,45 @@
+// Offline (non-oblivious) congestion minimization, the comparator class
+// the paper measures its competitive ratio against.
+//
+// The paper argues (Section 1, Related Work [1, 2, 12, 13]) that offline
+// algorithms with full knowledge of the traffic achieve near-optimal
+// C + D but "do not scale" -- and that on the mesh, oblivious routing is
+// within a logarithmic factor of their performance. To measure that gap
+// we implement best-response dynamics in the congestion game whose
+// potential is sum_e load(e)^2: packets repeatedly switch to a candidate
+// shortest path minimizing the marginal congestion cost
+// sum_e (2 load(e) + 1). The potential strictly decreases with every
+// switch, so the dynamics converge to a pure Nash equilibrium whose
+// max-load is a strong offline upper-bound estimate of C*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "workloads/problem.hpp"
+
+namespace oblivious {
+
+struct OfflineOptions {
+  int max_rounds = 32;            // full best-response sweeps
+  int candidates_per_packet = 8;  // sampled alternative shortest paths
+  std::uint64_t seed = 1;
+};
+
+struct OfflineResult {
+  std::vector<Path> paths;
+  std::int64_t congestion = 0;  // max edge load at termination
+  int rounds = 0;               // sweeps executed
+  bool converged = false;       // no packet moved in the last sweep
+  std::int64_t total_switches = 0;
+};
+
+// Routes `problem` offline. All paths are shortest paths (stretch 1);
+// the returned congestion is an upper bound on C* and usually very close
+// to the boundary lower bound.
+OfflineResult offline_route(const Mesh& mesh, const RoutingProblem& problem,
+                            const OfflineOptions& options = {});
+
+}  // namespace oblivious

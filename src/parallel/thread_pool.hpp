@@ -1,0 +1,54 @@
+// A small fixed-size thread pool plus a chunked parallel_for.
+//
+// The Monte Carlo sweeps in the benchmark harnesses are embarrassingly
+// parallel over trials; on a single-core host everything degrades to a
+// serial loop with no thread overhead (the pool is bypassed when it has
+// zero workers or one chunk).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oblivious {
+
+class ThreadPool {
+ public:
+  // `num_threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task; tasks must not throw (violations call std::terminate
+  // via the worker loop's noexcept boundary).
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Splits [0, count) into chunks and runs `body(begin, end)` on the pool
+// (or inline when the pool has <= 1 worker). Blocks until complete.
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace oblivious

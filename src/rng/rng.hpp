@@ -1,0 +1,155 @@
+// Deterministic random number generation with information-theoretic bit
+// metering.
+//
+// Section 5 of the paper bounds the number of random *bits* a near-optimal
+// oblivious algorithm must consume per packet, and Section 5.3 shows the
+// paper's algorithm needs only O(d log(D d)) of them. To reproduce those
+// experiments every random draw in the library flows through `Rng`, which
+// can be attached to a `BitMeter` that charges ceil(log2(m)) bits for a
+// uniform draw from m alternatives (the information content of the choice,
+// matching the paper's accounting for a kappa-choice algorithm).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+#include "util/small_vec.hpp"
+
+namespace oblivious {
+
+// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function used
+// to derive decorrelated seeds (per-packet streams, per-pair tables).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Accumulates the number of random bits charged by an attached Rng.
+struct BitMeter {
+  std::uint64_t bits = 0;
+  std::uint64_t draws = 0;
+
+  void reset() {
+    bits = 0;
+    draws = 0;
+  }
+};
+
+// xoshiro256++ engine seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state; this is the
+    // initialization recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Raw engine output; NOT metered (metering happens in the typed draws).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  void attach_meter(BitMeter* meter) { meter_ = meter; }
+  BitMeter* meter() const { return meter_; }
+
+  // `n` uniformly random bits, n in [0, 64]. Charges n bits.
+  std::uint64_t bits(int n) {
+    OBLV_REQUIRE(n >= 0 && n <= 64, "bits() takes n in [0,64]");
+    if (n == 0) return 0;
+    charge(n);
+    return next_u64() >> (64 - n);
+  }
+
+  // Uniform in [0, bound), unbiased (rejection sampling on the top bits).
+  // Charges ceil(log2(bound)) bits -- the information content of the draw;
+  // a draw from a single alternative is free.
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    OBLV_REQUIRE(bound >= 1, "uniform_below needs bound >= 1");
+    if (bound == 1) return 0;
+    const int nbits = ceil_log2(bound);
+    charge(nbits);
+    // Draw nbits-wide values until one lands below bound. Expected < 2 draws.
+    for (;;) {
+      const std::uint64_t v = next_u64() >> (64 - nbits);
+      if (v < bound) return v;
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    OBLV_REQUIRE(lo <= hi, "uniform_range needs lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    uniform_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  double uniform_double() {
+    // 53-bit mantissa in [0,1). Metered as 53 bits.
+    charge(53);
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool coin() { return bits(1) != 0; }
+
+  // Fisher-Yates permutation of {0, ..., n-1}; charges the bits of each swap
+  // index draw (~log2(n!) total).
+  SmallVec<int, 8> random_permutation(int n) {
+    OBLV_REQUIRE(n >= 0, "permutation size must be non-negative");
+    SmallVec<int, 8> perm;
+    perm.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+    }
+    return perm;
+  }
+
+  template <typename T>
+  void shuffle(T* data, std::size_t n) {
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = uniform_below(i);
+      std::swap(data[i - 1], data[j]);
+    }
+  }
+
+  // Derives an independent child generator (for per-packet streams).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  void charge(int nbits) {
+    if (meter_ != nullptr) {
+      meter_->bits += static_cast<std::uint64_t>(nbits);
+      ++meter_->draws;
+    }
+  }
+
+  std::uint64_t state_[4] = {};
+  BitMeter* meter_ = nullptr;
+};
+
+}  // namespace oblivious

@@ -1,0 +1,43 @@
+#include "routing/baselines.hpp"
+
+#include "routing/one_bend.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+Path DimensionOrderRouter::route(NodeId s, NodeId t, Rng& /*rng*/) const {
+  Path path;
+  path.nodes.push_back(s);
+  const auto order = identity_order(mesh_->dim());
+  append_dim_order_path(*mesh_, mesh_->coord(s), mesh_->coord(t),
+                        std::span<const int>(order.data(), order.size()), path);
+  return path;
+}
+
+Path RandomDimOrderRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  Path path;
+  path.nodes.push_back(s);
+  const auto order = rng.random_permutation(mesh_->dim());
+  append_dim_order_path(*mesh_, mesh_->coord(s), mesh_->coord(t),
+                        std::span<const int>(order.data(), order.size()), path);
+  return path;
+}
+
+Path ValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  if (s == t) return Path{{s}};
+  Path path;
+  path.nodes.push_back(s);
+  const Coord cs = mesh_->coord(s);
+  const Coord ct = mesh_->coord(t);
+  const Region whole = Region::whole(*mesh_);
+  const Coord mid = whole.random_coord(*mesh_, rng);
+  const auto order1 = rng.random_permutation(mesh_->dim());
+  append_dim_order_path(*mesh_, cs, mid,
+                        std::span<const int>(order1.data(), order1.size()), path);
+  const auto order2 = rng.random_permutation(mesh_->dim());
+  append_dim_order_path(*mesh_, mid, ct,
+                        std::span<const int>(order2.data(), order2.size()), path);
+  return path;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,220 @@
+#include "routing/hierarchical.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "routing/one_bend.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+namespace {
+
+// Connects the waypoints of a bitonic chain. `chain` holds the regions of
+// the bitonic access-graph path (ascent over s, bridge, descent over t) and
+// `up_count` how many of them belong to the ascent; waypoint i is drawn in
+// chain[i] and the subpath to it stays inside the *enclosing* region --
+// chain[i] while ascending (it contains the previous, smaller region) and
+// chain[i-1] while descending. The final leg runs to t inside the last
+// chain region.
+Path connect_chain(const Mesh& mesh, const std::vector<Region>& chain,
+                   std::size_t up_count, const Coord& cs, const Coord& ct,
+                   NodeId s,
+                   const std::function<Coord(const Region&, std::size_t)>& waypoint,
+                   const std::function<SmallVec<int, 8>(std::size_t)>& order_for) {
+  OBLV_CHECK(!chain.empty(), "bitonic chain cannot be empty");
+  Path path;
+  path.nodes.push_back(s);
+  Coord cur = cs;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Coord nxt = waypoint(chain[i], i);
+    const Region& enclosing = (i <= up_count) ? chain[i] : chain[i - 1];
+    const auto order = order_for(i);
+    append_path_in_region(mesh, enclosing, cur, nxt,
+                          std::span<const int>(order.data(), order.size()), path);
+    cur = nxt;
+  }
+  const auto order = order_for(chain.size());
+  append_path_in_region(mesh, chain.back(), cur, ct,
+                        std::span<const int>(order.data(), order.size()), path);
+  return path;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AncestorRouter (Section 3)
+// ---------------------------------------------------------------------------
+
+AncestorRouter::AncestorRouter(const Mesh& mesh, Hierarchy hierarchy)
+    : mesh_(&mesh),
+      decomp_(mesh, DecompositionConfig::section3()),
+      hierarchy_(hierarchy) {}
+
+std::string AncestorRouter::name() const {
+  return hierarchy_ == Hierarchy::kAccessTree ? "access-tree" : "hierarchical-2d";
+}
+
+RegularSubmesh AncestorRouter::bridge_for(NodeId s, NodeId t) const {
+  return decomp_.deepest_common(mesh_->coord(s), mesh_->coord(t),
+                                hierarchy_ == Hierarchy::kAccessGraph);
+}
+
+Path AncestorRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  if (s == t) return Path{{s}};
+  const Coord cs = mesh_->coord(s);
+  const Coord ct = mesh_->coord(t);
+  const int k = decomp_.leaf_level();
+  const RegularSubmesh bridge =
+      decomp_.deepest_common(cs, ct, hierarchy_ == Hierarchy::kAccessGraph);
+  OBLV_CHECK(bridge.level < k, "distinct nodes cannot share a leaf submesh");
+
+  // Bitonic chain: type-1 ancestors of s at levels k-1 .. bridge.level+1,
+  // the bridge, then type-1 ancestors of t back down.
+  std::vector<Region> chain;
+  chain.reserve(static_cast<std::size_t>(2 * (k - bridge.level)) + 1);
+  for (int level = k - 1; level > bridge.level; --level) {
+    chain.push_back(decomp_.type1_at(cs, level).region);
+  }
+  const std::size_t up_count = chain.size();
+  chain.push_back(bridge.region);
+  for (int level = bridge.level + 1; level <= k - 1; ++level) {
+    chain.push_back(decomp_.type1_at(ct, level).region);
+  }
+
+  return connect_chain(
+      *mesh_, chain, up_count, cs, ct, s,
+      [&](const Region& region, std::size_t) {
+        return region.random_coord(*mesh_, rng);
+      },
+      [&](std::size_t) { return rng.random_permutation(mesh_->dim()); });
+}
+
+// ---------------------------------------------------------------------------
+// NdRouter (Section 4)
+// ---------------------------------------------------------------------------
+
+NdRouter::NdRouter(const Mesh& mesh, RandomnessMode mode,
+                   BridgeHeightMode bridge_mode)
+    : mesh_(&mesh),
+      decomp_(Decomposition::section4(mesh)),
+      mode_(mode),
+      bridge_mode_(bridge_mode) {}
+
+std::string NdRouter::name() const {
+  return mode_ == RandomnessMode::kNaive ? "hierarchical-nd"
+                                         : "hierarchical-nd-frugal";
+}
+
+std::pair<int, int> NdRouter::heights_for(NodeId s, NodeId t) const {
+  const std::int64_t dist = mesh_->distance(s, t);
+  OBLV_REQUIRE(dist > 0, "heights are defined for distinct nodes");
+  const int k = decomp_.leaf_level();
+  const int d = mesh_->dim();
+  // Deepest level with side >= 2(d+1) dist has height h; the bridge sits
+  // one height above (Section 4.1).
+  const int h = ceil_log2(2 * static_cast<std::uint64_t>(d + 1) *
+                          static_cast<std::uint64_t>(dist));
+  const int lift = bridge_mode_ == BridgeHeightMode::kPrescribed ? 1 : 0;
+  const int bridge_height = std::min(h + lift, k);
+  const int m1_height =
+      std::min(floor_log2(static_cast<std::uint64_t>(dist)), bridge_height - 1);
+  return {std::max(m1_height, 0), bridge_height};
+}
+
+RegularSubmesh NdRouter::find_bridge(const Coord& cs, const Coord& ct,
+                                     int m1_level, int bridge_level) const {
+  const RegularSubmesh m1 = decomp_.type1_at(cs, m1_level);
+  const RegularSubmesh m3 = decomp_.type1_at(ct, m1_level);
+  // Lemma 4.1: at the prescribed level one of the shifted families
+  // contains the bounding box of s and t (and, by grid alignment, the
+  // whole of M1 and M3). Near the boundary of a non-torus mesh truncation
+  // can defeat a family, so fall upward until a containing submesh is
+  // found; the root always works.
+  for (int level = bridge_level; level >= 0; --level) {
+    for (int type = 1; type <= decomp_.num_types(level); ++type) {
+      const auto sm = decomp_.submesh_at(cs, level, type);
+      if (!sm.has_value()) continue;
+      if (sm->region.contains_region(*mesh_, m1.region) &&
+          sm->region.contains_region(*mesh_, m3.region)) {
+        return *sm;
+      }
+    }
+  }
+  OBLV_CHECK(false, "the root submesh contains everything");
+}
+
+RegularSubmesh NdRouter::bridge_for(NodeId s, NodeId t) const {
+  const auto [m1_height, bridge_height] = heights_for(s, t);
+  const int k = decomp_.leaf_level();
+  return find_bridge(mesh_->coord(s), mesh_->coord(t), k - m1_height,
+                     k - bridge_height);
+}
+
+Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  if (s == t) return Path{{s}};
+  const Coord cs = mesh_->coord(s);
+  const Coord ct = mesh_->coord(t);
+  const int k = decomp_.leaf_level();
+  const int d = mesh_->dim();
+  const auto [m1_height, bridge_height] = heights_for(s, t);
+
+  const RegularSubmesh bridge =
+      find_bridge(cs, ct, k - m1_height, k - bridge_height);
+
+  // Chain: ascent over s at heights 1..m1_height, the bridge, descent over
+  // t at heights m1_height..1.
+  std::vector<Region> chain;
+  chain.reserve(static_cast<std::size_t>(2 * m1_height) + 1);
+  for (int height = 1; height <= m1_height; ++height) {
+    chain.push_back(decomp_.type1_at(cs, k - height).region);
+  }
+  const std::size_t up_count = chain.size();
+  chain.push_back(bridge.region);
+  for (int height = m1_height; height >= 1; --height) {
+    chain.push_back(decomp_.type1_at(ct, k - height).region);
+  }
+
+  if (mode_ == RandomnessMode::kNaive) {
+    return connect_chain(
+        *mesh_, chain, up_count, cs, ct, s,
+        [&](const Region& region, std::size_t) {
+          return region.random_coord(*mesh_, rng);
+        },
+        [&](std::size_t) { return rng.random_permutation(d); });
+  }
+
+  // Frugal mode (Section 5.3): one dimension order for the whole path and
+  // two random coordinate vectors v1, v2 drawn once at the bridge scale;
+  // smaller submeshes reuse their low-order bits, alternating between v1
+  // and v2 so that the two endpoints of every subpath stay independent.
+  const auto order = rng.random_permutation(d);
+  const int bh = decomp_.height_of(bridge.level);
+  Coord v1;
+  Coord v2;
+  v1.resize(static_cast<std::size_t>(d));
+  v2.resize(static_cast<std::size_t>(d));
+  for (std::size_t dd = 0; dd < static_cast<std::size_t>(d); ++dd) {
+    v1[dd] = static_cast<std::int64_t>(rng.bits(bh));
+    v2[dd] = static_cast<std::int64_t>(rng.bits(bh));
+  }
+  return connect_chain(
+      *mesh_, chain, up_count, cs, ct, s,
+      [&](const Region& region, std::size_t i) {
+        const Coord& v = (i % 2 == 0) ? v1 : v2;
+        Coord off;
+        off.resize(static_cast<std::size_t>(d));
+        for (std::size_t dd = 0; dd < static_cast<std::size_t>(d); ++dd) {
+          // Extents are powers of two except for truncated bridges, where
+          // the modulo introduces a mild bias that does not affect the
+          // congestion guarantee (truncated submeshes border the mesh).
+          off[dd] = v[dd] % region.extent()[dd];
+        }
+        return region.coord_at(*mesh_, off);
+      },
+      [&](std::size_t) { return order; });
+}
+
+}  // namespace oblivious

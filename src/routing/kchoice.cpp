@@ -1,0 +1,42 @@
+#include "routing/kchoice.hpp"
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+KChoiceRouter::KChoiceRouter(std::unique_ptr<Router> inner, int kappa,
+                             std::uint64_t table_seed)
+    : inner_(std::move(inner)), kappa_(kappa), table_seed_(table_seed) {
+  OBLV_REQUIRE(inner_ != nullptr, "inner router required");
+  OBLV_REQUIRE(kappa_ >= 1, "kappa must be >= 1");
+}
+
+std::uint64_t KChoiceRouter::pair_seed(NodeId s, NodeId t, int index) const {
+  std::uint64_t x = table_seed_;
+  x = splitmix64(x ^ static_cast<std::uint64_t>(s));
+  x = splitmix64(x ^ static_cast<std::uint64_t>(t));
+  x = splitmix64(x ^ static_cast<std::uint64_t>(index));
+  return x;
+}
+
+Path KChoiceRouter::alternative(NodeId s, NodeId t, int index) const {
+  OBLV_REQUIRE(index >= 0 && index < kappa_, "alternative index out of range");
+  // The alternative table is fixed: the inner router's randomness comes
+  // from a deterministic per-(pair, index) seed and is NOT charged to the
+  // packet's bit budget -- the table is part of the algorithm description,
+  // exactly as in the Section 5 model.
+  Rng inner_rng(pair_seed(s, t, index));
+  return inner_->route(s, t, inner_rng);
+}
+
+Path KChoiceRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  const int index =
+      static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(kappa_)));
+  return alternative(s, t, index);
+}
+
+std::string KChoiceRouter::name() const {
+  return inner_->name() + "-k" + std::to_string(kappa_);
+}
+
+}  // namespace oblivious

@@ -1,0 +1,75 @@
+#include "routing/one_bend.hpp"
+
+#include <cstdlib>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+namespace {
+
+// Walks `steps` unit moves along dimension d in direction dir, appending
+// each visited node. `cur` is updated in place and kept canonical.
+void walk(const Mesh& mesh, Coord& cur, int d, int dir, std::int64_t steps,
+          Path& path) {
+  const std::size_t dd = static_cast<std::size_t>(d);
+  for (std::int64_t i = 0; i < steps; ++i) {
+    cur[dd] += dir;
+    if (mesh.torus()) cur[dd] = pos_mod(cur[dd], mesh.side(d));
+    OBLV_CHECK(cur[dd] >= 0 && cur[dd] < mesh.side(d),
+               "dimension-order walk left the mesh");
+    path.nodes.push_back(mesh.node_id(cur));
+  }
+}
+
+}  // namespace
+
+void append_dim_order_path(const Mesh& mesh, const Coord& from, const Coord& to,
+                           std::span<const int> order, Path& path) {
+  OBLV_REQUIRE(!path.nodes.empty() && path.nodes.back() == mesh.node_id(from),
+               "path must currently end at `from`");
+  OBLV_REQUIRE(order.size() == static_cast<std::size_t>(mesh.dim()),
+               "order must cover every dimension");
+  Coord cur = from;
+  for (const int d : order) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    const std::int64_t delta = mesh.displacement(cur[dd], to[dd], d);
+    if (delta != 0) {
+      walk(mesh, cur, d, delta > 0 ? 1 : -1, std::abs(delta), path);
+    }
+  }
+  OBLV_CHECK(path.nodes.back() == mesh.node_id(to), "walk missed the target");
+}
+
+void append_path_in_region(const Mesh& mesh, const Region& region,
+                           const Coord& from, const Coord& to,
+                           std::span<const int> order, Path& path) {
+  OBLV_REQUIRE(!path.nodes.empty() && path.nodes.back() == mesh.node_id(from),
+               "path must currently end at `from`");
+  OBLV_REQUIRE(order.size() == static_cast<std::size_t>(mesh.dim()),
+               "order must cover every dimension");
+  const Coord off_from = region.offset_of(mesh, from);
+  const Coord off_to = region.offset_of(mesh, to);
+  Coord cur = from;
+  for (const int d : order) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    // Move monotonically in offset space: stays inside the region even
+    // when the region wraps around the torus.
+    const std::int64_t delta = off_to[dd] - off_from[dd];
+    if (delta != 0) {
+      walk(mesh, cur, d, delta > 0 ? 1 : -1, std::abs(delta), path);
+    }
+  }
+  OBLV_CHECK(path.nodes.back() == mesh.node_id(to), "walk missed the target");
+}
+
+SmallVec<int, 8> identity_order(int dim) {
+  OBLV_REQUIRE(dim >= 1, "dimension must be >= 1");
+  SmallVec<int, 8> order;
+  order.resize(static_cast<std::size_t>(dim));
+  for (int d = 0; d < dim; ++d) order[static_cast<std::size_t>(d)] = d;
+  return order;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,88 @@
+#include "routing/registry.hpp"
+
+#include "routing/baselines.hpp"
+#include "routing/bounded_valiant.hpp"
+#include "routing/hierarchical.hpp"
+#include "routing/staircase.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kEcube,          Algorithm::kRandomDimOrder,
+          Algorithm::kStaircase,      Algorithm::kValiant,
+          Algorithm::kBoundedValiant,
+          Algorithm::kAccessTree,     Algorithm::kHierarchical2d,
+          Algorithm::kHierarchicalNd, Algorithm::kHierarchicalNdFrugal};
+}
+
+std::vector<Algorithm> algorithms_for(const Mesh& mesh) {
+  std::vector<Algorithm> out = {Algorithm::kEcube, Algorithm::kRandomDimOrder,
+                                Algorithm::kStaircase, Algorithm::kValiant,
+                                Algorithm::kBoundedValiant};
+  if (mesh.is_square() && mesh.sides_power_of_two()) {
+    out.insert(out.end(),
+               {Algorithm::kAccessTree, Algorithm::kHierarchical2d,
+                Algorithm::kHierarchicalNd, Algorithm::kHierarchicalNdFrugal});
+  }
+  return out;
+}
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kEcube:
+      return "ecube";
+    case Algorithm::kRandomDimOrder:
+      return "random-dim-order";
+    case Algorithm::kStaircase:
+      return "staircase";
+    case Algorithm::kValiant:
+      return "valiant";
+    case Algorithm::kBoundedValiant:
+      return "bounded-valiant";
+    case Algorithm::kAccessTree:
+      return "access-tree";
+    case Algorithm::kHierarchical2d:
+      return "hierarchical-2d";
+    case Algorithm::kHierarchicalNd:
+      return "hierarchical-nd";
+    case Algorithm::kHierarchicalNdFrugal:
+      return "hierarchical-nd-frugal";
+  }
+  OBLV_CHECK(false, "unknown algorithm");
+}
+
+std::optional<Algorithm> algorithm_from_name(const std::string& name) {
+  for (const Algorithm a : all_algorithms()) {
+    if (algorithm_name(a) == name) return a;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Router> make_router(Algorithm algorithm, const Mesh& mesh) {
+  switch (algorithm) {
+    case Algorithm::kEcube:
+      return std::make_unique<DimensionOrderRouter>(mesh);
+    case Algorithm::kRandomDimOrder:
+      return std::make_unique<RandomDimOrderRouter>(mesh);
+    case Algorithm::kStaircase:
+      return std::make_unique<RandomStaircaseRouter>(mesh);
+    case Algorithm::kValiant:
+      return std::make_unique<ValiantRouter>(mesh);
+    case Algorithm::kBoundedValiant:
+      return std::make_unique<BoundedValiantRouter>(mesh);
+    case Algorithm::kAccessTree:
+      return std::make_unique<AncestorRouter>(mesh,
+                                              AncestorRouter::Hierarchy::kAccessTree);
+    case Algorithm::kHierarchical2d:
+      return std::make_unique<AncestorRouter>(
+          mesh, AncestorRouter::Hierarchy::kAccessGraph);
+    case Algorithm::kHierarchicalNd:
+      return std::make_unique<NdRouter>(mesh, NdRouter::RandomnessMode::kNaive);
+    case Algorithm::kHierarchicalNdFrugal:
+      return std::make_unique<NdRouter>(mesh, NdRouter::RandomnessMode::kFrugal);
+  }
+  OBLV_CHECK(false, "unknown algorithm");
+}
+
+}  // namespace oblivious

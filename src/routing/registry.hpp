@@ -1,0 +1,40 @@
+// Name-based factory over every routing algorithm in the library, used by
+// the benchmark harnesses, the examples, and the core facade.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "routing/router.hpp"
+
+namespace oblivious {
+
+enum class Algorithm {
+  kEcube,                 // deterministic dimension-order (baseline)
+  kRandomDimOrder,        // random-order one-bend (baseline)
+  kStaircase,             // uniform random shortest path (baseline)
+  kValiant,               // Valiant-Brebner random intermediate (baseline)
+  kBoundedValiant,        // Valiant restricted to the bounding box (baseline)
+  kAccessTree,            // Maggs et al. type-1 hierarchy (baseline)
+  kHierarchical2d,        // the paper's Section 3 algorithm
+  kHierarchicalNd,        // the paper's Section 4 algorithm
+  kHierarchicalNdFrugal,  // Section 4 + Section 5.3 bit recycling
+};
+
+// All algorithms, in presentation order.
+std::vector<Algorithm> all_algorithms();
+
+// Algorithms applicable to the given mesh (the hierarchical ones need a
+// square power-of-two mesh).
+std::vector<Algorithm> algorithms_for(const Mesh& mesh);
+
+std::string algorithm_name(Algorithm algorithm);
+std::optional<Algorithm> algorithm_from_name(const std::string& name);
+
+// Creates a router; throws std::invalid_argument when the mesh does not
+// meet the algorithm's requirements.
+std::unique_ptr<Router> make_router(Algorithm algorithm, const Mesh& mesh);
+
+}  // namespace oblivious

@@ -1,0 +1,35 @@
+// Oblivious path-selection interface.
+//
+// A router is *oblivious*: the path for a packet depends only on its own
+// source, destination, and private random bits -- never on other packets
+// (Section 1). Implementations must therefore be callable independently
+// per packet, which also makes them trivially parallel.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "rng/rng.hpp"
+
+namespace oblivious {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  // Selects a path from s to t. The same (s, t, rng state) always yields
+  // the same path; randomized routers draw all their randomness from `rng`
+  // so that attaching a BitMeter measures their per-packet bit consumption.
+  virtual Path route(NodeId s, NodeId t, Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+
+  // True for kappa = 1 algorithms (Section 5: a deterministic algorithm
+  // fixes the path given source and destination).
+  virtual bool deterministic() const { return false; }
+};
+
+}  // namespace oblivious

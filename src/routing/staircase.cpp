@@ -1,0 +1,54 @@
+#include "routing/staircase.hpp"
+
+#include <cstdlib>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+Path RandomStaircaseRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  Path path;
+  path.nodes.push_back(s);
+  Coord cur = mesh_->coord(s);
+  const Coord target = mesh_->coord(t);
+
+  // Remaining signed displacement per dimension (torus-aware shortest).
+  SmallVec<std::int64_t, 8> remaining;
+  remaining.resize(cur.size());
+  std::int64_t total = 0;
+  for (int d = 0; d < mesh_->dim(); ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    remaining[dd] = mesh_->displacement(cur[dd], target[dd], d);
+    total += std::abs(remaining[dd]);
+  }
+
+  while (total > 0) {
+    // Pick the dimension with probability proportional to its remaining
+    // distance: sequentially uniform over all monotone shortest paths.
+    std::int64_t pick = static_cast<std::int64_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(total)));
+    int dim = 0;
+    for (int d = 0; d < mesh_->dim(); ++d) {
+      const std::int64_t r = std::abs(remaining[static_cast<std::size_t>(d)]);
+      if (pick < r) {
+        dim = d;
+        break;
+      }
+      pick -= r;
+    }
+    const std::size_t dd = static_cast<std::size_t>(dim);
+    const int dir = remaining[dd] > 0 ? 1 : -1;
+    cur[dd] += dir;
+    if (mesh_->torus()) cur[dd] = pos_mod(cur[dd], mesh_->side(dim));
+    OBLV_CHECK(cur[dd] >= 0 && cur[dd] < mesh_->side(dim),
+               "staircase walk left the mesh");
+    path.nodes.push_back(mesh_->node_id(cur));
+    remaining[dd] -= dir;
+    --total;
+  }
+  OBLV_CHECK(path.nodes.back() == t, "staircase walk missed the target");
+  return path;
+}
+
+}  // namespace oblivious

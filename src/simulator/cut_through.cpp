@@ -1,0 +1,136 @@
+#include "simulator/cut_through.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/congestion.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+double CutThroughResult::optimality_ratio() const {
+  const std::int64_t bound =
+      std::max(congestion * flits, dilation + flits - 1);
+  if (bound == 0) return 1.0;
+  return static_cast<double>(makespan) / static_cast<double>(bound);
+}
+
+CutThroughResult simulate_cut_through(const Mesh& mesh,
+                                      const std::vector<Path>& paths,
+                                      const CutThroughOptions& options) {
+  OBLV_REQUIRE(options.flits_per_packet >= 1, "packets need >= 1 flit");
+  const std::int64_t F = options.flits_per_packet;
+
+  CutThroughResult result;
+  result.flits = F;
+
+  // Edge (and direction) sequences plus path-set metrics.
+  std::vector<std::vector<EdgeId>> keys(paths.size());
+  EdgeLoadMap loads(mesh);
+  std::int64_t total_hops = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const Path& p = paths[i];
+    OBLV_REQUIRE(!p.nodes.empty(), "simulation requires non-empty paths");
+    loads.add_path(p);
+    keys[i].reserve(static_cast<std::size_t>(p.length()));
+    for (std::size_t j = 0; j + 1 < p.nodes.size(); ++j) {
+      const EdgeId e = mesh.edge_between(p.nodes[j], p.nodes[j + 1]);
+      if (options.full_duplex) {
+        const auto [a, b] = mesh.edge_endpoints(e);
+        keys[i].push_back(2 * e + (p.nodes[j] == a ? 0 : 1));
+      } else {
+        keys[i].push_back(e);
+      }
+    }
+    total_hops += p.length();
+    result.dilation = std::max(result.dilation, p.length());
+  }
+  result.congestion = static_cast<std::int64_t>(loads.max_load());
+
+  const std::int64_t max_steps =
+      options.max_steps > 0
+          ? options.max_steps
+          : F * total_hops + result.dilation + F + 1;
+
+  struct PacketState {
+    std::size_t hop = 0;       // next link index
+    std::int64_t ready = 1;    // earliest step the head can cross again
+    std::uint64_t rank = 0;
+  };
+
+  Rng rng(options.seed);
+  std::vector<PacketState> state(paths.size());
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    state[i].rank = rng.next_u64();
+    if (keys[i].empty()) {
+      result.latency.add(static_cast<double>(F - 1));  // tail drains locally
+    } else {
+      active.push_back(i);
+    }
+  }
+
+  // A link streams one packet's F flits at a time: busy through this step.
+  std::unordered_map<EdgeId, std::int64_t> busy_until;
+
+  const auto wins = [&](std::size_t a, std::size_t b) {
+    switch (options.policy) {
+      case SchedulingPolicy::kFifo:
+        if (state[a].ready != state[b].ready) return state[a].ready < state[b].ready;
+        return a < b;
+      case SchedulingPolicy::kFurthestToGo: {
+        const auto ra = static_cast<std::int64_t>(keys[a].size() - state[a].hop);
+        const auto rb = static_cast<std::int64_t>(keys[b].size() - state[b].hop);
+        if (ra != rb) return ra > rb;
+        return a < b;
+      }
+      case SchedulingPolicy::kRandomRank:
+        if (state[a].rank != state[b].rank) return state[a].rank < state[b].rank;
+        return a < b;
+    }
+    OBLV_CHECK(false, "unknown policy");
+  };
+
+  std::unordered_map<EdgeId, std::size_t> winner;
+  std::int64_t step = 0;
+  while (!active.empty() && step < max_steps) {
+    ++step;
+    winner.clear();
+    for (const std::size_t i : active) {
+      if (state[i].ready > step) continue;  // head mid-hop
+      const EdgeId key = keys[i][state[i].hop];
+      const auto busy = busy_until.find(key);
+      if (busy != busy_until.end() && busy->second >= step) continue;
+      const auto it = winner.find(key);
+      if (it == winner.end() || wins(i, it->second)) winner[key] = i;
+    }
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    for (const std::size_t i : active) {
+      const EdgeId key = keys[i][state[i].hop];
+      const auto it = winner.find(key);
+      if (it == winner.end() || it->second != i || state[i].ready > step) {
+        still_active.push_back(i);
+        continue;
+      }
+      // The head crosses at this step; the link streams flits behind it.
+      busy_until[key] = step + F - 1;
+      ++state[i].hop;
+      state[i].ready = step + 1;
+      if (state[i].hop == keys[i].size()) {
+        const std::int64_t tail_arrival = step + F - 1;
+        result.latency.add(static_cast<double>(tail_arrival));
+        result.makespan = std::max(result.makespan, tail_arrival);
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    active = std::move(still_active);
+  }
+
+  result.completed = active.empty();
+  return result;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,200 @@
+#include "simulator/online.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+double OnlineResult::throughput() const {
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(delivered) / static_cast<double>(horizon);
+}
+
+OnlineWorkload bernoulli_arrivals(const Mesh& mesh, double rate,
+                                  std::int64_t horizon, TrafficPattern pattern,
+                                  Rng& rng, std::int64_t local_distance) {
+  OBLV_REQUIRE(rate >= 0.0 && rate <= 1.0, "rate must be in [0, 1]");
+  OBLV_REQUIRE(horizon >= 0, "horizon must be non-negative");
+  OnlineWorkload workload;
+  workload.horizon = horizon;
+  // Bernoulli draw via a 32-bit threshold (deterministic given the rng).
+  const auto threshold =
+      static_cast<std::uint64_t>(rate * 4294967296.0);  // rate * 2^32
+  for (std::int64_t step = 0; step < horizon; ++step) {
+    for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+      if (rng.bits(32) >= threshold) continue;
+      NodeId dst = u;
+      switch (pattern) {
+        case TrafficPattern::kUniform: {
+          while (dst == u) {
+            dst = static_cast<NodeId>(rng.uniform_below(
+                static_cast<std::uint64_t>(mesh.num_nodes())));
+          }
+          break;
+        }
+        case TrafficPattern::kLocal: {
+          // Random node at exactly local_distance (rejection sampling over
+          // random directions; falls back to uniform if the mesh is tiny).
+          Coord c = mesh.coord(u);
+          std::int64_t remaining =
+              std::min(local_distance, mesh.diameter());
+          for (int d = 0; d < mesh.dim() && remaining > 0; ++d) {
+            const std::size_t dd = static_cast<std::size_t>(d);
+            const std::int64_t span =
+                mesh.torus() ? mesh.side(d) / 2 : mesh.side(d) - 1;
+            std::int64_t take =
+                (d == mesh.dim() - 1)
+                    ? std::min(remaining, span)
+                    : static_cast<std::int64_t>(rng.uniform_below(
+                          static_cast<std::uint64_t>(
+                              std::min(remaining, span) + 1)));
+            remaining -= take;
+            const bool can_up = mesh.torus() || c[dd] + take < mesh.side(d);
+            const bool can_down = mesh.torus() || c[dd] - take >= 0;
+            const bool up = can_up && (!can_down || rng.coin());
+            c[dd] += up ? take : -take;
+            if (mesh.torus()) c[dd] = pos_mod(c[dd], mesh.side(d));
+          }
+          dst = mesh.node_id(c);
+          if (dst == u) continue;  // degenerate draw: skip this injection
+          break;
+        }
+        case TrafficPattern::kTranspose: {
+          OBLV_REQUIRE(mesh.dim() >= 2, "transpose pattern needs dim >= 2");
+          Coord c = mesh.coord(u);
+          std::swap(c[0], c[1]);
+          dst = mesh.node_id(c);
+          if (dst == u) continue;  // diagonal nodes have no partner
+          break;
+        }
+      }
+      workload.packets.push_back({u, dst, step});
+    }
+  }
+  return workload;
+}
+
+OnlineResult simulate_online(const Mesh& mesh, const Router& router,
+                             const OnlineWorkload& workload,
+                             const OnlineOptions& options) {
+  OnlineResult result;
+  result.horizon = workload.horizon;
+  result.injected = static_cast<std::int64_t>(workload.packets.size());
+  const std::int64_t max_steps =
+      options.max_steps > 0 ? options.max_steps
+                            : std::max<std::int64_t>(64 * workload.horizon, 4096);
+
+  struct Flight {
+    std::vector<EdgeId> edges;
+    std::size_t hop = 0;
+    std::int64_t injected_at = 0;
+    std::int64_t arrival = 0;   // step it reached its current node
+    std::uint64_t rank = 0;
+    NodeId at = 0;              // current node (for queue accounting)
+  };
+
+  Rng rng(options.seed);
+  std::vector<Flight> flights;
+  flights.reserve(workload.packets.size());
+  std::vector<std::size_t> active;
+  std::size_t next_packet = 0;
+
+  const auto wins = [&](const Flight& a, const Flight& b, std::size_t ia,
+                        std::size_t ib) {
+    switch (options.policy) {
+      case SchedulingPolicy::kFifo:
+        if (a.arrival != b.arrival) return a.arrival < b.arrival;
+        return ia < ib;
+      case SchedulingPolicy::kFurthestToGo: {
+        const auto ra = static_cast<std::int64_t>(a.edges.size() - a.hop);
+        const auto rb = static_cast<std::int64_t>(b.edges.size() - b.hop);
+        if (ra != rb) return ra > rb;
+        return ia < ib;
+      }
+      case SchedulingPolicy::kRandomRank:
+        if (a.rank != b.rank) return a.rank < b.rank;
+        return ia < ib;
+    }
+    OBLV_CHECK(false, "unknown policy");
+  };
+
+  std::unordered_map<EdgeId, std::size_t> winner;
+  std::unordered_map<NodeId, std::int64_t> occupancy;
+  const std::int64_t saturation_limit =
+      options.saturation_queue_per_node > 0
+          ? options.saturation_queue_per_node * mesh.num_nodes()
+          : std::numeric_limits<std::int64_t>::max();
+  std::int64_t step = 0;
+  while ((next_packet < workload.packets.size() || !active.empty()) &&
+         step < max_steps &&
+         static_cast<std::int64_t>(active.size()) < saturation_limit) {
+    // Inject this step's arrivals; each packet selects its path NOW,
+    // obliviously -- no knowledge of in-flight traffic.
+    while (next_packet < workload.packets.size() &&
+           workload.packets[next_packet].inject_step <= step) {
+      const TimedDemand& demand = workload.packets[next_packet];
+      Flight flight;
+      const Path path = router.route(demand.src, demand.dst, rng);
+      flight.edges.reserve(static_cast<std::size_t>(path.length()));
+      for (std::size_t j = 0; j + 1 < path.nodes.size(); ++j) {
+        flight.edges.push_back(mesh.edge_between(path.nodes[j], path.nodes[j + 1]));
+      }
+      flight.injected_at = demand.inject_step;
+      flight.arrival = step;
+      flight.rank = rng.next_u64();
+      flight.at = demand.src;
+      if (flight.edges.empty()) {
+        ++result.delivered;
+        result.latency.add(0.0);
+      } else {
+        flights.push_back(std::move(flight));
+        active.push_back(flights.size() - 1);
+      }
+      ++next_packet;
+    }
+
+    ++step;
+    winner.clear();
+    occupancy.clear();
+    for (const std::size_t i : active) {
+      const Flight& f = flights[i];
+      const EdgeId e = f.edges[f.hop];
+      const auto it = winner.find(e);
+      if (it == winner.end() || wins(f, flights[it->second], i, it->second)) {
+        winner[e] = i;
+      }
+      result.max_node_queue = std::max(result.max_node_queue, ++occupancy[f.at]);
+    }
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    for (const std::size_t i : active) {
+      Flight& f = flights[i];
+      const EdgeId e = f.edges[f.hop];
+      if (winner[e] != i) {
+        still_active.push_back(i);
+        continue;
+      }
+      const auto [a, b] = mesh.edge_endpoints(e);
+      f.at = (f.at == a) ? b : a;
+      ++f.hop;
+      f.arrival = step;
+      if (f.hop == f.edges.size()) {
+        ++result.delivered;
+        result.latency.add(static_cast<double>(step - f.injected_at));
+        result.last_delivery = std::max(result.last_delivery, step);
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    active = std::move(still_active);
+  }
+
+  result.completed = active.empty() && next_packet == workload.packets.size();
+  return result;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,76 @@
+// Online routing: packets continuously arrive in the network.
+//
+// Section 1 motivates oblivious path selection precisely because it solves
+// the *online* problem -- each packet picks its path at injection time,
+// independently of everything else in flight. This module injects packets
+// over time (Bernoulli arrivals per node per step), routes each one
+// obliviously the moment it arrives, and runs the same synchronous
+// one-packet-per-edge dynamics as the batch simulator. Sweeping the
+// injection rate produces the classic latency-vs-offered-load curve and
+// the saturation throughput of each algorithm (experiment E11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "routing/router.hpp"
+#include "simulator/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace oblivious {
+
+struct TimedDemand {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::int64_t inject_step = 0;
+};
+
+struct OnlineWorkload {
+  std::vector<TimedDemand> packets;  // sorted by inject_step
+  std::int64_t horizon = 0;          // injections happen in [0, horizon)
+};
+
+// Destination distribution for synthetic arrivals.
+enum class TrafficPattern {
+  kUniform,    // uniformly random destination != source
+  kLocal,      // random destination at exactly `local_distance`
+  kTranspose,  // fixed transpose partner (dims 0 and 1 swapped)
+};
+
+// Bernoulli arrivals: at every step in [0, horizon), every node injects a
+// packet with probability `rate` toward a pattern-drawn destination.
+// `rate` in [0, 1] is the offered load in packets per node per step.
+OnlineWorkload bernoulli_arrivals(const Mesh& mesh, double rate,
+                                  std::int64_t horizon, TrafficPattern pattern,
+                                  Rng& rng, std::int64_t local_distance = 4);
+
+struct OnlineResult {
+  bool completed = false;         // everything delivered within max_steps
+  std::int64_t injected = 0;
+  std::int64_t delivered = 0;
+  std::int64_t last_delivery = 0;  // step of the final delivery
+  RunningStats latency;            // delivery - injection, per packet
+  std::int64_t max_node_queue = 0; // worst queue occupancy at any node
+  // Delivered packets per step over the injection horizon.
+  double throughput() const;
+  std::int64_t horizon = 0;
+};
+
+struct OnlineOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  std::uint64_t seed = 1;   // path selection + random-rank priorities
+  // Stop after this many steps even if packets remain (0: 64 * horizon).
+  std::int64_t max_steps = 0;
+  // Declare saturation and stop early once more than this many packets per
+  // node are simultaneously in flight (0: disabled). Keeps offered-load
+  // sweeps fast in the divergent regime.
+  std::int64_t saturation_queue_per_node = 0;
+};
+
+// Injects, routes obliviously at arrival, and delivers.
+OnlineResult simulate_online(const Mesh& mesh, const Router& router,
+                             const OnlineWorkload& workload,
+                             const OnlineOptions& options = {});
+
+}  // namespace oblivious

@@ -1,0 +1,158 @@
+#include "simulator/simulator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analysis/congestion.hpp"
+#include "rng/rng.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+namespace {
+
+struct PacketState {
+  std::size_t hop = 0;          // next edge index within its path
+  std::int64_t arrival = 0;     // step it arrived at the current node
+  std::uint64_t rank = 0;       // static random rank (kRandomRank)
+};
+
+}  // namespace
+
+double SimulationResult::optimality_ratio() const {
+  const std::int64_t bound = std::max(congestion, dilation);
+  if (bound == 0) return 1.0;
+  return static_cast<double>(makespan) / static_cast<double>(bound);
+}
+
+std::string policy_name(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kFurthestToGo:
+      return "furthest-to-go";
+    case SchedulingPolicy::kRandomRank:
+      return "random-rank";
+  }
+  OBLV_CHECK(false, "unknown policy");
+}
+
+SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
+                          const SimulationOptions& options) {
+  SimulationResult result;
+
+  // Precompute the edge sequence of every path and the path-set metrics.
+  std::vector<std::vector<EdgeId>> edges(paths.size());
+  EdgeLoadMap loads(mesh);
+  std::int64_t total_hops = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const Path& p = paths[i];
+    OBLV_REQUIRE(!p.nodes.empty(), "simulation requires non-empty paths");
+    loads.add_path(p);
+    edges[i].reserve(static_cast<std::size_t>(p.length()));
+    for (std::size_t j = 0; j + 1 < p.nodes.size(); ++j) {
+      edges[i].push_back(mesh.edge_between(p.nodes[j], p.nodes[j + 1]));
+    }
+    total_hops += p.length();
+    result.dilation = std::max(result.dilation, p.length());
+  }
+  result.congestion = static_cast<std::int64_t>(loads.max_load());
+
+  const std::int64_t max_steps =
+      options.max_steps > 0 ? options.max_steps
+                            : total_hops + result.dilation + 1;
+
+  Rng rng(options.seed);
+  std::vector<PacketState> state(paths.size());
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    state[i].rank = rng.next_u64();
+    if (edges[i].empty()) {
+      result.latency.add(0.0);
+      result.queueing_delay.add(0.0);
+    } else {
+      active.push_back(i);
+    }
+  }
+
+  // `wins(a, b)` is true when packet a beats packet b for an edge.
+  const auto wins = [&](std::size_t a, std::size_t b) {
+    switch (options.policy) {
+      case SchedulingPolicy::kFifo: {
+        if (state[a].arrival != state[b].arrival) {
+          return state[a].arrival < state[b].arrival;
+        }
+        return a < b;
+      }
+      case SchedulingPolicy::kFurthestToGo: {
+        const std::int64_t ra =
+            static_cast<std::int64_t>(edges[a].size() - state[a].hop);
+        const std::int64_t rb =
+            static_cast<std::int64_t>(edges[b].size() - state[b].hop);
+        if (ra != rb) return ra > rb;
+        return a < b;
+      }
+      case SchedulingPolicy::kRandomRank: {
+        if (state[a].rank != state[b].rank) return state[a].rank < state[b].rank;
+        return a < b;
+      }
+    }
+    OBLV_CHECK(false, "unknown policy");
+  };
+
+  // Directed-link keying for full-duplex mode: fold the travel direction
+  // into the arbitration key (2e for the +direction, 2e+1 for the -).
+  std::vector<std::vector<std::uint8_t>> forward(paths.size());
+  if (options.full_duplex) {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const Path& p = paths[i];
+      forward[i].reserve(static_cast<std::size_t>(p.length()));
+      for (std::size_t j = 0; j + 1 < p.nodes.size(); ++j) {
+        const auto [a, b] = mesh.edge_endpoints(edges[i][j]);
+        forward[i].push_back(p.nodes[j] == a ? 1 : 0);
+      }
+    }
+  }
+  const auto arbitration_key = [&](std::size_t i) {
+    const EdgeId e = edges[i][state[i].hop];
+    if (!options.full_duplex) return e;
+    return 2 * e + (forward[i][state[i].hop] != 0 ? 0 : 1);
+  };
+
+  std::unordered_map<EdgeId, std::size_t> winner;
+  std::int64_t step = 0;
+  while (!active.empty() && step < max_steps) {
+    ++step;
+    winner.clear();
+    for (const std::size_t i : active) {
+      const EdgeId e = arbitration_key(i);
+      const auto it = winner.find(e);
+      if (it == winner.end() || wins(i, it->second)) winner[e] = i;
+    }
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    for (const std::size_t i : active) {
+      const EdgeId e = arbitration_key(i);
+      if (winner[e] != i) {
+        still_active.push_back(i);
+        continue;
+      }
+      ++state[i].hop;
+      state[i].arrival = step;
+      if (state[i].hop == edges[i].size()) {
+        result.latency.add(static_cast<double>(step));
+        result.queueing_delay.add(static_cast<double>(step) -
+                                  static_cast<double>(edges[i].size()));
+        result.makespan = std::max(result.makespan, step);
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    active = std::move(still_active);
+  }
+
+  result.completed = active.empty();
+  return result;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,55 @@
+// Synchronous store-and-forward packet simulator.
+//
+// This is the routing model of Section 1: time is slotted and at most one
+// packet traverses any (undirected) edge per time step. Packets follow
+// their pre-selected paths; when several packets request the same edge in
+// the same step, a scheduling policy picks the winner and the rest wait in
+// unbounded node queues. The trivial lower bound on the delivery time of
+// any schedule is max(C, D) >= (C + D)/2, which is what every simulation
+// result is compared against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "util/stats.hpp"
+
+namespace oblivious {
+
+enum class SchedulingPolicy {
+  kFifo,          // earliest arrival at the queue wins (ties: packet id)
+  kFurthestToGo,  // most remaining hops wins
+  kRandomRank,    // a static uniformly random priority per packet
+};
+
+struct SimulationOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kFurthestToGo;
+  std::uint64_t seed = 1;  // used by kRandomRank
+  // Hard step limit; 0 selects total-hops + dilation + 1, which any greedy
+  // schedule satisfies (at least one packet advances per step).
+  std::int64_t max_steps = 0;
+  // Full-duplex links: each undirected edge carries one packet per
+  // direction per step (the usual NoC model) instead of the paper's one
+  // packet per edge per step. Halves contention for opposing traffic.
+  bool full_duplex = false;
+};
+
+struct SimulationResult {
+  bool completed = false;
+  std::int64_t makespan = 0;     // steps until the last delivery
+  std::int64_t congestion = 0;   // C of the path set
+  std::int64_t dilation = 0;     // D of the path set
+  RunningStats latency;          // per-packet delivery step
+  RunningStats queueing_delay;   // latency - path length, per packet
+  // makespan / max(C, D): 1.0 is optimal, small constants are good.
+  double optimality_ratio() const;
+};
+
+SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
+                          const SimulationOptions& options = {});
+
+std::string policy_name(SchedulingPolicy policy);
+
+}  // namespace oblivious

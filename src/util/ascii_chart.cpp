@@ -1,0 +1,79 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+AsciiChart::AsciiChart(std::vector<std::string> x_labels, int height)
+    : x_labels_(std::move(x_labels)), height_(height) {
+  OBLV_REQUIRE(!x_labels_.empty(), "chart needs x positions");
+  OBLV_REQUIRE(height_ >= 2, "chart needs at least two rows");
+}
+
+void AsciiChart::add_series(ChartSeries series) {
+  OBLV_REQUIRE(series.ys.size() == x_labels_.size(),
+               "series length must match the x positions");
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiChart::render() const {
+  OBLV_REQUIRE(!series_.empty(), "chart needs at least one series");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const ChartSeries& s : series_) {
+    for (const double y : s.ys) {
+      if (std::isnan(y)) continue;
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+  }
+  OBLV_REQUIRE(lo <= hi, "chart needs at least one finite value");
+  if (hi == lo) hi = lo + 1.0;
+
+  const int columns_per_x = 6;
+  const int width = static_cast<int>(x_labels_.size()) * columns_per_x;
+  std::vector<std::string> canvas(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  const auto row_of = [&](double y) {
+    const double frac = (y - lo) / (hi - lo);
+    const int r =
+        height_ - 1 - static_cast<int>(std::lround(frac * (height_ - 1)));
+    return std::clamp(r, 0, height_ - 1);
+  };
+  for (const ChartSeries& s : series_) {
+    for (std::size_t i = 0; i < s.ys.size(); ++i) {
+      if (std::isnan(s.ys[i])) continue;
+      const int col = static_cast<int>(i) * columns_per_x + columns_per_x / 2;
+      canvas[static_cast<std::size_t>(row_of(s.ys[i]))]
+            [static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  std::ostringstream os;
+  for (int r = 0; r < height_; ++r) {
+    const double value = hi - (hi - lo) * r / (height_ - 1);
+    os << std::setw(9) << std::fixed << std::setprecision(1) << value << " |"
+       << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(9, ' ') << " +" << std::string(static_cast<std::size_t>(width), '-')
+     << '\n';
+  os << std::string(11, ' ');
+  for (const std::string& label : x_labels_) {
+    std::string cell = label.substr(0, static_cast<std::size_t>(columns_per_x - 1));
+    cell.resize(static_cast<std::size_t>(columns_per_x), ' ');
+    os << cell;
+  }
+  os << '\n';
+  for (const ChartSeries& s : series_) {
+    os << std::string(11, ' ') << s.marker << " = " << s.name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace oblivious

@@ -1,0 +1,32 @@
+// Minimal ASCII line/scatter chart for the experiment harnesses, so the
+// "figures" of EXPERIMENTS.md render directly in the bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace oblivious {
+
+struct ChartSeries {
+  std::string name;
+  std::vector<double> ys;  // one value per shared x position
+  char marker = '*';
+};
+
+class AsciiChart {
+ public:
+  // `x_labels` supplies the tick labels of the shared x positions.
+  AsciiChart(std::vector<std::string> x_labels, int height = 12);
+
+  void add_series(ChartSeries series);
+
+  // Renders all series on a shared y axis (linear scale; NaNs skipped).
+  std::string render() const;
+
+ private:
+  std::vector<std::string> x_labels_;
+  std::vector<ChartSeries> series_;
+  int height_;
+};
+
+}  // namespace oblivious

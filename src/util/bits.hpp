@@ -1,0 +1,43 @@
+// Bit-twiddling helpers shared by the mesh/decomposition arithmetic.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  OBLV_REQUIRE(x >= 1, "floor_log2 needs x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+// ceil(log2(x)) for x >= 1 (0 for x == 1).
+constexpr int ceil_log2(std::uint64_t x) {
+  OBLV_REQUIRE(x >= 1, "ceil_log2 needs x >= 1");
+  return (x == 1) ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+constexpr bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Mathematical floor division (rounds toward -infinity) for signed ints.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  OBLV_REQUIRE(b > 0, "floor_div needs positive divisor");
+  std::int64_t q = a / b;
+  if ((a % b) != 0 && a < 0) --q;
+  return q;
+}
+
+// Mathematical modulus with result in [0, b).
+constexpr std::int64_t pos_mod(std::int64_t a, std::int64_t b) {
+  OBLV_REQUIRE(b > 0, "pos_mod needs positive modulus");
+  std::int64_t r = a % b;
+  if (r < 0) r += b;
+  return r;
+}
+
+}  // namespace oblivious

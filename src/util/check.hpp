@@ -1,0 +1,42 @@
+// Error-checking macros used across the library.
+//
+// OBLV_REQUIRE  - precondition violations (caller error) -> std::invalid_argument
+// OBLV_CHECK    - internal invariant violations (library bug) -> std::logic_error
+//
+// Both are always on; the checked expressions in this library are O(1) and
+// never on inner loops where they would matter.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oblivious::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace oblivious::detail
+
+#define OBLV_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) ::oblivious::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define OBLV_CHECK(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr)) ::oblivious::detail::throw_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,78 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+Flags Flags::parse(int argc, const char* const* argv,
+                   const std::vector<std::string>& known) {
+  Flags flags;
+  if (argc > 0) flags.program_ = argv[0];
+  const auto is_known = [&known](const std::string& name) {
+    return known.empty() || std::find(known.begin(), known.end(), name) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // boolean flag
+    }
+    OBLV_REQUIRE(!name.empty(), "empty flag name");
+    OBLV_REQUIRE(is_known(name), "unknown flag --" + name);
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  OBLV_REQUIRE(end != nullptr && *end == '\0', "flag --" + name + " is not an integer");
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  OBLV_REQUIRE(end != nullptr && *end == '\0', "flag --" + name + " is not a number");
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  OBLV_REQUIRE(false, "flag --" + name + " is not a boolean");
+  return fallback;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,38 @@
+// A minimal command-line flag parser for the CLI tools.
+//
+// Supports --name value, --name=value, and boolean --name. Unknown flags
+// are an error; positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oblivious {
+
+class Flags {
+ public:
+  // Parses argv; throws std::invalid_argument on malformed input or, when
+  // `known` is non-empty, on flags outside `known`.
+  static Flags parse(int argc, const char* const* argv,
+                     const std::vector<std::string>& known = {});
+
+  bool has(const std::string& name) const;
+  // Value accessors; `fallback` is returned when the flag is absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace oblivious

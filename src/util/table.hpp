@@ -1,0 +1,38 @@
+// Minimal table formatter for the experiment harnesses: collects rows of
+// strings/numbers and renders an aligned ASCII table (and CSV).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oblivious {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::int64_t value);
+  Table& add(std::uint64_t value);
+  Table& add(int value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::string>& row_at(std::size_t i) const { return rows_.at(i); }
+
+  std::string to_string() const;
+  std::string to_csv() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oblivious

@@ -1,0 +1,90 @@
+#include "workloads/adversarial.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/generators.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+namespace {
+
+// Deterministic hash of a node sequence, used to bucket sampled paths.
+std::uint64_t path_fingerprint(const Path& path) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const NodeId u : path.nodes) {
+    h ^= static_cast<std::uint64_t>(u);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+AdversarialInstance build_pi_a(const Mesh& mesh, const Router& algorithm,
+                               std::int64_t l, Rng& rng,
+                               int samples_per_packet) {
+  OBLV_REQUIRE(samples_per_packet >= 1, "need at least one sample per packet");
+  const RoutingProblem base = block_exchange(mesh, l, /*dim=*/0);
+
+  // Modal path per packet (exact for deterministic algorithms).
+  std::vector<Path> modal_paths;
+  modal_paths.reserve(base.size());
+  for (const Demand& demand : base.demands) {
+    if (algorithm.deterministic() || samples_per_packet == 1) {
+      modal_paths.push_back(algorithm.route(demand.src, demand.dst, rng));
+      continue;
+    }
+    std::unordered_map<std::uint64_t, std::pair<int, Path>> buckets;
+    for (int s = 0; s < samples_per_packet; ++s) {
+      Path p = algorithm.route(demand.src, demand.dst, rng);
+      auto [it, inserted] = buckets.try_emplace(path_fingerprint(p), 0, Path{});
+      if (inserted) it->second.second = std::move(p);
+      ++it->second.first;
+    }
+    const auto best = std::max_element(
+        buckets.begin(), buckets.end(), [](const auto& a, const auto& b) {
+          return a.second.first < b.second.first;
+        });
+    modal_paths.push_back(best->second.second);
+  }
+
+  // Edge loads of the modal paths; pick the most loaded edge.
+  std::unordered_map<EdgeId, std::int64_t> load;
+  for (const Path& path : modal_paths) {
+    for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+      ++load[mesh.edge_between(path.nodes[i], path.nodes[i + 1])];
+    }
+  }
+  OBLV_CHECK(!load.empty(), "block-exchange packets cannot all be trivial");
+  EdgeId worst = kInvalidEdge;
+  std::int64_t worst_load = -1;
+  for (const auto& [edge, count] : load) {
+    if (count > worst_load || (count == worst_load && edge < worst)) {
+      worst = edge;
+      worst_load = count;
+    }
+  }
+
+  // Keep the packets whose modal path crosses the worst edge.
+  AdversarialInstance out;
+  out.worst_edge = worst;
+  out.base_size = base.size();
+  out.modal_load = worst_load;
+  out.packet_distance = l;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const Path& path = modal_paths[i];
+    for (std::size_t j = 0; j + 1 < path.nodes.size(); ++j) {
+      if (mesh.edge_between(path.nodes[j], path.nodes[j + 1]) == worst) {
+        out.problem.demands.push_back(base.demands[i]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,37 @@
+// The Section 5.1 adversarial construction Pi_A.
+//
+// Given any kappa-choice algorithm A, the paper builds a routing problem
+// on which A must suffer expected congestion >= l / (kappa d): start from
+// a permutation in which every packet travels exactly distance l (the
+// block-exchange workload), take each packet's most likely path under A,
+// find the most loaded edge e, and keep only the packets whose likely path
+// crosses e (Lemma 5.1).
+//
+// For deterministic algorithms (kappa = 1) the construction is exact; for
+// randomized algorithms the modal path is estimated by sampling.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+#include "routing/router.hpp"
+#include "workloads/problem.hpp"
+
+namespace oblivious {
+
+struct AdversarialInstance {
+  RoutingProblem problem;   // the packets kept (those crossing the worst edge)
+  EdgeId worst_edge = kInvalidEdge;
+  std::size_t base_size = 0;        // packets in the base block-exchange
+  std::int64_t modal_load = 0;      // modal-path load on the worst edge
+  std::int64_t packet_distance = 0; // l: the common source-destination distance
+};
+
+// Builds Pi_A against `algorithm` with packet distance l (a power of two,
+// side % 2l == 0). `samples_per_packet` > 1 estimates modal paths for
+// randomized algorithms; 1 is exact for deterministic ones.
+AdversarialInstance build_pi_a(const Mesh& mesh, const Router& algorithm,
+                               std::int64_t l, Rng& rng,
+                               int samples_per_packet = 1);
+
+}  // namespace oblivious

@@ -1,0 +1,180 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+RoutingProblem random_permutation(const Mesh& mesh, Rng& rng) {
+  const NodeId n = mesh.num_nodes();
+  std::vector<NodeId> targets(static_cast<std::size_t>(n));
+  std::iota(targets.begin(), targets.end(), NodeId{0});
+  rng.shuffle(targets.data(), targets.size());
+  RoutingProblem problem;
+  problem.demands.reserve(targets.size());
+  for (NodeId u = 0; u < n; ++u) {
+    problem.demands.push_back({u, targets[static_cast<std::size_t>(u)]});
+  }
+  return problem;
+}
+
+RoutingProblem transpose(const Mesh& mesh) {
+  OBLV_REQUIRE(mesh.dim() >= 2, "transpose needs dim >= 2");
+  OBLV_REQUIRE(mesh.side(0) == mesh.side(1),
+               "transpose needs equal sides in dimensions 0 and 1");
+  RoutingProblem problem;
+  problem.demands.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    Coord c = mesh.coord(u);
+    std::swap(c[0], c[1]);
+    problem.demands.push_back({u, mesh.node_id(c)});
+  }
+  return problem;
+}
+
+RoutingProblem bit_reversal(const Mesh& mesh) {
+  OBLV_REQUIRE(mesh.sides_power_of_two(), "bit reversal needs power-of-two sides");
+  RoutingProblem problem;
+  problem.demands.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    Coord c = mesh.coord(u);
+    for (int d = 0; d < mesh.dim(); ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      const std::int64_t side = mesh.side(d);
+      if (side == 1) continue;
+      const int nbits = floor_log2(static_cast<std::uint64_t>(side));
+      std::int64_t reversed = 0;
+      for (int b = 0; b < nbits; ++b) {
+        reversed = (reversed << 1) | ((c[dd] >> b) & 1);
+      }
+      c[dd] = reversed;
+    }
+    problem.demands.push_back({u, mesh.node_id(c)});
+  }
+  return problem;
+}
+
+RoutingProblem tornado(const Mesh& mesh) {
+  const std::int64_t shift = std::max<std::int64_t>(1, mesh.side(0) / 2 - 1);
+  RoutingProblem problem;
+  problem.demands.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    Coord c = mesh.coord(u);
+    c[0] = pos_mod(c[0] + shift, mesh.side(0));
+    problem.demands.push_back({u, mesh.node_id(c)});
+  }
+  return problem;
+}
+
+RoutingProblem hotspot(const Mesh& mesh, Rng& rng, std::size_t num_sources) {
+  OBLV_REQUIRE(num_sources <= static_cast<std::size_t>(mesh.num_nodes()),
+               "more sources than nodes");
+  std::vector<NodeId> nodes(static_cast<std::size_t>(mesh.num_nodes()));
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  rng.shuffle(nodes.data(), nodes.size());
+  const NodeId sink = nodes.back();
+  RoutingProblem problem;
+  problem.demands.reserve(num_sources);
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    if (nodes[i] == sink) continue;
+    problem.demands.push_back({nodes[i], sink});
+  }
+  return problem;
+}
+
+RoutingProblem nearest_neighbor(const Mesh& mesh, Rng& rng) {
+  RoutingProblem problem;
+  problem.demands.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    const auto nbrs = mesh.neighbors(u);
+    if (nbrs.empty()) continue;
+    const std::size_t pick = static_cast<std::size_t>(rng.uniform_below(nbrs.size()));
+    problem.demands.push_back({u, nbrs[pick]});
+  }
+  return problem;
+}
+
+RoutingProblem random_pairs_at_distance(const Mesh& mesh, Rng& rng,
+                                        std::size_t count, std::int64_t dist) {
+  OBLV_REQUIRE(dist >= 0 && dist <= mesh.diameter(),
+               "requested distance exceeds the diameter");
+  RoutingProblem problem;
+  problem.demands.reserve(count);
+  while (problem.demands.size() < count) {
+    const NodeId s = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    // Random walk of exactly `dist` outward steps: distribute the distance
+    // over dimensions, then pick a feasible direction per dimension.
+    Coord c = mesh.coord(s);
+    std::int64_t remaining = dist;
+    bool ok = true;
+    for (int d = 0; d < mesh.dim() && remaining > 0; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      const std::int64_t span = mesh.torus() ? mesh.side(d) / 2 : mesh.side(d) - 1;
+      std::int64_t take = (d == mesh.dim() - 1)
+                              ? remaining
+                              : static_cast<std::int64_t>(rng.uniform_below(
+                                    static_cast<std::uint64_t>(
+                                        std::min(remaining, span) + 1)));
+      if (take > span) {
+        ok = false;
+        break;
+      }
+      remaining -= take;
+      // Pick a direction that stays on the mesh.
+      const bool can_up = mesh.torus() || c[dd] + take < mesh.side(d);
+      const bool can_down = mesh.torus() || c[dd] - take >= 0;
+      if (!can_up && !can_down) {
+        ok = false;
+        break;
+      }
+      const bool up = can_up && (!can_down || rng.coin());
+      c[dd] = up ? c[dd] + take : c[dd] - take;
+      if (mesh.torus()) c[dd] = pos_mod(c[dd], mesh.side(d));
+    }
+    if (!ok || remaining != 0) continue;
+    const NodeId t = mesh.node_id(c);
+    if (mesh.distance(s, t) != dist) continue;  // torus folding shortened it
+    problem.demands.push_back({s, t});
+  }
+  return problem;
+}
+
+RoutingProblem block_exchange(const Mesh& mesh, std::int64_t l, int dim) {
+  OBLV_REQUIRE(dim >= 0 && dim < mesh.dim(), "dimension out of range");
+  OBLV_REQUIRE(l >= 1, "slab thickness must be >= 1");
+  OBLV_REQUIRE(mesh.side(dim) % (2 * l) == 0,
+               "side must be divisible by 2l for block exchange");
+  const std::size_t dd = static_cast<std::size_t>(dim);
+  RoutingProblem problem;
+  problem.demands.reserve(static_cast<std::size_t>(mesh.num_nodes()));
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    Coord c = mesh.coord(u);
+    const std::int64_t slab = c[dd] / l;
+    c[dd] += (slab % 2 == 0) ? l : -l;
+    problem.demands.push_back({u, mesh.node_id(c)});
+  }
+  return problem;
+}
+
+RoutingProblem cut_straddlers(const Mesh& mesh, int dim) {
+  OBLV_REQUIRE(dim >= 0 && dim < mesh.dim(), "dimension out of range");
+  OBLV_REQUIRE(mesh.side(dim) >= 2, "side too small for a bisector");
+  const std::size_t dd = static_cast<std::size_t>(dim);
+  const std::int64_t left = mesh.side(dim) / 2 - 1;
+  const std::int64_t right = mesh.side(dim) / 2;
+  RoutingProblem problem;
+  for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+    Coord c = mesh.coord(u);
+    if (c[dd] != left && c[dd] != right) continue;
+    Coord o = c;
+    o[dd] = (c[dd] == left) ? right : left;
+    problem.demands.push_back({u, mesh.node_id(o)});
+  }
+  return problem;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,57 @@
+// Routing-problem generators.
+//
+// These are the standard hard permutations for mesh routing (transpose,
+// bit-reversal, tornado), locality-controlled workloads (nearest neighbor,
+// distance-l pairs), the hot-spot pattern, and the structured
+// block-exchange permutation from the Section 5.1 lower-bound
+// construction, in which every packet travels exactly distance l.
+#pragma once
+
+#include <cstdint>
+
+#include "mesh/mesh.hpp"
+#include "rng/rng.hpp"
+#include "workloads/problem.hpp"
+
+namespace oblivious {
+
+// A uniformly random permutation of all nodes (fixed points kept; they
+// route as zero-length paths).
+RoutingProblem random_permutation(const Mesh& mesh, Rng& rng);
+
+// (x, y, ...) -> (y, x, ...): the classic transpose permutation that
+// overloads deterministic dimension-order routing along the diagonal.
+// Requires a square mesh with dim >= 2 (swaps dimensions 0 and 1).
+RoutingProblem transpose(const Mesh& mesh);
+
+// Every coordinate's bits reversed (requires power-of-two sides).
+RoutingProblem bit_reversal(const Mesh& mesh);
+
+// Tornado: shift by side/2 - 1 along dimension 0 (classic torus adversary;
+// well-defined on the mesh as the same modular permutation).
+RoutingProblem tornado(const Mesh& mesh);
+
+// `num_sources` distinct random sources all sending to one random sink.
+RoutingProblem hotspot(const Mesh& mesh, Rng& rng, std::size_t num_sources);
+
+// Every node sends to a uniformly random neighbor.
+RoutingProblem nearest_neighbor(const Mesh& mesh, Rng& rng);
+
+// `count` random source/destination pairs at exactly distance `dist`
+// (sources may repeat).
+RoutingProblem random_pairs_at_distance(const Mesh& mesh, Rng& rng,
+                                        std::size_t count, std::int64_t dist);
+
+// The Section 5.1 construction: partition the mesh into slabs of thickness
+// l along `dim` and exchange adjacent slabs node-for-node. A permutation
+// in which every packet travels exactly distance l. Requires side(dim)
+// divisible by 2l.
+RoutingProblem block_exchange(const Mesh& mesh, std::int64_t l, int dim = 0);
+
+// Adjacent pairs straddling the top-level bisector of dimension `dim`:
+// (side/2 - 1, y, ...) <-> (side/2, y, ...), both directions. These have
+// distance 1 but their deepest common *type-1* ancestor is the root, which
+// is exactly the access-tree worst case (experiment E9).
+RoutingProblem cut_straddlers(const Mesh& mesh, int dim = 0);
+
+}  // namespace oblivious

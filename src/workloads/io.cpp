@@ -1,0 +1,84 @@
+#include "workloads/io.hpp"
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+void write_problem(std::ostream& os, const Mesh& mesh,
+                   const RoutingProblem& problem) {
+  os << "# oblivious-mesh-routing problem v1\n";
+  os << "mesh";
+  for (int d = 0; d < mesh.dim(); ++d) os << ' ' << mesh.side(d);
+  if (mesh.torus()) os << " torus";
+  os << '\n';
+  for (const Demand& demand : problem.demands) {
+    os << "demand " << demand.src << ' ' << demand.dst << '\n';
+  }
+}
+
+std::string problem_to_text(const Mesh& mesh, const RoutingProblem& problem) {
+  std::ostringstream os;
+  write_problem(os, mesh, problem);
+  return os.str();
+}
+
+std::pair<Mesh, RoutingProblem> read_problem(std::istream& is) {
+  std::optional<Mesh> mesh;
+  RoutingProblem problem;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind)) continue;  // blank line
+    if (kind == "mesh") {
+      OBLV_REQUIRE(!mesh.has_value(), "duplicate mesh record");
+      std::vector<std::int64_t> sides;
+      bool torus = false;
+      std::string token;
+      while (tokens >> token) {
+        if (token == "torus") {
+          torus = true;
+          continue;
+        }
+        char* end = nullptr;
+        const std::int64_t side = std::strtoll(token.c_str(), &end, 10);
+        OBLV_REQUIRE(end != nullptr && *end == '\0' && side >= 1,
+                     "bad mesh side at line " + std::to_string(line_number));
+        sides.push_back(side);
+      }
+      OBLV_REQUIRE(!sides.empty(), "mesh record without sides");
+      mesh.emplace(std::move(sides), torus);
+    } else if (kind == "demand") {
+      OBLV_REQUIRE(mesh.has_value(), "demand before mesh record");
+      NodeId src = 0;
+      NodeId dst = 0;
+      OBLV_REQUIRE(static_cast<bool>(tokens >> src >> dst),
+                   "bad demand at line " + std::to_string(line_number));
+      OBLV_REQUIRE(src >= 0 && src < mesh->num_nodes() && dst >= 0 &&
+                       dst < mesh->num_nodes(),
+                   "demand endpoint off the mesh at line " +
+                       std::to_string(line_number));
+      problem.demands.push_back({src, dst});
+    } else {
+      OBLV_REQUIRE(false, "unknown record '" + kind + "' at line " +
+                              std::to_string(line_number));
+    }
+  }
+  OBLV_REQUIRE(mesh.has_value(), "no mesh record found");
+  return {*std::move(mesh), std::move(problem)};
+}
+
+std::pair<Mesh, RoutingProblem> problem_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_problem(is);
+}
+
+}  // namespace oblivious

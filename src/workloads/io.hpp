@@ -1,0 +1,30 @@
+// Plain-text serialization of routing problems, so experiments can be
+// saved, diffed, and replayed (e.g. a Pi_A instance produced by the CLI).
+//
+// Format (one record per line, '#' comments ignored):
+//
+//   mesh <side0> <side1> ... [torus]
+//   demand <src> <dst>
+//   demand <src> <dst>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+#include "mesh/mesh.hpp"
+#include "workloads/problem.hpp"
+
+namespace oblivious {
+
+std::string problem_to_text(const Mesh& mesh, const RoutingProblem& problem);
+void write_problem(std::ostream& os, const Mesh& mesh,
+                   const RoutingProblem& problem);
+
+// Parses a problem; throws std::invalid_argument on malformed input
+// (unknown record, demand before mesh, node ids out of range).
+std::pair<Mesh, RoutingProblem> read_problem(std::istream& is);
+std::pair<Mesh, RoutingProblem> problem_from_text(const std::string& text);
+
+}  // namespace oblivious

@@ -1,0 +1,36 @@
+#include "workloads/problem.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+std::int64_t RoutingProblem::max_distance(const Mesh& mesh) const {
+  std::int64_t max_dist = 0;
+  for (const Demand& d : demands) {
+    max_dist = std::max(max_dist, mesh.distance(d.src, d.dst));
+  }
+  return max_dist;
+}
+
+std::int64_t RoutingProblem::total_distance(const Mesh& mesh) const {
+  std::int64_t total = 0;
+  for (const Demand& d : demands) total += mesh.distance(d.src, d.dst);
+  return total;
+}
+
+bool RoutingProblem::is_partial_permutation(const Mesh& mesh) const {
+  std::unordered_set<NodeId> sources;
+  std::unordered_set<NodeId> destinations;
+  for (const Demand& d : demands) {
+    OBLV_REQUIRE(d.src >= 0 && d.src < mesh.num_nodes(), "source off the mesh");
+    OBLV_REQUIRE(d.dst >= 0 && d.dst < mesh.num_nodes(), "destination off the mesh");
+    if (!sources.insert(d.src).second) return false;
+    if (!destinations.insert(d.dst).second) return false;
+  }
+  return true;
+}
+
+}  // namespace oblivious

@@ -1,0 +1,36 @@
+// A routing problem Pi = { (s_i, t_i) } (Section 2): the set of packets,
+// each with a source and a destination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/types.hpp"
+
+namespace oblivious {
+
+struct Demand {
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  bool operator==(const Demand& other) const = default;
+};
+
+struct RoutingProblem {
+  std::vector<Demand> demands;
+
+  std::size_t size() const { return demands.size(); }
+  bool empty() const { return demands.empty(); }
+
+  // D* = max_i dist(s_i, t_i), the maximum shortest distance (Section 2).
+  std::int64_t max_distance(const Mesh& mesh) const;
+  // Total shortest-path work sum_i dist(s_i, t_i).
+  std::int64_t total_distance(const Mesh& mesh) const;
+  // True when sources and destinations each form a permutation of a subset
+  // of nodes (each node is the source of at most one packet and the
+  // destination of at most one packet).
+  bool is_partial_permutation(const Mesh& mesh) const;
+};
+
+}  // namespace oblivious

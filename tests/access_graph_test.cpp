@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "decomposition/access_graph.hpp"
+#include "decomposition/render.hpp"
+
+namespace oblivious {
+namespace {
+
+class AccessGraph2D : public ::testing::TestWithParam<bool> {
+ protected:
+  AccessGraph2D()
+      : mesh_({16, 16}, GetParam()),
+        dec_(Decomposition::section3(mesh_)),
+        graph_(dec_) {}
+  Mesh mesh_;
+  Decomposition dec_;
+  AccessGraph graph_;
+};
+
+TEST_P(AccessGraph2D, UniqueRootAtLevelZero) {
+  const auto roots = graph_.nodes_at_level(0);
+  ASSERT_EQ(roots.size(), 1U);
+  EXPECT_EQ(graph_.node(roots[0]).submesh.region.volume(), mesh_.num_nodes());
+  EXPECT_TRUE(graph_.node(roots[0]).parents.empty());
+}
+
+TEST_P(AccessGraph2D, LeavesAreSingleNodesWithNoChildren) {
+  const auto leaves = graph_.nodes_at_level(dec_.leaf_level());
+  EXPECT_EQ(leaves.size(), static_cast<std::size_t>(mesh_.num_nodes()));
+  for (const int idx : leaves) {
+    EXPECT_EQ(graph_.node(idx).submesh.region.volume(), 1);
+    EXPECT_TRUE(graph_.node(idx).children.empty());
+  }
+}
+
+TEST_P(AccessGraph2D, ParentsBoundedAndType1AlwaysCovered) {
+  // Section 3.2: the access graph is not a tree; a type-1 node has its
+  // unique type-1 parent and possibly one type-2 parent. Type-2 nodes can
+  // be parentless (they only ever serve as the top of a bitonic path).
+  for (const AccessGraphNode& node : graph_.nodes()) {
+    if (node.submesh.level == 0) continue;
+    EXPECT_LE(node.parents.size(), 2U) << node.submesh.describe();
+    if (node.submesh.type == 1) {
+      EXPECT_GE(node.parents.size(), 1U) << node.submesh.describe();
+    }
+    // At most one parent of each type.
+    std::set<int> parent_types;
+    for (const int pi : node.parents) {
+      EXPECT_TRUE(parent_types.insert(graph_.node(pi).submesh.type).second)
+          << node.submesh.describe();
+    }
+    // Exactly one type-1 parent for type-1 nodes.
+    if (node.submesh.type == 1) {
+      int type1_parents = 0;
+      for (const int pi : node.parents) {
+        if (graph_.node(pi).submesh.type == 1) ++type1_parents;
+      }
+      EXPECT_EQ(type1_parents, 1) << node.submesh.describe();
+    }
+  }
+}
+
+TEST_P(AccessGraph2D, EdgesConnectAdjacentLevelsAndContain) {
+  for (const AccessGraphNode& node : graph_.nodes()) {
+    for (const int ci : node.children) {
+      const AccessGraphNode& child = graph_.node(ci);
+      EXPECT_EQ(child.submesh.level, node.submesh.level + 1);
+      EXPECT_TRUE(
+          node.submesh.region.contains_region(mesh_, child.submesh.region));
+    }
+  }
+}
+
+TEST_P(AccessGraph2D, Lemma32EveryNodeOfARegularSubmeshHasItAsAncestor) {
+  // Lemma 3.2: for any node v inside a regular submesh M',
+  // g^{-1}(M') is an ancestor of the leaf g^{-1}(v).
+  for (int level = 0; level < dec_.leaf_level(); ++level) {
+    for (const int idx : graph_.nodes_at_level(level)) {
+      const AccessGraphNode& node = graph_.node(idx);
+      // Sample the submesh's corner and center nodes.
+      const Region& r = node.submesh.region;
+      for (const Coord& off :
+           {Coord{0, 0}, Coord{r.extent_at(0) - 1, r.extent_at(1) - 1},
+            Coord{r.extent_at(0) / 2, r.extent_at(1) / 2}}) {
+        const Coord p = r.coord_at(mesh_, off);
+        EXPECT_TRUE(graph_.is_ancestor(idx, graph_.leaf_of(p)))
+            << node.submesh.describe();
+      }
+    }
+  }
+}
+
+TEST_P(AccessGraph2D, BitonicPathIsMonotonicWithOneBridge) {
+  const auto pairs = std::vector<std::pair<Coord, Coord>>{
+      {Coord{0, 0}, Coord{15, 15}}, {Coord{7, 7}, Coord{8, 8}},
+      {Coord{0, 7}, Coord{0, 8}},   {Coord{3, 2}, Coord{3, 3}},
+      {Coord{15, 0}, Coord{0, 15}}, {Coord{5, 5}, Coord{5, 6}}};
+  for (const auto& [s, t] : pairs) {
+    const std::vector<int> path = graph_.bitonic_path(s, t);
+    ASSERT_GE(path.size(), 3U);
+    // Levels descend to the bridge then ascend; all non-bridge nodes type-1.
+    std::size_t bridge_pos = 0;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (graph_.node(path[i]).submesh.level <
+          graph_.node(path[bridge_pos]).submesh.level) {
+        bridge_pos = i;
+      }
+    }
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const AccessGraphNode& node = graph_.node(path[i]);
+      if (i != bridge_pos) {
+        EXPECT_EQ(node.submesh.type, 1);
+      }
+      if (i > 0) {
+        const AccessGraphNode& prev = graph_.node(path[i - 1]);
+        if (i <= bridge_pos) {
+          EXPECT_EQ(prev.submesh.level, node.submesh.level + 1);
+          EXPECT_TRUE(
+              node.submesh.region.contains_region(mesh_, prev.submesh.region));
+        } else {
+          EXPECT_EQ(prev.submesh.level, node.submesh.level - 1);
+          EXPECT_TRUE(
+              prev.submesh.region.contains_region(mesh_, node.submesh.region));
+        }
+      }
+    }
+    // Endpoints are the leaves of s and t.
+    EXPECT_EQ(path.front(), graph_.leaf_of(s));
+    EXPECT_EQ(path.back(), graph_.leaf_of(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshAndTorus, AccessGraph2D, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "torus" : "mesh";
+                         });
+
+TEST(AccessGraphRender, Figure1LevelOneFamilies) {
+  const Mesh m({8, 8});
+  const Decomposition dec = Decomposition::section3(m);
+  const std::string type1 = render_family(dec, 1, 1);
+  // Four quadrants of side 4: first row is AAAABBBB.
+  EXPECT_EQ(type1.substr(0, 8), "AAAABBBB");
+  const std::string type2 = render_family(dec, 1, 2);
+  // Corners are discarded: the first two characters are dots.
+  EXPECT_EQ(type2.substr(0, 2), "..");
+  const std::string level = render_level(dec, 1);
+  EXPECT_NE(level.find("type 1"), std::string::npos);
+  EXPECT_NE(level.find("type 2"), std::string::npos);
+}
+
+TEST(AccessGraphRender, TorusHasNoGaps) {
+  const Mesh t({8, 8}, true);
+  const Decomposition dec = Decomposition::section3(t);
+  const std::string type2 = render_family(dec, 1, 2);
+  EXPECT_EQ(type2.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "analysis/evaluate.hpp"
+#include "routing/registry.hpp"
+#include "workloads/adversarial.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(PiA, ConstructionAgainstEcubeIsExact) {
+  // Section 5.1 against the deterministic dimension-order algorithm: every
+  // kept packet definitely crosses the worst edge, so routing Pi_A with
+  // e-cube yields congestion exactly |Pi_A|.
+  const Mesh m({32, 32});
+  const auto ecube = make_router(Algorithm::kEcube, m);
+  Rng rng(1);
+  const AdversarialInstance inst = build_pi_a(m, *ecube, /*l=*/8, rng);
+  EXPECT_EQ(inst.base_size, static_cast<std::size_t>(m.num_nodes()));
+  EXPECT_EQ(inst.packet_distance, 8);
+  EXPECT_GE(inst.problem.size(), 1U);
+  EXPECT_EQ(static_cast<std::int64_t>(inst.problem.size()), inst.modal_load);
+
+  const RouteSetMetrics metrics =
+      evaluate_with_bound(m, *ecube, inst.problem, 1.0);
+  EXPECT_EQ(metrics.congestion, static_cast<std::int64_t>(inst.problem.size()));
+}
+
+TEST(PiA, DeterministicCongestionScalesWithL) {
+  // Lemma 5.1 with kappa = 1: congestion >= l / d on Pi_A.
+  const Mesh m({32, 32});
+  const auto ecube = make_router(Algorithm::kEcube, m);
+  std::int64_t previous = 0;
+  for (const std::int64_t l : {2, 4, 8, 16}) {
+    Rng rng(3);
+    const AdversarialInstance inst = build_pi_a(m, *ecube, l, rng);
+    const auto congestion = static_cast<std::int64_t>(inst.problem.size());
+    EXPECT_GE(congestion, l / 2) << "l=" << l;
+    EXPECT_GE(congestion, previous);
+    previous = congestion;
+  }
+}
+
+TEST(PiA, AllKeptPacketsHaveDistanceL) {
+  const Mesh m({16, 16});
+  const auto ecube = make_router(Algorithm::kEcube, m);
+  Rng rng(5);
+  const AdversarialInstance inst = build_pi_a(m, *ecube, 4, rng);
+  for (const Demand& d : inst.problem.demands) {
+    EXPECT_EQ(m.distance(d.src, d.dst), 4);
+  }
+  EXPECT_TRUE(inst.problem.is_partial_permutation(m));
+}
+
+TEST(PiA, HierarchicalRouterEscapesTheTrap) {
+  // The same Pi_A built against e-cube is easy for the randomized
+  // hierarchical algorithm: its congestion stays near the lower bound
+  // while e-cube pays |Pi_A|.
+  const Mesh m({32, 32});
+  const auto ecube = make_router(Algorithm::kEcube, m);
+  Rng rng(7);
+  const AdversarialInstance inst = build_pi_a(m, *ecube, 16, rng);
+  ASSERT_GE(inst.problem.size(), 8U);
+
+  const RouteSetMetrics trapped =
+      evaluate_with_bound(m, *ecube, inst.problem, 1.0);
+  const auto hier = make_router(Algorithm::kHierarchical2d, m);
+  const RouteSetMetrics escaped =
+      evaluate_with_bound(m, *hier, inst.problem, 1.0);
+  EXPECT_LT(2 * escaped.congestion, trapped.congestion);
+}
+
+TEST(PiA, SamplingModeWorksOnRandomizedAlgorithms) {
+  // For a randomized algorithm the modal path is estimated by sampling;
+  // the construction must still produce a coherent instance.
+  const Mesh m({16, 16});
+  const auto rdo = make_router(Algorithm::kRandomDimOrder, m);
+  Rng rng(9);
+  const AdversarialInstance inst =
+      build_pi_a(m, *rdo, 4, rng, /*samples_per_packet=*/5);
+  EXPECT_GE(inst.problem.size(), 1U);
+  EXPECT_NE(inst.worst_edge, kInvalidEdge);
+  EXPECT_GE(inst.modal_load, 1);
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/ascii_chart.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(AsciiChart, RendersMarkersAndLegend) {
+  AsciiChart chart({"1", "2", "3"}, 5);
+  chart.add_series({"up", {1.0, 2.0, 3.0}, 'u'});
+  chart.add_series({"down", {3.0, 2.0, 1.0}, 'd'});
+  const std::string s = chart.render();
+  EXPECT_NE(s.find('u'), std::string::npos);
+  EXPECT_NE(s.find('d'), std::string::npos);
+  EXPECT_NE(s.find("u = up"), std::string::npos);
+  EXPECT_NE(s.find("d = down"), std::string::npos);
+  EXPECT_NE(s.find("3.0"), std::string::npos);  // y-axis top tick
+  EXPECT_NE(s.find("1.0"), std::string::npos);  // y-axis bottom tick
+}
+
+TEST(AsciiChart, ExtremesLandOnTopAndBottomRows) {
+  AsciiChart chart({"a", "b"}, 4);
+  chart.add_series({"s", {0.0, 10.0}, '#'});
+  const std::string s = chart.render();
+  std::vector<std::string> lines;
+  std::stringstream ss(s);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  // Row 0 (max) holds the second point, row 3 (min) the first.
+  EXPECT_NE(lines[0].find('#'), std::string::npos);
+  EXPECT_NE(lines[3].find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, SkipsNaNs) {
+  AsciiChart chart({"a", "b", "c"}, 4);
+  chart.add_series({"s", {1.0, std::nan(""), 2.0}, '#'});
+  const std::string s = chart.render();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '#'), 3);  // 2 points + legend
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart({"a", "b"}, 4);
+  chart.add_series({"s", {5.0, 5.0}, '#'});
+  EXPECT_NO_THROW(chart.render());
+}
+
+TEST(AsciiChart, RejectsMisuse) {
+  EXPECT_THROW(AsciiChart({}, 5), std::invalid_argument);
+  EXPECT_THROW(AsciiChart({"a"}, 1), std::invalid_argument);
+  AsciiChart chart({"a", "b"}, 4);
+  EXPECT_THROW(chart.add_series({"s", {1.0}, '#'}), std::invalid_argument);
+  EXPECT_THROW(chart.render(), std::invalid_argument);  // no series
+  chart.add_series({"s", {std::nan(""), std::nan("")}, '#'});
+  EXPECT_THROW(chart.render(), std::invalid_argument);  // no finite values
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "mesh/region.hpp"
+#include "routing/bounded_valiant.hpp"
+#include "test_support.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(BoundedValiant, StretchAtMostThree) {
+  for (const bool torus : {false, true}) {
+    const Mesh mesh({32, 32}, torus);
+    const BoundedValiantRouter router(mesh);
+    Rng rng(3);
+    for (const auto& [s, t] : testing::sample_pairs(mesh, 300, 5)) {
+      const Path p = router.route(s, t, rng);
+      ASSERT_TRUE(is_valid_path(mesh, p));
+      // Both legs stay in the bounding box: length <= 2 * box semiperimeter
+      // <= 2 * dist, so total <= 3 * dist... conservatively assert 3.
+      EXPECT_LE(path_stretch(mesh, p), 3.0) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(BoundedValiant, PathStaysInBoundingBox) {
+  const Mesh mesh({32, 32});
+  const BoundedValiantRouter router(mesh);
+  Rng rng(7);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 100, 9)) {
+    const Region box = router.box_for(s, t);
+    const Path p = router.route(s, t, rng);
+    for (const NodeId u : p.nodes) {
+      EXPECT_TRUE(box.contains_node(mesh, u));
+    }
+  }
+}
+
+TEST(BoundedValiant, BoxContainsEndpoints) {
+  for (const bool torus : {false, true}) {
+    const Mesh mesh({16, 16}, torus);
+    const BoundedValiantRouter router(mesh);
+    for (const auto& [s, t] : testing::sample_pairs(mesh, 100, 11)) {
+      const Region box = router.box_for(s, t);
+      EXPECT_TRUE(box.contains_node(mesh, s));
+      EXPECT_TRUE(box.contains_node(mesh, t));
+      // Tight box: per-dimension extent is the displacement + 1.
+      std::int64_t expected_volume = 1;
+      const Coord cs = mesh.coord(s);
+      const Coord ct = mesh.coord(t);
+      for (int d = 0; d < mesh.dim(); ++d) {
+        expected_volume *= std::abs(mesh.displacement(
+                               cs[static_cast<std::size_t>(d)],
+                               ct[static_cast<std::size_t>(d)], d)) +
+                           1;
+      }
+      EXPECT_EQ(box.volume(), expected_volume);
+    }
+  }
+}
+
+TEST(BoundedValiant, MarginInflatesTheBox) {
+  const Mesh mesh({32, 32});
+  const BoundedValiantRouter tight(mesh, 0.0);
+  const BoundedValiantRouter padded(mesh, 0.5);
+  const NodeId s = mesh.node_id(Coord{10, 10});
+  const NodeId t = mesh.node_id(Coord{14, 12});
+  EXPECT_GT(padded.box_for(s, t).volume(), tight.box_for(s, t).volume());
+  EXPECT_NE(tight.name(), padded.name());
+}
+
+TEST(BoundedValiant, SelfRouteTrivial) {
+  const Mesh mesh({16, 16});
+  const BoundedValiantRouter router(mesh);
+  Rng rng(1);
+  EXPECT_EQ(router.route(7, 7, rng).nodes, (std::vector<NodeId>{7}));
+}
+
+TEST(BoundedValiant, DegenerateThinBoxIsShortestPath) {
+  // Same row: the box is 1 x (dist+1); every route is a shortest path.
+  const Mesh mesh({16, 16});
+  const BoundedValiantRouter router(mesh);
+  Rng rng(5);
+  const NodeId s = mesh.node_id(Coord{4, 2});
+  const NodeId t = mesh.node_id(Coord{4, 11});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(router.route(s, t, rng).length(), 9);
+  }
+}
+
+TEST(BoundedValiant, RejectsNegativeMargin) {
+  const Mesh mesh({16, 16});
+  EXPECT_THROW(BoundedValiantRouter(mesh, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "decomposition/decomposition.hpp"
+#include "routing/hierarchical.hpp"
+#include "test_support.hpp"
+#include "util/bits.hpp"
+
+namespace oblivious {
+namespace {
+
+// --- Lemma 3.3: the deepest common ancestor of two leaves has height at
+// most log2(dist) + O(1) in the Section 3 decomposition. ---------------------
+
+class BridgeHeight2D
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, bool>> {};
+
+TEST_P(BridgeHeight2D, DeepestCommonAncestorIsShallow) {
+  const auto [side, torus] = GetParam();
+  const Mesh mesh({side, side}, torus);
+  const Decomposition dec = Decomposition::section3(mesh);
+  // Exhaustive over sources, sampled destinations for larger meshes.
+  const std::int64_t stride = side >= 32 ? 7 : 1;
+  int worst_excess = -100;
+  for (NodeId s = 0; s < mesh.num_nodes(); ++s) {
+    for (NodeId t = (s * 31) % stride; t < mesh.num_nodes(); t += stride) {
+      if (s == t) continue;
+      const std::int64_t dist = mesh.distance(s, t);
+      const RegularSubmesh dca =
+          dec.deepest_common(mesh.coord(s), mesh.coord(t), true);
+      const int height = dec.height_of(dca.level);
+      // Lemma 3.3: height <= ceil(log2 dist) + 2 (exact on the torus;
+      // truncation at mesh borders may cost one more level).
+      const int bound = ceil_log2(static_cast<std::uint64_t>(dist)) + 2;
+      const int excess = height - bound;
+      worst_excess = std::max(worst_excess, excess);
+      ASSERT_LE(height, std::min(bound + 1, dec.leaf_level()))
+          << "s=" << s << " t=" << t << " dist=" << dist;
+    }
+  }
+  // The torus construction achieves the exact Lemma 3.3 bound.
+  if (torus) {
+    EXPECT_LE(worst_excess, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BridgeHeight2D,
+    ::testing::Combine(::testing::Values<std::int64_t>(8, 16, 32),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<std::int64_t, bool>>& pinfo) {
+      return testing::param_name(std::get<0>(pinfo.param), std::get<1>(pinfo.param));
+    });
+
+// --- Lemma 4.1: in the Section 4 decomposition, the prescribed bridge
+// height always yields a submesh containing both endpoints' type-1 cells. ----
+
+class BridgeHeightNd
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(BridgeHeightNd, PrescribedBridgeExists) {
+  const auto [dim, torus] = GetParam();
+  const std::int64_t side = dim <= 2 ? 32 : 16;
+  const Mesh mesh = Mesh::cube(dim, side, torus);
+  const NdRouter router(mesh);
+  const Decomposition& dec = router.decomposition();
+  const int k = dec.leaf_level();
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 400, 99)) {
+    const auto [m1_height, bridge_height] = router.heights_for(s, t);
+    const RegularSubmesh bridge = router.bridge_for(s, t);
+    const int height = dec.height_of(bridge.level);
+    // On the torus Lemma 4.1 is exact: the bridge is found at the
+    // prescribed height. On the mesh, truncation can push it at most a
+    // constant number of levels up; the root caps everything.
+    if (torus) {
+      EXPECT_EQ(height, bridge_height) << "s=" << s << " t=" << t;
+    } else {
+      EXPECT_LE(height, std::min(bridge_height + 2, k));
+    }
+    EXPECT_GE(height, m1_height);
+    // The bridge must contain both endpoints' height-h' type-1 cells.
+    const RegularSubmesh m1 = dec.type1_at(mesh.coord(s), k - m1_height);
+    const RegularSubmesh m3 = dec.type1_at(mesh.coord(t), k - m1_height);
+    EXPECT_TRUE(bridge.region.contains_region(mesh, m1.region));
+    EXPECT_TRUE(bridge.region.contains_region(mesh, m3.region));
+  }
+}
+
+TEST_P(BridgeHeightNd, BridgeSideIsProportionalToDistance) {
+  const auto [dim, torus] = GetParam();
+  const std::int64_t side = dim <= 2 ? 64 : 16;
+  const Mesh mesh = Mesh::cube(dim, side, torus);
+  const NdRouter router(mesh);
+  const Decomposition& dec = router.decomposition();
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 300, 7)) {
+    const std::int64_t dist = mesh.distance(s, t);
+    const RegularSubmesh bridge = router.bridge_for(s, t);
+    const std::int64_t bridge_side = dec.side_at(bridge.level);
+    // Section 4.1: 4(d+1) dist >= m_h, bridge side m_{h+1} <= 8(d+1) dist
+    // (unless clamped at the root).
+    if (bridge.level > 0) {
+      EXPECT_LE(bridge_side, 8 * (dim + 1) * dist)
+          << "s=" << s << " t=" << t << " dist=" << dist;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BridgeHeightNd,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& pinfo) {
+      return std::string(std::get<1>(pinfo.param) ? "torus" : "mesh") + "_d" +
+             std::to_string(std::get<0>(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace oblivious

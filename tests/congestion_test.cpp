@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "analysis/congestion.hpp"
+#include "routing/baselines.hpp"
+#include "test_support.hpp"
+
+namespace oblivious {
+namespace {
+
+Path make_path(std::initializer_list<NodeId> nodes) {
+  Path p;
+  p.nodes.assign(nodes);
+  return p;
+}
+
+TEST(EdgeLoadMap, EmptyMapHasZeroLoad) {
+  const Mesh m({4, 4});
+  const EdgeLoadMap loads(m);
+  EXPECT_EQ(loads.max_load(), 0U);
+  EXPECT_EQ(loads.edges_used(), 0);
+  EXPECT_DOUBLE_EQ(loads.mean_nonzero(), 0.0);
+}
+
+TEST(EdgeLoadMap, SinglePathCountsEachEdgeOnce) {
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  loads.add_path(make_path({0, 1, 2, 6}));
+  EXPECT_EQ(loads.max_load(), 1U);
+  EXPECT_EQ(loads.edges_used(), 3);
+  EXPECT_EQ(loads.load(m.edge_between(0, 1)), 1U);
+  EXPECT_EQ(loads.load(m.edge_between(2, 6)), 1U);
+  EXPECT_EQ(loads.load(m.edge_between(6, 7)), 0U);
+}
+
+TEST(EdgeLoadMap, OverlappingPathsAccumulate) {
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  loads.add_path(make_path({0, 1, 2}));
+  loads.add_path(make_path({2, 1}));  // reverse direction counts too
+  loads.add_path(make_path({1, 2, 3}));
+  EXPECT_EQ(loads.load(m.edge_between(1, 2)), 3U);
+  EXPECT_EQ(loads.max_load(), 3U);
+  EXPECT_EQ(loads.argmax(), m.edge_between(1, 2));
+}
+
+TEST(EdgeLoadMap, TrivialPathAddsNothing) {
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  loads.add_path(make_path({5}));
+  EXPECT_EQ(loads.max_load(), 0U);
+}
+
+TEST(EdgeLoadMap, RejectsNonAdjacentHops) {
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  EXPECT_THROW(loads.add_path(make_path({0, 2})), std::invalid_argument);
+}
+
+TEST(EdgeLoadMap, TorusWrapEdges) {
+  const Mesh t({4, 4}, true);
+  EdgeLoadMap loads(t);
+  const NodeId a = t.node_id(Coord{0, 0});
+  const NodeId b = t.node_id(Coord{3, 0});
+  loads.add_path(make_path({a, b}));        // wrap -1 in dim 0
+  loads.add_path(make_path({b, a}));        // wrap +1 in dim 0
+  EXPECT_EQ(loads.load(t.edge_between(a, b)), 2U);
+  const NodeId c = t.node_id(Coord{1, 0});
+  const NodeId d = t.node_id(Coord{1, 3});
+  loads.add_path(make_path({c, d}));        // wrap in dim 1
+  EXPECT_EQ(loads.load(t.edge_between(c, d)), 1U);
+  EXPECT_EQ(loads.max_load(), 2U);
+}
+
+TEST(EdgeLoadMap, MatchesBruteForceOnRandomPaths) {
+  for (const bool torus : {false, true}) {
+    const Mesh m({8, 8}, torus);
+    const RandomDimOrderRouter router(m);
+    Rng rng(3);
+    std::vector<Path> paths;
+    for (const auto& [s, t] : testing::sample_pairs(m, 100, 1)) {
+      paths.push_back(router.route(s, t, rng));
+    }
+    EdgeLoadMap fast(m);
+    fast.add_paths(paths);
+    // Brute force via edge_between on every hop.
+    std::vector<std::uint32_t> brute(static_cast<std::size_t>(m.num_edges()), 0);
+    for (const Path& p : paths) {
+      for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+        ++brute[static_cast<std::size_t>(
+            m.edge_between(p.nodes[i], p.nodes[i + 1]))];
+      }
+    }
+    for (EdgeId e = 0; e < m.num_edges(); ++e) {
+      ASSERT_EQ(fast.load(e), brute[static_cast<std::size_t>(e)])
+          << "edge " << e << " torus=" << torus;
+    }
+  }
+}
+
+TEST(EdgeLoadMap, HistogramAndClear) {
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  loads.add_path(make_path({0, 1, 2}));
+  loads.add_path(make_path({0, 1}));
+  const IntHistogram h = loads.histogram();
+  EXPECT_EQ(h.total(), static_cast<std::uint64_t>(m.num_edges()));
+  EXPECT_EQ(h.count(2), 1U);  // edge (0,1)
+  EXPECT_EQ(h.count(1), 1U);  // edge (1,2)
+  loads.clear();
+  EXPECT_EQ(loads.max_load(), 0U);
+}
+
+TEST(EdgeLoadMap, MeanNonzero) {
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  loads.add_path(make_path({0, 1, 2}));
+  loads.add_path(make_path({0, 1}));
+  EXPECT_DOUBLE_EQ(loads.mean_nonzero(), 1.5);
+}
+
+}  // namespace
+}  // namespace oblivious

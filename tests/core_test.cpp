@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/oblivious_routing.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(Facade, QuickstartFlow) {
+  // The README quickstart, as a test.
+  ObliviousMeshRouting system(Mesh::cube(2, 32), Algorithm::kHierarchical2d);
+  const RoutingProblem problem = transpose(system.mesh());
+  const RoutingRun run = system.route(problem, /*seed=*/7);
+  ASSERT_EQ(run.paths.size(), problem.size());
+  EXPECT_GT(run.metrics.congestion, 0);
+  EXPECT_LE(run.metrics.max_stretch, 64.0);
+
+  const SimulationResult sim = system.deliver(run.paths);
+  EXPECT_TRUE(sim.completed);
+  EXPECT_GE(sim.makespan, std::max(sim.congestion, sim.dilation));
+}
+
+TEST(Facade, RouteOneIsDeterministicPerSeed) {
+  const ObliviousMeshRouting system(Mesh::cube(2, 16), Algorithm::kValiant);
+  const Path a = system.route_one(3, 200, 11);
+  const Path b = system.route_one(3, 200, 11);
+  const Path c = system.route_one(3, 200, 12);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_TRUE(is_valid_path(system.mesh(), a));
+  EXPECT_EQ(a.source(), 3);
+  EXPECT_EQ(a.destination(), 200);
+  (void)c;
+}
+
+TEST(Facade, RouteAndDeliverEndToEnd) {
+  for (const Algorithm a :
+       {Algorithm::kEcube, Algorithm::kHierarchical2d, Algorithm::kHierarchicalNd}) {
+    ObliviousMeshRouting system(Mesh::cube(2, 16), a);
+    Rng rng(5);
+    const RoutingProblem problem = random_permutation(system.mesh(), rng);
+    const SimulationResult sim = system.route_and_deliver(problem);
+    EXPECT_TRUE(sim.completed) << algorithm_name(a);
+    EXPECT_EQ(sim.latency.count(), problem.size());
+  }
+}
+
+TEST(Facade, TorusSupport) {
+  ObliviousMeshRouting system(Mesh::cube(2, 16, /*torus=*/true),
+                              Algorithm::kHierarchicalNdFrugal);
+  const RoutingProblem problem = tornado(system.mesh());
+  const RoutingRun run = system.route(problem, 3);
+  EXPECT_GT(run.metrics.bits_per_packet.mean(), 0.0);
+  EXPECT_TRUE(system.deliver(run.paths).completed);
+}
+
+TEST(Facade, RejectsHierarchicalOnIrregularMesh) {
+  EXPECT_THROW(ObliviousMeshRouting(Mesh({6, 6}), Algorithm::kHierarchical2d),
+               std::invalid_argument);
+  // Baselines are fine on any mesh.
+  const ObliviousMeshRouting ok(Mesh({6, 6}), Algorithm::kEcube);
+  EXPECT_EQ(ok.router().name(), "ecube");
+}
+
+TEST(Facade, AlgorithmAccessor) {
+  const ObliviousMeshRouting system(Mesh::cube(2, 16), Algorithm::kAccessTree);
+  EXPECT_EQ(system.algorithm(), Algorithm::kAccessTree);
+  EXPECT_EQ(system.router().name(), "access-tree");
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,132 @@
+// Property sweeps on the Section 4 (type-j) decomposition in d dimensions:
+// the analogs of Lemma 3.1 that the d-dimensional congestion analysis
+// relies on, verified exhaustively on small meshes and by sampling on
+// larger ones.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "decomposition/decomposition.hpp"
+#include "test_support.hpp"
+#include "util/bits.hpp"
+
+namespace oblivious {
+namespace {
+
+class Section4Decomposition
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  Section4Decomposition()
+      : mesh_(Mesh::cube(std::get<0>(GetParam()), 8, std::get<1>(GetParam()))),
+        dec_(Decomposition::section4(mesh_)) {}
+  Mesh mesh_;
+  Decomposition dec_;
+};
+
+TEST_P(Section4Decomposition, EveryFamilyIsDisjoint) {
+  for (int level = 1; level <= dec_.leaf_level(); ++level) {
+    for (int type = 1; type <= dec_.num_types(level); ++type) {
+      std::vector<int> covered(static_cast<std::size_t>(mesh_.num_nodes()), 0);
+      dec_.for_each_submesh(level, type, [&](const RegularSubmesh& sm) {
+        for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
+          if (sm.region.contains_node(mesh_, u)) {
+            ++covered[static_cast<std::size_t>(u)];
+          }
+        }
+      });
+      for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
+        EXPECT_LE(covered[static_cast<std::size_t>(u)], 1)
+            << "level " << level << " type " << type << " node " << u;
+      }
+    }
+  }
+}
+
+TEST_P(Section4Decomposition, ContainmentQueryMatchesEnumeration) {
+  for (int level = 1; level <= dec_.leaf_level(); ++level) {
+    for (int type = 1; type <= dec_.num_types(level); ++type) {
+      std::map<NodeId, std::int64_t> owner;
+      dec_.for_each_submesh(level, type, [&](const RegularSubmesh& sm) {
+        for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
+          if (sm.region.contains_node(mesh_, u)) owner[u] = sm.grid_key;
+        }
+      });
+      for (NodeId u = 0; u < mesh_.num_nodes(); ++u) {
+        const auto sm = dec_.submesh_at(mesh_.coord(u), level, type);
+        const auto it = owner.find(u);
+        if (it == owner.end()) {
+          EXPECT_FALSE(sm.has_value());
+        } else {
+          ASSERT_TRUE(sm.has_value());
+          EXPECT_EQ(sm->grid_key, it->second);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(Section4Decomposition, EveryNodeIsInSomeSubmeshOfEveryFamilyOnTorus) {
+  // On the torus the shifted families tile completely (no truncation).
+  if (!mesh_.torus()) GTEST_SKIP() << "mesh truncation leaves gaps by design";
+  for (int level = 1; level <= dec_.leaf_level(); ++level) {
+    for (int type = 1; type <= dec_.num_types(level); ++type) {
+      for (NodeId u = 0; u < mesh_.num_nodes(); u += 3) {
+        EXPECT_TRUE(dec_.submesh_at(mesh_.coord(u), level, type).has_value());
+      }
+    }
+  }
+}
+
+TEST_P(Section4Decomposition, AnchorsOfConsecutiveTypesDifferByLambda) {
+  for (int level = 1; level < dec_.leaf_level(); ++level) {
+    const std::int64_t lambda = dec_.shift_lambda(level);
+    const Coord probe = mesh_.coord(mesh_.num_nodes() / 2);
+    for (int type = 1; type < dec_.num_types(level); ++type) {
+      const auto a = dec_.submesh_at(probe, level, type);
+      const auto b = dec_.submesh_at(probe, level, type + 1);
+      if (!a.has_value() || !b.has_value()) continue;
+      if (a->truncated || b->truncated) continue;
+      for (int d = 0; d < mesh_.dim(); ++d) {
+        EXPECT_EQ(pos_mod(b->region.anchor_at(d) - a->region.anchor_at(d),
+                          dec_.side_at(level)),
+                  pos_mod(lambda, dec_.side_at(level)))
+            << "level " << level << " type " << type;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, Section4Decomposition,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& pinfo) {
+      return std::string(std::get<1>(pinfo.param) ? "torus" : "mesh") + "_d" +
+             std::to_string(std::get<0>(pinfo.param));
+    });
+
+TEST(Section4Alignment, BridgeLevelAnchorsAlignWithM1Grid) {
+  // The alignment property behind condition (iii) of Appendix A.1: at the
+  // prescribed bridge height, lambda is a multiple of the type-1 cell side
+  // at height h' = floor(log2 dist), so shifted submeshes decompose into
+  // those cells.
+  for (const int d : {2, 3}) {
+    const Mesh mesh = Mesh::cube(d, 64, /*torus=*/true);
+    const Decomposition dec = Decomposition::section4(mesh);
+    for (std::int64_t dist = 1; dist <= 8; ++dist) {
+      const int h = ceil_log2(2 * static_cast<std::uint64_t>(d + 1) *
+                              static_cast<std::uint64_t>(dist));
+      const int bridge_height = std::min(h + 1, dec.leaf_level());
+      const int m1_height =
+          std::min(floor_log2(static_cast<std::uint64_t>(dist)),
+                   bridge_height - 1);
+      const std::int64_t lambda =
+          dec.shift_lambda(dec.level_of_height(bridge_height));
+      EXPECT_EQ(lambda % (std::int64_t{1} << std::max(m1_height, 0)), 0)
+          << "d=" << d << " dist=" << dist;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oblivious

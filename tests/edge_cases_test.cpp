@@ -1,0 +1,143 @@
+// Edge cases and error paths across modules: degenerate meshes, misuse
+// rejections, and describe/render surfaces not covered by the main suites.
+#include <gtest/gtest.h>
+
+#include "analysis/lower_bound.hpp"
+#include "core/oblivious_routing.hpp"
+#include "decomposition/access_graph.hpp"
+#include "decomposition/render.hpp"
+#include "routing/registry.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(EdgeCases, SingleNodeMesh) {
+  const Mesh m({1});
+  EXPECT_EQ(m.num_nodes(), 1);
+  EXPECT_EQ(m.num_edges(), 0);
+  EXPECT_EQ(m.diameter(), 0);
+  EXPECT_TRUE(m.neighbors(0).empty());
+  const auto router = make_router(Algorithm::kEcube, m);
+  Rng rng(1);
+  EXPECT_EQ(router->route(0, 0, rng).nodes, (std::vector<NodeId>{0}));
+}
+
+TEST(EdgeCases, TwoNodeMeshRoutesBothWays) {
+  const Mesh m({2});
+  for (const Algorithm a : algorithms_for(m)) {
+    const auto router = make_router(a, m);
+    Rng rng(2);
+    EXPECT_EQ(router->route(0, 1, rng).length(), 1) << algorithm_name(a);
+    EXPECT_EQ(router->route(1, 0, rng).length(), 1) << algorithm_name(a);
+  }
+}
+
+TEST(EdgeCases, DecompositionOfTrivialMesh) {
+  const Mesh m({1, 1});
+  const Decomposition dec = Decomposition::section3(m);
+  EXPECT_EQ(dec.leaf_level(), 0);
+  EXPECT_EQ(dec.num_types(0), 1);
+  const RegularSubmesh root = dec.deepest_common(Coord{0, 0}, Coord{0, 0}, true);
+  EXPECT_EQ(root.level, 0);
+}
+
+TEST(EdgeCases, DecompositionRejectsBadConfig) {
+  const Mesh m({8, 8});
+  DecompositionConfig config;
+  config.shift_divisor_log2 = 0;
+  EXPECT_THROW(Decomposition(m, config), std::invalid_argument);
+}
+
+TEST(EdgeCases, AccessGraphRejectsHugeMeshes) {
+  const Mesh m({512, 512});
+  const Decomposition dec = Decomposition::section3(m);
+  EXPECT_THROW(AccessGraph graph(dec), std::invalid_argument);
+}
+
+TEST(EdgeCases, RenderOneDimensionalMesh) {
+  const Mesh m({16});
+  const Decomposition dec = Decomposition::section3(m);
+  const std::string render = render_family(dec, 1, 1);
+  // One row of 16 cells in two families of 8.
+  EXPECT_EQ(render, "AAAAAAAABBBBBBBB\n");
+}
+
+TEST(EdgeCases, SubmeshDescribeAndRegionDescribe) {
+  const Mesh m({8, 8});
+  const Decomposition dec = Decomposition::section3(m);
+  const auto sm = dec.submesh_at(Coord{0, 4}, 1, 2);
+  ASSERT_TRUE(sm.has_value());
+  EXPECT_NE(sm->describe().find("level 1"), std::string::npos);
+  EXPECT_NE(sm->describe().find("truncated"), std::string::npos);
+  EXPECT_NE(sm->region.describe().find("[0+2,2+4]"), std::string::npos);
+}
+
+TEST(EdgeCases, LowerBoundRejectsForeignDecomposition) {
+  const Mesh a({8, 8});
+  const Mesh b({8, 8});
+  const Decomposition dec = Decomposition::section4(b);
+  RoutingProblem problem;
+  problem.demands = {{0, 1}};
+  EXPECT_THROW(congestion_lower_bound(a, dec, problem), std::invalid_argument);
+}
+
+TEST(EdgeCases, FacadeOnHypercube) {
+  ObliviousMeshRouting system(Mesh::cube(8, 2), Algorithm::kValiant);
+  Rng rng(3);
+  const RoutingProblem problem = random_permutation(system.mesh(), rng);
+  const SimulationResult sim = system.route_and_deliver(problem, 5);
+  EXPECT_TRUE(sim.completed);
+}
+
+TEST(EdgeCases, FacadeOnRing) {
+  ObliviousMeshRouting system(Mesh({64}, /*torus=*/true), Algorithm::kEcube);
+  const RoutingProblem problem = tornado(system.mesh());
+  const RoutingRun run = system.route(problem);
+  EXPECT_DOUBLE_EQ(run.metrics.max_stretch, 1.0);
+  // Tornado on a ring: every packet shifts side/2-1 = 31 the same way;
+  // every edge carries exactly 31 packets.
+  EXPECT_EQ(run.metrics.congestion, 31);
+}
+
+TEST(EdgeCases, HierarchicalRoutersOnSide2Mesh) {
+  // k = 1: two levels only, bridges clamp to the root.
+  const Mesh m({2, 2});
+  for (const Algorithm a :
+       {Algorithm::kHierarchical2d, Algorithm::kHierarchicalNd,
+        Algorithm::kHierarchicalNdFrugal, Algorithm::kAccessTree}) {
+    const auto router = make_router(a, m);
+    Rng rng(7);
+    for (NodeId s = 0; s < 4; ++s) {
+      for (NodeId t = 0; t < 4; ++t) {
+        const Path p = router->route(s, t, rng);
+        EXPECT_TRUE(is_valid_path(m, p)) << algorithm_name(a);
+        EXPECT_EQ(p.source(), s);
+        EXPECT_EQ(p.destination(), t);
+      }
+    }
+  }
+}
+
+TEST(EdgeCases, WorkloadsOnMinimalMeshes) {
+  const Mesh m({2, 2});
+  EXPECT_EQ(transpose(m).size(), 4U);
+  EXPECT_EQ(bit_reversal(m).size(), 4U);
+  EXPECT_EQ(cut_straddlers(m).size(), 4U);
+  EXPECT_EQ(block_exchange(m, 1).size(), 4U);
+  Rng rng(5);
+  EXPECT_EQ(nearest_neighbor(m, rng).size(), 4U);
+}
+
+TEST(EdgeCases, EmptyProblemEvaluates) {
+  const Mesh m({8, 8});
+  const auto router = make_router(Algorithm::kHierarchical2d, m);
+  const RoutingProblem empty;
+  const RouteSetMetrics metrics = evaluate(m, *router, empty);
+  EXPECT_EQ(metrics.packets, 0U);
+  EXPECT_EQ(metrics.congestion, 0);
+  EXPECT_DOUBLE_EQ(metrics.max_stretch, 1.0);
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.hpp"
+
+namespace oblivious {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args,
+            const std::vector<std::string>& known = {}) {
+  std::vector<const char*> argv(args);
+  return Flags::parse(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(Flags, ValueStyles) {
+  const Flags f = parse({"prog", "--name", "value", "--other=thing"});
+  EXPECT_EQ(f.get("name", ""), "value");
+  EXPECT_EQ(f.get("other", ""), "thing");
+  EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(Flags, BooleanFlag) {
+  const Flags f = parse({"prog", "--verbose", "--x=false"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("x", true));
+  EXPECT_FALSE(f.get_bool("absent"));
+  EXPECT_TRUE(f.get_bool("absent", true));
+}
+
+TEST(Flags, IntAndDouble) {
+  const Flags f = parse({"prog", "--count", "42", "--rate=0.25", "--neg", "-7"});
+  EXPECT_EQ(f.get_int("count", 0), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.25);
+  EXPECT_EQ(f.get_int("absent", 9), 9);
+  // "-7" starts with '-' but not "--": it is consumed as the value.
+  EXPECT_EQ(f.get_int("neg", 0), -7);
+}
+
+TEST(Flags, Positional) {
+  const Flags f = parse({"prog", "input.txt", "--k", "3", "more"});
+  ASSERT_EQ(f.positional().size(), 2U);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, KnownListRejectsUnknown) {
+  EXPECT_THROW(parse({"prog", "--bogus", "1"}, {"good"}), std::invalid_argument);
+  EXPECT_NO_THROW(parse({"prog", "--good", "1"}, {"good"}));
+}
+
+TEST(Flags, MalformedValuesThrowOnAccess) {
+  const Flags f = parse({"prog", "--n", "abc", "--b", "maybe"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(f.get_double("n", 0.0), std::invalid_argument);
+  EXPECT_THROW(f.get_bool("b"), std::invalid_argument);
+}
+
+TEST(Flags, HasDetectsPresence) {
+  const Flags f = parse({"prog", "--present"});
+  EXPECT_TRUE(f.has("present"));
+  EXPECT_FALSE(f.has("absent"));
+}
+
+TEST(Flags, FlagFollowedByFlagIsBoolean) {
+  const Flags f = parse({"prog", "--a", "--b", "7"});
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_EQ(f.get_int("b", 0), 7);
+}
+
+}  // namespace
+}  // namespace oblivious

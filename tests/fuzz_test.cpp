@@ -1,0 +1,137 @@
+// Differential fuzz tests: randomized operation sequences checked against
+// an independent reference implementation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/region.hpp"
+#include "rng/rng.hpp"
+#include "util/small_vec.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(Fuzz, SmallVecBehavesLikeStdVector) {
+  Rng rng(0xfacade);
+  for (int trial = 0; trial < 50; ++trial) {
+    SmallVec<int, 4> sv;
+    std::vector<int> ref;
+    for (int op = 0; op < 200; ++op) {
+      switch (rng.uniform_below(5)) {
+        case 0:
+        case 1: {  // push_back (weighted: grow more than shrink)
+          const int v = static_cast<int>(rng.uniform_below(1000));
+          sv.push_back(v);
+          ref.push_back(v);
+          break;
+        }
+        case 2: {  // pop_back
+          if (!ref.empty()) {
+            sv.pop_back();
+            ref.pop_back();
+          }
+          break;
+        }
+        case 3: {  // resize
+          const std::size_t n = rng.uniform_below(20);
+          sv.resize(n, 7);
+          ref.resize(n, 7);
+          break;
+        }
+        case 4: {  // write through operator[]
+          if (!ref.empty()) {
+            const std::size_t i = rng.uniform_below(ref.size());
+            const int v = static_cast<int>(rng.uniform_below(1000));
+            sv[i] = v;
+            ref[i] = v;
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(sv.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(sv[i], ref[i]) << "trial " << trial << " op " << op;
+      }
+    }
+    // Copy/move round trip preserves contents.
+    SmallVec<int, 4> copy(sv);
+    SmallVec<int, 4> moved(std::move(copy));
+    ASSERT_EQ(moved.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(moved[i], ref[i]);
+  }
+}
+
+TEST(Fuzz, RegionContainmentMatchesBruteForce) {
+  Rng rng(0xbeef);
+  for (const bool torus : {false, true}) {
+    const Mesh mesh({8, 16}, torus);
+    for (int trial = 0; trial < 60; ++trial) {
+      Coord anchor;
+      Coord extent;
+      anchor.resize(2);
+      extent.resize(2);
+      for (int d = 0; d < 2; ++d) {
+        const std::size_t dd = static_cast<std::size_t>(d);
+        extent[dd] = 1 + static_cast<std::int64_t>(
+                             rng.uniform_below(
+                                 static_cast<std::uint64_t>(mesh.side(d))));
+        const std::int64_t max_anchor =
+            torus ? mesh.side(d) : mesh.side(d) - extent[dd] + 1;
+        anchor[dd] = static_cast<std::int64_t>(
+            rng.uniform_below(static_cast<std::uint64_t>(max_anchor)));
+      }
+      const Region region(anchor, extent);
+      // Brute force: enumerate the region's nodes via coord_at.
+      std::vector<bool> inside(static_cast<std::size_t>(mesh.num_nodes()), false);
+      for (std::int64_t dx = 0; dx < extent[0]; ++dx) {
+        for (std::int64_t dy = 0; dy < extent[1]; ++dy) {
+          inside[static_cast<std::size_t>(
+              mesh.node_id(region.coord_at(mesh, Coord{dx, dy})))] = true;
+        }
+      }
+      for (NodeId u = 0; u < mesh.num_nodes(); ++u) {
+        ASSERT_EQ(region.contains_node(mesh, u),
+                  inside[static_cast<std::size_t>(u)])
+            << region.describe() << " node " << u << " torus " << torus;
+      }
+      // Volume agrees with the enumeration.
+      std::int64_t count = 0;
+      for (const bool b : inside) count += b ? 1 : 0;
+      ASSERT_EQ(count, region.volume());
+    }
+  }
+}
+
+TEST(Fuzz, DistanceMatchesBfsOnSmallMeshes) {
+  // L1 (wrap-aware) distance vs breadth-first search over the real edges.
+  for (const bool torus : {false, true}) {
+    const Mesh mesh({4, 3, 2}, torus);
+    for (NodeId s = 0; s < mesh.num_nodes(); ++s) {
+      std::vector<std::int64_t> dist(static_cast<std::size_t>(mesh.num_nodes()),
+                                     -1);
+      std::vector<NodeId> frontier = {s};
+      dist[static_cast<std::size_t>(s)] = 0;
+      while (!frontier.empty()) {
+        std::vector<NodeId> next;
+        for (const NodeId u : frontier) {
+          for (const NodeId v : mesh.neighbors(u)) {
+            if (dist[static_cast<std::size_t>(v)] == -1) {
+              dist[static_cast<std::size_t>(v)] =
+                  dist[static_cast<std::size_t>(u)] + 1;
+              next.push_back(v);
+            }
+          }
+        }
+        frontier = std::move(next);
+      }
+      for (NodeId t = 0; t < mesh.num_nodes(); ++t) {
+        ASSERT_EQ(mesh.distance(s, t), dist[static_cast<std::size_t>(t)])
+            << "s=" << s << " t=" << t << " torus=" << torus;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "analysis/heatmap.hpp"
+#include "routing/registry.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+Path make_path(std::initializer_list<NodeId> nodes) {
+  Path p;
+  p.nodes.assign(nodes);
+  return p;
+}
+
+TEST(Heatmap, EmptyLoadsRenderBlank) {
+  const Mesh mesh({8, 8});
+  const EdgeLoadMap loads(mesh);
+  const std::string map = render_load_heatmap(loads);
+  // 8 rows of 8 spaces (plus the header line).
+  EXPECT_NE(map.find("peak edge load 0"), std::string::npos);
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 9);
+  // No hot cells below the header line (the header itself shows the ramp).
+  EXPECT_EQ(map.find('@', map.find('\n')), std::string::npos);
+}
+
+TEST(Heatmap, HotEdgeGetsPeakSymbol) {
+  const Mesh mesh({8, 8});
+  EdgeLoadMap loads(mesh);
+  for (int i = 0; i < 5; ++i) loads.add_path(make_path({0, 1}));
+  const std::string map = render_load_heatmap(loads);
+  EXPECT_NE(map.find("peak edge load 5"), std::string::npos);
+  EXPECT_NE(map.find('@'), std::string::npos);
+}
+
+TEST(Heatmap, EcubeTransposeShowsDiagonal) {
+  const Mesh mesh({16, 16});
+  const auto router = make_router(Algorithm::kEcube, mesh);
+  EdgeLoadMap loads(mesh);
+  Rng rng(1);
+  for (const Demand& d : transpose(mesh).demands) {
+    loads.add_path(router->route(d.src, d.dst, rng));
+  }
+  const std::string map = render_load_heatmap(loads);
+  // The hottest cells of dimension-order transpose sit on the diagonal.
+  std::vector<std::string> rows;
+  std::stringstream ss(map);
+  std::string line;
+  std::getline(ss, line);  // header
+  while (std::getline(ss, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 16U);
+  int diagonal_hot = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    if (c == '@' || c == '%' || c == '#') ++diagonal_hot;
+  }
+  EXPECT_GE(diagonal_hot, 8);
+}
+
+TEST(Heatmap, DownsamplesLargeMeshes) {
+  const Mesh mesh({64, 64});
+  EdgeLoadMap loads(mesh);
+  loads.add_path(make_path({0, 1}));
+  const std::string map = render_load_heatmap(loads, /*width=*/16);
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 17);
+}
+
+TEST(Heatmap, Rejects3DMeshes) {
+  const Mesh mesh({4, 4, 4});
+  const EdgeLoadMap loads(mesh);
+  EXPECT_THROW(render_load_heatmap(loads), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oblivious

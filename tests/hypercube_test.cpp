@@ -1,0 +1,106 @@
+// The hypercube is the side-2 d-cube (Section 6 / related work [4, 8]):
+// everything in the library must work on it unchanged.
+#include <gtest/gtest.h>
+
+#include "analysis/evaluate.hpp"
+#include "routing/registry.hpp"
+#include "test_support.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(Hypercube, TopologyIsTheBinaryCube) {
+  const Mesh cube = Mesh::cube(5, 2);
+  EXPECT_EQ(cube.num_nodes(), 32);
+  EXPECT_EQ(cube.num_edges(), 5 * 16);  // d * 2^(d-1)
+  // Node degree d; neighbors differ in exactly one bit.
+  for (NodeId u = 0; u < cube.num_nodes(); ++u) {
+    const auto nbrs = cube.neighbors(u);
+    EXPECT_EQ(nbrs.size(), 5U);
+    for (const NodeId v : nbrs) {
+      EXPECT_EQ(__builtin_popcountll(static_cast<unsigned long long>(u ^ v)), 1);
+    }
+  }
+}
+
+TEST(Hypercube, DistanceIsHammingDistance) {
+  const Mesh cube = Mesh::cube(6, 2);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.uniform_below(64));
+    const NodeId b = static_cast<NodeId>(rng.uniform_below(64));
+    EXPECT_EQ(cube.distance(a, b),
+              __builtin_popcountll(static_cast<unsigned long long>(a ^ b)));
+  }
+}
+
+TEST(Hypercube, EcubeIsBitFixing) {
+  const Mesh cube = Mesh::cube(6, 2);
+  const auto router = make_router(Algorithm::kEcube, cube);
+  Rng rng(1);
+  // Bit-fixing corrects the highest-order coordinate (bit) first and every
+  // hop flips exactly one bit left to right.
+  const Path p = router->route(0b101010, 0b010101, rng);
+  EXPECT_EQ(p.length(), 6);
+  for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+    const auto diff =
+        static_cast<unsigned long long>(p.nodes[i] ^ p.nodes[i + 1]);
+    EXPECT_EQ(__builtin_popcountll(diff), 1);
+  }
+}
+
+TEST(Hypercube, AllRoutersProduceValidPaths) {
+  const Mesh cube = Mesh::cube(7, 2);
+  Rng rng(5);
+  for (const Algorithm a : algorithms_for(cube)) {
+    const auto router = make_router(a, cube);
+    for (const auto& [s, t] : testing::sample_pairs(cube, 60, 11)) {
+      const Path p = router->route(s, t, rng);
+      EXPECT_TRUE(is_valid_path(cube, p)) << algorithm_name(a);
+      EXPECT_EQ(p.source(), s);
+      EXPECT_EQ(p.destination(), t);
+    }
+  }
+}
+
+TEST(Hypercube, HierarchicalRoutersApplyWithSide2) {
+  // side 2 = 2^1: the decomposition has two levels and the machinery
+  // degenerates gracefully.
+  const Mesh cube = Mesh::cube(6, 2);
+  const auto router = make_router(Algorithm::kHierarchicalNd, cube);
+  Rng rng(7);
+  for (const auto& [s, t] : testing::sample_pairs(cube, 60, 13)) {
+    const Path p = router->route(s, t, rng);
+    EXPECT_TRUE(is_valid_path(cube, p));
+  }
+}
+
+TEST(Hypercube, BitTransposeHurtsBitFixing) {
+  // The Omega(sqrt N) classic: address (a|b) -> (b|a).
+  const int d = 10;
+  const Mesh cube = Mesh::cube(d, 2);
+  RoutingProblem hard;
+  for (NodeId u = 0; u < cube.num_nodes(); ++u) {
+    Coord c = cube.coord(u);
+    Coord o = c;
+    for (int i = 0; i < d / 2; ++i) {
+      std::swap(o[static_cast<std::size_t>(i)],
+                o[static_cast<std::size_t>(i + d / 2)]);
+    }
+    hard.demands.push_back({u, cube.node_id(o)});
+  }
+  RouteAllOptions options;
+  options.seed = 3;
+  const auto ecube = make_router(Algorithm::kEcube, cube);
+  const auto valiant = make_router(Algorithm::kValiant, cube);
+  const auto c_ecube =
+      evaluate_with_bound(cube, *ecube, hard, 1.0, options).congestion;
+  const auto c_valiant =
+      evaluate_with_bound(cube, *valiant, hard, 1.0, options).congestion;
+  EXPECT_EQ(c_ecube, 16);  // sqrt(1024)/2: all (a,a) packets share an edge
+  EXPECT_LT(c_valiant, c_ecube);  // randomization spreads the hot spot
+}
+
+}  // namespace
+}  // namespace oblivious

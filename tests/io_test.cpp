@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/generators.hpp"
+#include "workloads/io.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(ProblemIo, RoundTrip) {
+  const Mesh mesh({8, 16});
+  RoutingProblem problem;
+  problem.demands = {{0, 5}, {10, 120}, {3, 3}};
+  const std::string text = problem_to_text(mesh, problem);
+  const auto [mesh2, problem2] = problem_from_text(text);
+  EXPECT_EQ(mesh2.sides(), mesh.sides());
+  EXPECT_EQ(mesh2.torus(), mesh.torus());
+  EXPECT_EQ(problem2.demands, problem.demands);
+}
+
+TEST(ProblemIo, TorusFlagPreserved) {
+  const Mesh mesh({4, 4, 4}, /*torus=*/true);
+  RoutingProblem problem;
+  problem.demands = {{0, 63}};
+  const auto [mesh2, problem2] =
+      problem_from_text(problem_to_text(mesh, problem));
+  EXPECT_TRUE(mesh2.torus());
+  EXPECT_EQ(mesh2.dim(), 3);
+}
+
+TEST(ProblemIo, GeneratedWorkloadRoundTrips) {
+  const Mesh mesh({16, 16});
+  const RoutingProblem problem = transpose(mesh);
+  const auto [mesh2, problem2] =
+      problem_from_text(problem_to_text(mesh, problem));
+  EXPECT_EQ(problem2.demands, problem.demands);
+}
+
+TEST(ProblemIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "mesh 4 4  # inline comment\n"
+      "demand 0 1\n"
+      "   \n"
+      "demand 2 3 # another\n";
+  const auto [mesh, problem] = problem_from_text(text);
+  EXPECT_EQ(mesh.num_nodes(), 16);
+  EXPECT_EQ(problem.size(), 2U);
+}
+
+TEST(ProblemIo, RejectsMalformedInput) {
+  EXPECT_THROW(problem_from_text("demand 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(problem_from_text("mesh\n"), std::invalid_argument);
+  EXPECT_THROW(problem_from_text("mesh 4 4\nmesh 4 4\n"), std::invalid_argument);
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand 0\n"), std::invalid_argument);
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand 0 16\n"),
+               std::invalid_argument);
+  EXPECT_THROW(problem_from_text("mesh 4 4\nfrobnicate 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(problem_from_text("mesh 0 4\n"), std::invalid_argument);
+  EXPECT_THROW(problem_from_text("# nothing\n"), std::invalid_argument);
+}
+
+TEST(ProblemIo, EmptyProblemIsFine) {
+  const auto [mesh, problem] = problem_from_text("mesh 8 8\n");
+  EXPECT_EQ(mesh.num_nodes(), 64);
+  EXPECT_TRUE(problem.empty());
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/kchoice.hpp"
+#include "routing/registry.hpp"
+#include "test_support.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(KChoice, KappaOneIsDeterministic) {
+  const Mesh mesh({16, 16});
+  const KChoiceRouter router(make_router(Algorithm::kHierarchical2d, mesh), 1);
+  EXPECT_TRUE(router.deterministic());
+  Rng a(1);
+  Rng b(999);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 40, 3)) {
+    // Identical paths regardless of the caller's rng state.
+    EXPECT_EQ(router.route(s, t, a).nodes, router.route(s, t, b).nodes);
+  }
+}
+
+TEST(KChoice, KappaOneConsumesZeroBits) {
+  const Mesh mesh({16, 16});
+  const KChoiceRouter router(make_router(Algorithm::kValiant, mesh), 1);
+  Rng rng(1);
+  BitMeter meter;
+  rng.attach_meter(&meter);
+  (void)router.route(3, 77, rng);
+  EXPECT_EQ(meter.bits, 0U);
+}
+
+TEST(KChoice, ChargesExactlyLogKappaBits) {
+  const Mesh mesh({16, 16});
+  for (const int kappa : {2, 4, 8, 16}) {
+    const KChoiceRouter router(make_router(Algorithm::kHierarchical2d, mesh),
+                               kappa);
+    Rng rng(5);
+    BitMeter meter;
+    rng.attach_meter(&meter);
+    (void)router.route(3, 200, rng);
+    EXPECT_EQ(meter.bits, static_cast<std::uint64_t>(ceil_log2(
+                              static_cast<std::uint64_t>(kappa))))
+        << "kappa=" << kappa;
+  }
+}
+
+TEST(KChoice, RoutesComeFromTheAlternativeTable) {
+  const Mesh mesh({16, 16});
+  const KChoiceRouter router(make_router(Algorithm::kHierarchical2d, mesh), 4);
+  const NodeId s = 3;
+  const NodeId t = 212;
+  std::set<std::vector<NodeId>> alternatives;
+  for (int i = 0; i < 4; ++i) {
+    alternatives.insert(router.alternative(s, t, i).nodes);
+  }
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_TRUE(alternatives.count(router.route(s, t, rng).nodes) == 1);
+  }
+}
+
+TEST(KChoice, AllAlternativesEventuallyChosen) {
+  const Mesh mesh({16, 16});
+  const KChoiceRouter router(make_router(Algorithm::kValiant, mesh), 4);
+  Rng rng(11);
+  std::set<std::vector<NodeId>> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    seen.insert(router.route(3, 200, rng).nodes);
+  }
+  // Valiant alternatives are almost surely distinct paths.
+  EXPECT_EQ(seen.size(), 4U);
+}
+
+TEST(KChoice, TableIsStableAcrossInstances) {
+  const Mesh mesh({16, 16});
+  const KChoiceRouter a(make_router(Algorithm::kHierarchical2d, mesh), 8, 42);
+  const KChoiceRouter b(make_router(Algorithm::kHierarchical2d, mesh), 8, 42);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.alternative(5, 100, i).nodes, b.alternative(5, 100, i).nodes);
+  }
+  const KChoiceRouter c(make_router(Algorithm::kHierarchical2d, mesh), 8, 43);
+  bool any_different = false;
+  for (int i = 0; i < 8; ++i) {
+    any_different =
+        any_different || a.alternative(5, 100, i).nodes != c.alternative(5, 100, i).nodes;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(KChoice, AlternativesAreValidPaths) {
+  const Mesh mesh({16, 16}, /*torus=*/true);
+  const KChoiceRouter router(make_router(Algorithm::kHierarchicalNd, mesh), 3);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 30, 7)) {
+    for (int i = 0; i < 3; ++i) {
+      const Path p = router.alternative(s, t, i);
+      EXPECT_TRUE(is_valid_path(mesh, p));
+      EXPECT_EQ(p.source(), s);
+      EXPECT_EQ(p.destination(), t);
+    }
+  }
+}
+
+TEST(KChoice, NameEncodesKappa) {
+  const Mesh mesh({16, 16});
+  const KChoiceRouter router(make_router(Algorithm::kEcube, mesh), 4);
+  EXPECT_EQ(router.name(), "ecube-k4");
+}
+
+TEST(KChoice, RejectsBadArguments) {
+  const Mesh mesh({16, 16});
+  EXPECT_THROW(KChoiceRouter(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(KChoiceRouter(make_router(Algorithm::kEcube, mesh), 0),
+               std::invalid_argument);
+  const KChoiceRouter router(make_router(Algorithm::kEcube, mesh), 2);
+  EXPECT_THROW(router.alternative(0, 1, 2), std::invalid_argument);
+  EXPECT_THROW(router.alternative(0, 1, -1), std::invalid_argument);
+}
+
+TEST(KChoice, MoreChoicesSpreadLoadOnSharedPair) {
+  // All packets share one (s, t). With kappa = 1 they all take the same
+  // fixed path (worst edge load = all 64 packets); with many choices the
+  // load spreads. Edges incident to the shared endpoints always carry
+  // ~64 / (2d) packets, so the comparison is between the extremes.
+  const Mesh mesh({32, 32});
+  const NodeId s = mesh.node_id(Coord{4, 4});
+  const NodeId t = mesh.node_id(Coord{27, 27});
+  auto worst_load = [&](int kappa) {
+    const KChoiceRouter router(make_router(Algorithm::kValiant, mesh), kappa);
+    Rng rng(13);
+    std::vector<std::int64_t> loads(
+        static_cast<std::size_t>(mesh.num_edges()), 0);
+    std::int64_t worst = 0;
+    for (int packet = 0; packet < 64; ++packet) {
+      const Path p = router.route(s, t, rng);
+      for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+        const EdgeId e = mesh.edge_between(p.nodes[i], p.nodes[i + 1]);
+        worst = std::max(worst, ++loads[static_cast<std::size_t>(e)]);
+      }
+    }
+    return worst;
+  };
+  // kappa = 1: all 64 packets share one fixed path (an edge the path
+  // doubles back through via the intermediate carries 2 per packet).
+  EXPECT_GE(worst_load(1), 64);
+  EXPECT_LE(worst_load(16), 48);
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,83 @@
+// Validates the regular-submesh boundary-congestion bound against the
+// exhaustive bound over ALL axis-aligned boxes: the regular submeshes are
+// a subset of all boxes, so B_regular <= B_all, and the hierarchical
+// families are rich enough that the gap is a small constant -- which is
+// what makes B_regular a faithful stand-in for C* in the experiments.
+#include <gtest/gtest.h>
+
+#include "analysis/lower_bound.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+double exhaustive_boundary(const Mesh& mesh, const RoutingProblem& problem) {
+  OBLV_REQUIRE(mesh.dim() == 2 && !mesh.torus(), "test helper is 2D-mesh only");
+  double best = 0.0;
+  for (std::int64_t x0 = 0; x0 < mesh.side(0); ++x0) {
+    for (std::int64_t x1 = x0; x1 < mesh.side(0); ++x1) {
+      for (std::int64_t y0 = 0; y0 < mesh.side(1); ++y0) {
+        for (std::int64_t y1 = y0; y1 < mesh.side(1); ++y1) {
+          const Region box = Region::box(Coord{x0, y0}, Coord{x1, y1});
+          const std::int64_t out = mesh.boundary_edge_count(box);
+          if (out == 0) continue;  // the whole mesh
+          std::int64_t crossings = 0;
+          for (const Demand& d : problem.demands) {
+            if (d.src == d.dst) continue;
+            if (box.contains_node(mesh, d.src) != box.contains_node(mesh, d.dst)) {
+              ++crossings;
+            }
+          }
+          best = std::max(best,
+                          static_cast<double>(crossings) / static_cast<double>(out));
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TEST(LowerBoundExhaustive, RegularSubmeshesNeverExceedAllBoxes) {
+  const Mesh mesh({8, 8});
+  const Decomposition dec = Decomposition::section4(mesh);
+  Rng rng(3);
+  for (const auto& problem :
+       {transpose(mesh), bit_reversal(mesh), random_permutation(mesh, rng),
+        block_exchange(mesh, 2)}) {
+    const double regular = congestion_lower_bound(mesh, dec, problem).boundary;
+    const double all = exhaustive_boundary(mesh, problem);
+    EXPECT_LE(regular, all + 1e-9);
+  }
+}
+
+TEST(LowerBoundExhaustive, RegularSubmeshesCaptureAConstantFraction) {
+  // The hierarchical families lose at most a small constant against the
+  // best possible box cut -- on these workloads, at most 3x.
+  const Mesh mesh({8, 8});
+  const Decomposition dec = Decomposition::section4(mesh);
+  Rng rng(5);
+  for (const auto& problem :
+       {transpose(mesh), bit_reversal(mesh), random_permutation(mesh, rng),
+        block_exchange(mesh, 2), tornado(mesh)}) {
+    const double regular = congestion_lower_bound(mesh, dec, problem).boundary;
+    const double all = exhaustive_boundary(mesh, problem);
+    if (all == 0.0) continue;
+    EXPECT_GE(regular, all / 3.0)
+        << "regular=" << regular << " exhaustive=" << all;
+  }
+}
+
+TEST(LowerBoundExhaustive, HotspotIsCapturedExactly) {
+  // The worst box for a hotspot is the sink itself, which IS a regular
+  // submesh (leaf level), so the two bounds agree.
+  const Mesh mesh({8, 8});
+  const Decomposition dec = Decomposition::section4(mesh);
+  Rng rng(7);
+  const RoutingProblem problem = hotspot(mesh, rng, 30);
+  const double regular = congestion_lower_bound(mesh, dec, problem).boundary;
+  const double all = exhaustive_boundary(mesh, problem);
+  EXPECT_DOUBLE_EQ(regular, all);
+}
+
+}  // namespace
+}  // namespace oblivious

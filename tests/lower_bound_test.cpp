@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/lower_bound.hpp"
+#include "routing/registry.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(LowerBound, EmptyProblemIsZero) {
+  const Mesh m({16, 16});
+  const Decomposition dec = Decomposition::section4(m);
+  const RoutingProblem empty;
+  const CongestionLowerBound lb = congestion_lower_bound(m, dec, empty);
+  EXPECT_DOUBLE_EQ(lb.boundary, 0.0);
+  EXPECT_DOUBLE_EQ(lb.average, 0.0);
+  EXPECT_DOUBLE_EQ(lb.value(), 0.0);
+}
+
+TEST(LowerBound, SelfDemandsDoNotCount) {
+  const Mesh m({16, 16});
+  const Decomposition dec = Decomposition::section4(m);
+  RoutingProblem p;
+  p.demands = {{3, 3}, {7, 7}};
+  EXPECT_DOUBLE_EQ(congestion_lower_bound(m, dec, p).value(), 0.0);
+}
+
+TEST(LowerBound, HotspotBoundedByNodeDegree) {
+  // All packets into one node must cross its <= 2d incident edges; the
+  // leaf-level submesh {sink} captures exactly that.
+  const Mesh m({16, 16});
+  const Decomposition dec = Decomposition::section4(m);
+  RoutingProblem p;
+  const NodeId sink = m.node_id(Coord{8, 8});
+  for (NodeId u = 0; u < 40; ++u) {
+    if (u != sink) p.demands.push_back({u, sink});
+  }
+  const CongestionLowerBound lb = congestion_lower_bound(m, dec, p);
+  EXPECT_GE(lb.boundary, static_cast<double>(p.demands.size()) / 4.0);
+}
+
+TEST(LowerBound, BisectionBoundOnBlockExchange) {
+  // The block-exchange workload with l = side/2 sends the whole left half
+  // to the right half: |Pi'| = n/2 over out = side edges... on the section4
+  // decomposition the half-mesh is not a regular submesh, but quadrant
+  // bounds still force B >= (n/8) / (2*side).
+  const Mesh m({16, 16});
+  const Decomposition dec = Decomposition::section4(m);
+  const RoutingProblem p = block_exchange(m, 8);
+  const CongestionLowerBound lb = congestion_lower_bound(m, dec, p);
+  EXPECT_GE(lb.value(), 2.0);
+}
+
+TEST(LowerBound, AverageBoundMatchesHandComputation) {
+  const Mesh m({16, 16});
+  const Decomposition dec = Decomposition::section4(m);
+  RoutingProblem p;
+  p.demands = {{0, m.num_nodes() - 1}};  // distance 30
+  const CongestionLowerBound lb = congestion_lower_bound(m, dec, p);
+  EXPECT_NEAR(lb.average, 30.0 / static_cast<double>(m.num_edges()), 1e-12);
+}
+
+TEST(LowerBound, CutFallbackMatchesHierarchicalOrderOfMagnitude) {
+  const Mesh m({16, 16});
+  const Decomposition dec = Decomposition::section4(m);
+  const RoutingProblem p = transpose(m);
+  const double hierarchical = congestion_lower_bound(m, dec, p).value();
+  const double cuts = congestion_lower_bound(m, p).value();
+  EXPECT_GT(cuts, 0.0);
+  EXPECT_GT(hierarchical, 0.0);
+  EXPECT_LT(std::abs(std::log2(hierarchical / cuts)), 2.0);
+}
+
+TEST(LowerBound, WorksOnNonPowerOfTwoMeshes) {
+  const Mesh m({6, 10});
+  RoutingProblem p;
+  // Everything from the left half to the right half.
+  for (NodeId u = 0; u < m.num_nodes(); ++u) {
+    const Coord c = m.coord(u);
+    if (c[1] < 5) {
+      Coord o = c;
+      o[1] = c[1] + 5;
+      p.demands.push_back({u, m.node_id(o)});
+    }
+  }
+  const CongestionLowerBound lb = congestion_lower_bound(m, p);
+  // 30 packets cross the 6-edge cut between columns 4 and 5.
+  EXPECT_GE(lb.boundary, 5.0);
+}
+
+TEST(LowerBound, NoAlgorithmBeatsTheBound) {
+  // The fundamental property: for every algorithm, achieved congestion is
+  // at least the lower bound (the bound is valid for *any* routing).
+  const Mesh m({16, 16});
+  using ProblemFactory = RoutingProblem (*)(const Mesh&);
+  const ProblemFactory factories[] = {
+      [](const Mesh& mesh) { return transpose(mesh); },
+      [](const Mesh& mesh) { return bit_reversal(mesh); },
+      [](const Mesh& mesh) { return block_exchange(mesh, 4, 0); }};
+  for (const ProblemFactory make_problem : factories) {
+    const RoutingProblem problem = make_problem(m);
+    const double lb = best_lower_bound(m, problem);
+    for (const Algorithm a : algorithms_for(m)) {
+      const auto router = make_router(a, m);
+      const RouteSetMetrics metrics =
+          evaluate_with_bound(m, *router, problem, lb);
+      EXPECT_GE(static_cast<double>(metrics.congestion) + 1e-9, std::floor(lb))
+          << algorithm_name(a);
+    }
+  }
+}
+
+TEST(LowerBound, ArgmaxSubmeshIsReported) {
+  const Mesh m({16, 16});
+  const Decomposition dec = Decomposition::section4(m);
+  const RoutingProblem p = block_exchange(m, 8);
+  const CongestionLowerBound lb = congestion_lower_bound(m, dec, p);
+  EXPECT_GT(lb.boundary, 0.0);
+  EXPECT_GE(lb.boundary_argmax.region.volume(), 1);
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/congestion.hpp"
+#include "analysis/evaluate.hpp"
+#include "offline/greedy.hpp"
+#include "routing/staircase.hpp"
+#include "test_support.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+// --- staircase router ----------------------------------------------------------
+
+TEST(Staircase, AlwaysShortestPaths) {
+  for (const bool torus : {false, true}) {
+    const Mesh mesh({16, 16}, torus);
+    const RandomStaircaseRouter router(mesh);
+    Rng rng(3);
+    for (const auto& [s, t] : testing::sample_pairs(mesh, 200, 5)) {
+      const Path p = router.route(s, t, rng);
+      ASSERT_TRUE(is_valid_path(mesh, p));
+      EXPECT_EQ(p.length(), mesh.distance(s, t));
+    }
+  }
+}
+
+TEST(Staircase, ExploresManyShortestPaths) {
+  const Mesh mesh({16, 16});
+  const RandomStaircaseRouter router(mesh);
+  Rng rng(7);
+  const NodeId s = mesh.node_id(Coord{2, 2});
+  const NodeId t = mesh.node_id(Coord{7, 7});
+  std::set<std::vector<NodeId>> distinct;
+  for (int i = 0; i < 300; ++i) distinct.insert(router.route(s, t, rng).nodes);
+  // C(10,5) = 252 shortest paths exist; the sampler should hit many.
+  EXPECT_GT(distinct.size(), 100U);
+}
+
+TEST(Staircase, UniformOverShortestPathsOnSmallInstance) {
+  // 2x2 displacement: 6 shortest paths; chi-square over 6 bins.
+  const Mesh mesh({8, 8});
+  const RandomStaircaseRouter router(mesh);
+  Rng rng(11);
+  std::map<std::vector<NodeId>, int> counts;
+  constexpr int kTrials = 6000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[router.route(mesh.node_id(Coord{1, 1}), mesh.node_id(Coord{3, 3}),
+                          rng)
+                 .nodes];
+  }
+  ASSERT_EQ(counts.size(), 6U);
+  const double expected = kTrials / 6.0;
+  double chi2 = 0.0;
+  for (const auto& [path, count] : counts) {
+    chi2 += (count - expected) * (count - expected) / expected;
+  }
+  EXPECT_LT(chi2, 25.0);  // 5 dof, 0.999 quantile ~ 20.5
+}
+
+TEST(Staircase, SpreadsBetterThanOneBendOnSharedPair) {
+  const Mesh mesh({16, 16});
+  const RandomStaircaseRouter router(mesh);
+  Rng rng(13);
+  EdgeLoadMap loads(mesh);
+  const NodeId s = mesh.node_id(Coord{2, 2});
+  const NodeId t = mesh.node_id(Coord{13, 13});
+  for (int i = 0; i < 100; ++i) loads.add_path(router.route(s, t, rng));
+  // One-bend routing would put 50 packets on each corner edge; the
+  // staircase sampler concentrates only near the endpoints.
+  EXPECT_LT(loads.max_load(), 60U);
+  EXPECT_GE(loads.max_load(), 25U);  // endpoint edges are unavoidable
+}
+
+// --- offline optimizer ----------------------------------------------------------
+
+TEST(Offline, PathsAreShortestWithCorrectEndpoints) {
+  const Mesh mesh({16, 16});
+  const RoutingProblem problem = transpose(mesh);
+  const OfflineResult result = offline_route(mesh, problem);
+  ASSERT_EQ(result.paths.size(), problem.size());
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    EXPECT_EQ(result.paths[i].source(), problem.demands[i].src);
+    EXPECT_EQ(result.paths[i].destination(), problem.demands[i].dst);
+    EXPECT_EQ(result.paths[i].length(),
+              mesh.distance(problem.demands[i].src, problem.demands[i].dst));
+  }
+}
+
+TEST(Offline, CongestionMatchesReportedPaths) {
+  const Mesh mesh({16, 16});
+  Rng wrng(3);
+  const RoutingProblem problem = random_permutation(mesh, wrng);
+  const OfflineResult result = offline_route(mesh, problem);
+  EdgeLoadMap loads(mesh);
+  loads.add_paths(result.paths);
+  EXPECT_EQ(static_cast<std::int64_t>(loads.max_load()), result.congestion);
+}
+
+TEST(Offline, NeverBeatsTheLowerBound) {
+  const Mesh mesh({16, 16});
+  for (const auto& problem :
+       {transpose(mesh), bit_reversal(mesh), block_exchange(mesh, 4)}) {
+    const double lb = best_lower_bound(mesh, problem);
+    const OfflineResult result = offline_route(mesh, problem);
+    EXPECT_GE(static_cast<double>(result.congestion) + 1e-9, std::floor(lb));
+  }
+}
+
+TEST(Offline, ImprovesOnItsInitialAssignment) {
+  const Mesh mesh({32, 32});
+  const RoutingProblem problem = transpose(mesh);
+  OfflineOptions one_round;
+  one_round.max_rounds = 1;
+  one_round.candidates_per_packet = 1;
+  OfflineOptions full;
+  full.max_rounds = 16;
+  full.candidates_per_packet = 8;
+  const OfflineResult rough = offline_route(mesh, problem, one_round);
+  const OfflineResult tuned = offline_route(mesh, problem, full);
+  EXPECT_LT(tuned.congestion, rough.congestion);
+  EXPECT_GT(tuned.total_switches, 0);
+}
+
+TEST(Offline, ComesCloseToTheLowerBoundOnTranspose) {
+  const Mesh mesh({32, 32});
+  const RoutingProblem problem = transpose(mesh);
+  const double lb = best_lower_bound(mesh, problem);  // 16
+  const OfflineResult result = offline_route(mesh, problem);
+  EXPECT_LE(static_cast<double>(result.congestion), 2.0 * lb);
+}
+
+TEST(Offline, HandlesTrivialAndEmptyProblems) {
+  const Mesh mesh({8, 8});
+  RoutingProblem empty;
+  const OfflineResult r1 = offline_route(mesh, empty);
+  EXPECT_EQ(r1.congestion, 0);
+  RoutingProblem self;
+  self.demands = {{3, 3}};
+  const OfflineResult r2 = offline_route(mesh, self);
+  EXPECT_EQ(r2.congestion, 0);
+  EXPECT_EQ(r2.paths[0].nodes, (std::vector<NodeId>{3}));
+}
+
+TEST(Offline, RejectsBadOptions) {
+  const Mesh mesh({8, 8});
+  OfflineOptions bad;
+  bad.max_rounds = 0;
+  EXPECT_THROW(offline_route(mesh, transpose(mesh), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+
+namespace oblivious {
+namespace {
+
+Path make_path(std::initializer_list<NodeId> nodes) {
+  Path p;
+  p.nodes.assign(nodes);
+  return p;
+}
+
+TEST(Path, LengthAndEndpoints) {
+  const Path p = make_path({0, 1, 2, 3});
+  EXPECT_EQ(p.length(), 3);
+  EXPECT_EQ(p.source(), 0);
+  EXPECT_EQ(p.destination(), 3);
+}
+
+TEST(Path, SingleNodePathHasZeroLength) {
+  const Path p = make_path({5});
+  EXPECT_EQ(p.length(), 0);
+  EXPECT_EQ(p.source(), p.destination());
+}
+
+TEST(Path, ValidityChecksAdjacency) {
+  const Mesh m({4, 4});
+  // (0,0) -> (0,1) -> (1,1) is valid; skipping a node is not.
+  EXPECT_TRUE(is_valid_path(m, make_path({0, 1, 5})));
+  EXPECT_FALSE(is_valid_path(m, make_path({0, 2})));
+  EXPECT_FALSE(is_valid_path(m, make_path({0, 0})));
+  EXPECT_FALSE(is_valid_path(m, make_path({})));
+  EXPECT_FALSE(is_valid_path(m, make_path({0, 16})));
+  EXPECT_TRUE(is_valid_path(m, make_path({7})));
+}
+
+TEST(Path, ValidityOnTorusWrap) {
+  const Mesh t({4, 4}, true);
+  const NodeId a = t.node_id(Coord{0, 0});
+  const NodeId b = t.node_id(Coord{3, 0});
+  EXPECT_TRUE(is_valid_path(t, make_path({a, b})));
+  const Mesh m({4, 4});
+  EXPECT_FALSE(is_valid_path(m, make_path({a, b})));
+}
+
+TEST(Path, SimplePathDetection) {
+  EXPECT_TRUE(is_simple_path(make_path({0, 1, 2})));
+  EXPECT_FALSE(is_simple_path(make_path({0, 1, 0})));
+  EXPECT_TRUE(is_simple_path(make_path({3})));
+}
+
+TEST(Path, StretchOfShortestPathIsOne) {
+  const Mesh m({8, 8});
+  const Path p = make_path({m.node_id(Coord{0, 0}), m.node_id(Coord{0, 1}),
+                            m.node_id(Coord{0, 2})});
+  EXPECT_DOUBLE_EQ(path_stretch(m, p), 1.0);
+}
+
+TEST(Path, StretchOfDetour) {
+  const Mesh m({8, 8});
+  // (0,0) -> (1,0) -> (1,1) -> (0,1): length 3, distance 1.
+  const Path p = make_path({m.node_id(Coord{0, 0}), m.node_id(Coord{1, 0}),
+                            m.node_id(Coord{1, 1}), m.node_id(Coord{0, 1})});
+  EXPECT_DOUBLE_EQ(path_stretch(m, p), 3.0);
+}
+
+TEST(Path, StretchOfTrivialPath) {
+  const Mesh m({8, 8});
+  EXPECT_DOUBLE_EQ(path_stretch(m, make_path({0})), 1.0);
+}
+
+TEST(Path, RemoveCyclesErasesLoop) {
+  const Mesh m({4, 4});
+  // 0 -> 1 -> 5 -> 1 -> 2: the 1 -> 5 -> 1 loop must go.
+  Path p = make_path({0, 1, 5, 1, 2});
+  p = remove_cycles(std::move(p));
+  EXPECT_EQ(p.nodes, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(is_valid_path(m, p));
+  EXPECT_TRUE(is_simple_path(p));
+}
+
+TEST(Path, RemoveCyclesHandlesNestedLoops) {
+  Path p = make_path({0, 1, 2, 3, 2, 1, 4});
+  p = remove_cycles(std::move(p));
+  EXPECT_EQ(p.nodes, (std::vector<NodeId>{0, 1, 4}));
+}
+
+TEST(Path, RemoveCyclesNoOpOnSimplePath) {
+  Path p = make_path({0, 1, 2, 6});
+  const Path q = remove_cycles(p);
+  EXPECT_EQ(q.nodes, p.nodes);
+}
+
+TEST(Path, RemoveCyclesPreservesEndpoints) {
+  Path p = make_path({7, 6, 7, 6, 7, 11});
+  p = remove_cycles(std::move(p));
+  EXPECT_EQ(p.source(), 7);
+  EXPECT_EQ(p.destination(), 11);
+  EXPECT_TRUE(is_simple_path(p));
+}
+
+TEST(Path, RemoveCyclesFullCircleCollapsesToNode) {
+  Path p = make_path({4, 5, 6, 5, 4});
+  p = remove_cycles(std::move(p));
+  EXPECT_EQ(p.nodes, (std::vector<NodeId>{4}));
+}
+
+}  // namespace
+}  // namespace oblivious

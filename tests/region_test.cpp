@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "mesh/mesh.hpp"
+#include "mesh/region.hpp"
+#include "rng/rng.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(Region, WholeMeshCoversEverything) {
+  const Mesh m({4, 8});
+  const Region r = Region::whole(m);
+  EXPECT_EQ(r.volume(), 32);
+  for (NodeId u = 0; u < m.num_nodes(); ++u) {
+    EXPECT_TRUE(r.contains_node(m, u));
+  }
+}
+
+TEST(Region, BoxConstruction) {
+  const Region r = Region::box(Coord{1, 2}, Coord{3, 5});
+  EXPECT_EQ(r.anchor(), (Coord{1, 2}));
+  EXPECT_EQ(r.extent(), (Coord{3, 4}));
+  EXPECT_EQ(r.volume(), 12);
+  EXPECT_EQ(r.max_extent(), 4);
+  EXPECT_EQ(r.min_extent(), 3);
+  EXPECT_THROW(Region::box(Coord{2, 2}, Coord{1, 2}), std::invalid_argument);
+}
+
+TEST(Region, ContainsOnMesh) {
+  const Mesh m({8, 8});
+  const Region r(Coord{2, 3}, Coord{2, 2});  // [2,3]x[3,4]
+  EXPECT_TRUE(r.contains(m, Coord{2, 3}));
+  EXPECT_TRUE(r.contains(m, Coord{3, 4}));
+  EXPECT_FALSE(r.contains(m, Coord{4, 4}));
+  EXPECT_FALSE(r.contains(m, Coord{2, 5}));
+  EXPECT_FALSE(r.contains(m, Coord{1, 3}));
+}
+
+TEST(Region, ContainsWrapsOnTorus) {
+  const Mesh t({8, 8}, true);
+  const Region r(Coord{6, 6}, Coord{4, 4});  // wraps to [6,7,0,1] per dim
+  EXPECT_TRUE(r.contains(t, Coord{6, 6}));
+  EXPECT_TRUE(r.contains(t, Coord{7, 0}));
+  EXPECT_TRUE(r.contains(t, Coord{0, 1}));
+  EXPECT_TRUE(r.contains(t, Coord{1, 1}));
+  EXPECT_FALSE(r.contains(t, Coord{2, 0}));
+  EXPECT_FALSE(r.contains(t, Coord{5, 7}));
+}
+
+TEST(Region, VolumeMatchesEnumeratedContainment) {
+  const Mesh t({8, 8}, true);
+  const Region r(Coord{5, 7}, Coord{3, 4});
+  std::int64_t count = 0;
+  for (NodeId u = 0; u < t.num_nodes(); ++u) {
+    if (r.contains_node(t, u)) ++count;
+  }
+  EXPECT_EQ(count, r.volume());
+}
+
+TEST(Region, OffsetRoundTrip) {
+  const Mesh t({8, 8}, true);
+  const Region r(Coord{6, 2}, Coord{4, 3});
+  for (std::int64_t dx = 0; dx < 4; ++dx) {
+    for (std::int64_t dy = 0; dy < 3; ++dy) {
+      const Coord p = r.coord_at(t, Coord{dx, dy});
+      EXPECT_TRUE(r.contains(t, p));
+      EXPECT_EQ(r.offset_of(t, p), (Coord{dx, dy}));
+    }
+  }
+}
+
+TEST(Region, OffsetOfRejectsOutside) {
+  const Mesh m({8, 8});
+  const Region r(Coord{0, 0}, Coord{2, 2});
+  EXPECT_THROW(r.offset_of(m, Coord{3, 3}), std::invalid_argument);
+}
+
+TEST(Region, ContainsRegionNested) {
+  const Mesh m({8, 8});
+  const Region outer(Coord{2, 2}, Coord{4, 4});
+  const Region inner(Coord{3, 3}, Coord{2, 2});
+  EXPECT_TRUE(outer.contains_region(m, inner));
+  EXPECT_FALSE(inner.contains_region(m, outer));
+  const Region straddling(Coord{5, 3}, Coord{2, 2});
+  EXPECT_FALSE(outer.contains_region(m, straddling));
+  EXPECT_TRUE(outer.contains_region(m, outer));
+}
+
+TEST(Region, ContainsRegionAcrossTorusWrap) {
+  const Mesh t({8, 8}, true);
+  const Region outer(Coord{6, 6}, Coord{4, 4});
+  const Region inner(Coord{7, 7}, Coord{2, 2});  // fully inside the wrap
+  EXPECT_TRUE(outer.contains_region(t, inner));
+  const Region partially(Coord{1, 7}, Coord{2, 2});  // leaves outer in dim 0
+  EXPECT_FALSE(outer.contains_region(t, partially));
+}
+
+TEST(Region, RandomCoordStaysInsideAndCoversAll) {
+  const Mesh t({8, 8}, true);
+  const Region r(Coord{6, 3}, Coord{3, 2});
+  Rng rng(5);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 500; ++i) {
+    const Coord c = r.random_coord(t, rng);
+    EXPECT_TRUE(r.contains(t, c));
+    seen.insert(t.node_id(c));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(r.volume()));
+}
+
+TEST(Region, RandomCoordChargesBits) {
+  const Mesh m({16, 16});
+  const Region r(Coord{0, 0}, Coord{8, 4});
+  Rng rng(5);
+  BitMeter meter;
+  rng.attach_meter(&meter);
+  (void)r.random_coord(m, rng);
+  EXPECT_EQ(meter.bits, 3U + 2U);  // log2(8) + log2(4)
+}
+
+TEST(Region, RejectsEmptyExtent) {
+  EXPECT_THROW(Region(Coord{0}, Coord{0}), std::invalid_argument);
+}
+
+// --- boundary edge counts out(M') ------------------------------------------
+
+TEST(BoundaryEdges, InteriorSquare) {
+  const Mesh m({8, 8});
+  // 2x2 box in the interior: 4 faces of 2 edges each.
+  EXPECT_EQ(m.boundary_edge_count(Region(Coord{3, 3}, Coord{2, 2})), 8);
+}
+
+TEST(BoundaryEdges, CornerSquareLosesTwoFaces) {
+  const Mesh m({8, 8});
+  EXPECT_EQ(m.boundary_edge_count(Region(Coord{0, 0}, Coord{2, 2})), 4);
+}
+
+TEST(BoundaryEdges, EdgeSquareLosesOneFace) {
+  const Mesh m({8, 8});
+  EXPECT_EQ(m.boundary_edge_count(Region(Coord{0, 3}, Coord{2, 2})), 6);
+}
+
+TEST(BoundaryEdges, FullDimensionHasNoFaces) {
+  const Mesh m({8, 8});
+  // A full row-slab only has boundary in dimension 0.
+  EXPECT_EQ(m.boundary_edge_count(Region(Coord{2, 0}, Coord{2, 8})), 16);
+  EXPECT_EQ(m.boundary_edge_count(Region::whole(m)), 0);
+}
+
+TEST(BoundaryEdges, TorusAlwaysHasBothFaces) {
+  const Mesh t({8, 8}, true);
+  EXPECT_EQ(t.boundary_edge_count(Region(Coord{0, 0}, Coord{2, 2})), 8);
+  EXPECT_EQ(t.boundary_edge_count(Region(Coord{7, 7}, Coord{2, 2})), 8);
+  EXPECT_EQ(t.boundary_edge_count(Region::whole(t)), 0);
+}
+
+TEST(BoundaryEdges, MatchesBruteForceCount) {
+  for (const bool torus : {false, true}) {
+    const Mesh m({8, 8}, torus);
+    const Region regions[] = {
+        Region(Coord{0, 0}, Coord{3, 5}), Region(Coord{2, 6}, Coord{4, 2}),
+        Region(Coord{5, 5}, Coord{3, 3}), Region(Coord{1, 0}, Coord{2, 8})};
+    for (const Region& r : regions) {
+      std::int64_t brute = 0;
+      for (EdgeId e = 0; e < m.num_edges(); ++e) {
+        const auto [a, b] = m.edge_endpoints(e);
+        if (r.contains_node(m, a) != r.contains_node(m, b)) ++brute;
+      }
+      EXPECT_EQ(m.boundary_edge_count(r), brute)
+          << r.describe() << " torus=" << torus;
+    }
+  }
+}
+
+TEST(BoundaryEdges, LemmaA4LowerBound) {
+  // Lemma A.4: out(M') >= d * n'^((d-1)/d) for any submesh with n' nodes.
+  const Mesh m({16, 16, 16});
+  const Region regions[] = {
+      Region(Coord{1, 1, 1}, Coord{4, 4, 4}),
+      Region(Coord{2, 3, 4}, Coord{2, 8, 4}),
+      Region(Coord{5, 5, 5}, Coord{3, 3, 9}),
+  };
+  for (const Region& r : regions) {
+    const double n = static_cast<double>(r.volume());
+    const double bound = 3.0 * std::pow(n, 2.0 / 3.0);
+    EXPECT_GE(static_cast<double>(m.boundary_edge_count(r)) + 1e-9, bound)
+        << r.describe();
+  }
+}
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,90 @@
+// The generic router contract across topologies beyond the 2D 16x16 mesh:
+// 1D lines/rings, 3D cubes, 4D tori, and rectangular meshes (baselines
+// only). Complements routers_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "routing/registry.hpp"
+#include "test_support.hpp"
+
+namespace oblivious {
+namespace {
+
+struct Topology {
+  const char* name;
+  std::vector<std::int64_t> sides;
+  bool torus;
+};
+
+const Topology kTopologies[] = {
+    {"line64", {64}, false},
+    {"ring64", {64}, true},
+    {"cube8", {8, 8, 8}, false},
+    {"torus4d", {8, 8, 8, 8}, true},
+    {"rect", {4, 32}, false},
+};
+
+class RouterTopology
+    : public ::testing::TestWithParam<std::tuple<int, Algorithm>> {
+ protected:
+  static Mesh make_mesh() {
+    const Topology& topo = kTopologies[std::get<0>(GetParam())];
+    return Mesh(topo.sides, topo.torus);
+  }
+};
+
+TEST_P(RouterTopology, ValidPathsEverywhere) {
+  const Mesh mesh = make_mesh();
+  const Algorithm algorithm = std::get<1>(GetParam());
+  const auto supported = algorithms_for(mesh);
+  if (std::find(supported.begin(), supported.end(), algorithm) ==
+      supported.end()) {
+    GTEST_SKIP() << "algorithm not applicable to this mesh";
+  }
+  const auto router = make_router(algorithm, mesh);
+  Rng rng(1);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 120, 3)) {
+    const Path p = router->route(s, t, rng);
+    ASSERT_TRUE(is_valid_path(mesh, p))
+        << router->name() << " on " << mesh.describe();
+    EXPECT_EQ(p.source(), s);
+    EXPECT_EQ(p.destination(), t);
+  }
+}
+
+TEST_P(RouterTopology, StretchWithinDiameterBound) {
+  const Mesh mesh = make_mesh();
+  const Algorithm algorithm = std::get<1>(GetParam());
+  const auto supported = algorithms_for(mesh);
+  if (std::find(supported.begin(), supported.end(), algorithm) ==
+      supported.end()) {
+    GTEST_SKIP() << "algorithm not applicable to this mesh";
+  }
+  const auto router = make_router(algorithm, mesh);
+  Rng rng(5);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 80, 7)) {
+    // Universal sanity bound: even Valiant uses at most two leg lengths
+    // plus the hierarchy's constant overhead per level.
+    EXPECT_LE(router->route(s, t, rng).length(), 8 * mesh.diameter())
+        << router->name() << " on " << mesh.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RouterTopology,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::ValuesIn(all_algorithms())),
+    [](const ::testing::TestParamInfo<std::tuple<int, Algorithm>>& pinfo) {
+      std::string name =
+          std::string(kTopologies[std::get<0>(pinfo.param)].name) + "_" +
+          algorithm_name(std::get<1>(pinfo.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace oblivious

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "routing/baselines.hpp"
+#include "routing/hierarchical.hpp"
+#include "routing/registry.hpp"
+#include "test_support.hpp"
+
+namespace oblivious {
+namespace {
+
+// --- registry ------------------------------------------------------------------
+
+TEST(Registry, NamesRoundTrip) {
+  for (const Algorithm a : all_algorithms()) {
+    const auto back = algorithm_from_name(algorithm_name(a));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+  EXPECT_FALSE(algorithm_from_name("no-such-router").has_value());
+}
+
+TEST(Registry, MakeRouterProducesMatchingName) {
+  const Mesh mesh({16, 16});
+  for (const Algorithm a : algorithms_for(mesh)) {
+    const auto router = make_router(a, mesh);
+    EXPECT_EQ(router->name(), algorithm_name(a));
+  }
+}
+
+TEST(Registry, NonPowerOfTwoMeshGetsBaselinesOnly) {
+  const Mesh mesh({6, 6});
+  const auto algorithms = algorithms_for(mesh);
+  EXPECT_EQ(algorithms.size(), 5U);
+  for (const Algorithm a : algorithms) {
+    EXPECT_NE(a, Algorithm::kHierarchical2d);
+    EXPECT_NE(a, Algorithm::kAccessTree);
+  }
+}
+
+// --- generic router contract -----------------------------------------------------
+
+class EveryRouter
+    : public ::testing::TestWithParam<std::tuple<Algorithm, bool>> {};
+
+TEST_P(EveryRouter, PathsAreValidWithCorrectEndpoints) {
+  const auto [algorithm, torus] = GetParam();
+  const Mesh mesh({16, 16}, torus);
+  const auto router = make_router(algorithm, mesh);
+  Rng rng(12345);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 200, 5)) {
+    const Path p = router->route(s, t, rng);
+    ASSERT_TRUE(is_valid_path(mesh, p)) << router->name();
+    EXPECT_EQ(p.source(), s);
+    EXPECT_EQ(p.destination(), t);
+  }
+}
+
+TEST_P(EveryRouter, SelfRouteIsTrivial) {
+  const auto [algorithm, torus] = GetParam();
+  const Mesh mesh({16, 16}, torus);
+  const auto router = make_router(algorithm, mesh);
+  Rng rng(7);
+  const Path p = router->route(5, 5, rng);
+  EXPECT_EQ(p.nodes, (std::vector<NodeId>{5}));
+}
+
+TEST_P(EveryRouter, DeterministicGivenSameRngState) {
+  const auto [algorithm, torus] = GetParam();
+  const Mesh mesh({16, 16}, torus);
+  const auto router = make_router(algorithm, mesh);
+  Rng rng1(99);
+  Rng rng2(99);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 50, 3)) {
+    EXPECT_EQ(router->route(s, t, rng1).nodes, router->route(s, t, rng2).nodes);
+  }
+}
+
+TEST_P(EveryRouter, ObliviousNoHiddenStateAcrossPackets) {
+  // Oblivious path selection: the path of a packet depends only on its own
+  // (s, t, randomness). Routing other packets first through the same
+  // router instance must not change the path a given packet gets.
+  const auto [algorithm, torus] = GetParam();
+  const Mesh mesh({16, 16}, torus);
+  const auto router = make_router(algorithm, mesh);
+  const auto pairs = testing::sample_pairs(mesh, 21, 17);
+  const auto& probe = pairs.back();
+
+  Rng lone(555);
+  const Path expected = router->route(probe.first, probe.second, lone);
+
+  Rng warmup(777);
+  for (std::size_t i = 0; i + 1 < pairs.size(); ++i) {
+    (void)router->route(pairs[i].first, pairs[i].second, warmup);
+  }
+  Rng again(555);
+  const Path actual = router->route(probe.first, probe.second, again);
+  EXPECT_EQ(expected.nodes, actual.nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, EveryRouter,
+    ::testing::Combine(::testing::ValuesIn(all_algorithms()),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<Algorithm, bool>>& pinfo) {
+      std::string name = algorithm_name(std::get<0>(pinfo.param)) +
+                         (std::get<1>(pinfo.param) ? "_torus" : "_mesh");
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- baselines -------------------------------------------------------------------
+
+TEST(DimensionOrderRouter, IsDeterministicShortest) {
+  const Mesh mesh({16, 16});
+  const DimensionOrderRouter router(mesh);
+  EXPECT_TRUE(router.deterministic());
+  Rng rng(1);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 100, 9)) {
+    const Path p = router.route(s, t, rng);
+    EXPECT_EQ(p.length(), mesh.distance(s, t));
+    EXPECT_DOUBLE_EQ(path_stretch(mesh, p), 1.0);
+  }
+}
+
+TEST(DimensionOrderRouter, ConsumesNoRandomBits) {
+  const Mesh mesh({16, 16});
+  const DimensionOrderRouter router(mesh);
+  Rng rng(1);
+  BitMeter meter;
+  rng.attach_meter(&meter);
+  (void)router.route(3, 200, rng);
+  EXPECT_EQ(meter.bits, 0U);
+}
+
+TEST(RandomDimOrderRouter, AlwaysShortestPath) {
+  const Mesh mesh({16, 16});
+  const RandomDimOrderRouter router(mesh);
+  Rng rng(2);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 100, 11)) {
+    EXPECT_EQ(router.route(s, t, rng).length(), mesh.distance(s, t));
+  }
+}
+
+TEST(RandomDimOrderRouter, BothOrdersAppear) {
+  const Mesh mesh({16, 16});
+  const RandomDimOrderRouter router(mesh);
+  Rng rng(3);
+  const NodeId s = mesh.node_id(Coord{2, 2});
+  const NodeId t = mesh.node_id(Coord{5, 5});
+  bool saw_x_first = false;
+  bool saw_y_first = false;
+  for (int i = 0; i < 50; ++i) {
+    const Path p = router.route(s, t, rng);
+    const Coord second = mesh.coord(p.nodes[1]);
+    if (second == Coord{3, 2}) saw_x_first = true;
+    if (second == Coord{2, 3}) saw_y_first = true;
+  }
+  EXPECT_TRUE(saw_x_first);
+  EXPECT_TRUE(saw_y_first);
+}
+
+TEST(ValiantRouter, VisitsRandomIntermediate) {
+  const Mesh mesh({16, 16});
+  const ValiantRouter router(mesh);
+  Rng rng(4);
+  // Paths between the same nearby pair should frequently be much longer
+  // than the direct distance (locality destroyed).
+  const NodeId s = mesh.node_id(Coord{7, 7});
+  const NodeId t = mesh.node_id(Coord{8, 7});
+  double total_length = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Path p = router.route(s, t, rng);
+    total_length += static_cast<double>(p.length());
+  }
+  EXPECT_GT(total_length / 100.0, 5.0);
+}
+
+TEST(ValiantRouter, LengthBoundedByTwoDiameters) {
+  const Mesh mesh({16, 16});
+  const ValiantRouter router(mesh);
+  Rng rng(5);
+  for (const auto& [s, t] : testing::sample_pairs(mesh, 200, 13)) {
+    EXPECT_LE(router.route(s, t, rng).length(), 2 * mesh.diameter());
+  }
+}
+
+}  // namespace
+}  // namespace oblivious

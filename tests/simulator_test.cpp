@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "routing/registry.hpp"
+#include "simulator/simulator.hpp"
+#include "test_support.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+Path make_path(std::initializer_list<NodeId> nodes) {
+  Path p;
+  p.nodes.assign(nodes);
+  return p;
+}
+
+TEST(Simulator, SinglePacketTakesPathLengthSteps) {
+  const Mesh m({4, 4});
+  const SimulationResult r = simulate(m, {make_path({0, 1, 2, 3})});
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 3);
+  EXPECT_EQ(r.dilation, 3);
+  EXPECT_EQ(r.congestion, 1);
+  EXPECT_DOUBLE_EQ(r.latency.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(r.queueing_delay.mean(), 0.0);
+}
+
+TEST(Simulator, TrivialPacketsFinishInstantly) {
+  const Mesh m({4, 4});
+  const SimulationResult r = simulate(m, {make_path({5}), make_path({7})});
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.latency.count(), 2U);
+}
+
+TEST(Simulator, ContendingPacketsSerialize) {
+  const Mesh m({4, 4});
+  // Three packets all crossing edge (1,2) as their first hop cannot all
+  // advance at once: one per step.
+  const std::vector<Path> paths = {make_path({1, 2}), make_path({1, 2, 3}),
+                                   make_path({1, 2, 6})};
+  const SimulationResult r = simulate(m, paths);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.congestion, 3);
+  EXPECT_GE(r.makespan, 3);  // the edge is busy for 3 consecutive steps
+  EXPECT_LE(r.makespan, 4);
+}
+
+TEST(Simulator, OppositeDirectionsAlsoContend) {
+  // The paper's model: at most one packet per *edge* per step, regardless
+  // of direction.
+  const Mesh m({4, 4});
+  const std::vector<Path> paths = {make_path({1, 2}), make_path({2, 1})};
+  const SimulationResult r = simulate(m, paths);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 2);
+}
+
+TEST(Simulator, MakespanAtLeastMaxOfCongestionAndDilation) {
+  const Mesh m({8, 8});
+  const auto router = make_router(Algorithm::kHierarchical2d, m);
+  Rng rng(5);
+  std::vector<Path> paths;
+  for (const auto& [s, t] : testing::sample_pairs(m, 150, 9)) {
+    paths.push_back(router->route(s, t, rng));
+  }
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kFifo, SchedulingPolicy::kFurthestToGo,
+        SchedulingPolicy::kRandomRank}) {
+    SimulationOptions options;
+    options.policy = policy;
+    const SimulationResult r = simulate(m, paths, options);
+    EXPECT_TRUE(r.completed) << policy_name(policy);
+    EXPECT_GE(r.makespan, r.dilation);
+    // C packets must cross the hottest edge one per step.
+    EXPECT_GE(r.makespan, r.congestion);
+    EXPECT_GE(r.optimality_ratio(), 1.0);
+  }
+}
+
+TEST(Simulator, EveryPacketDelivered) {
+  const Mesh m({8, 8});
+  const auto router = make_router(Algorithm::kValiant, m);
+  Rng rng(3);
+  std::vector<Path> paths;
+  const RoutingProblem problem = transpose(m);
+  for (const Demand& d : problem.demands) {
+    paths.push_back(router->route(d.src, d.dst, rng));
+  }
+  const SimulationResult r = simulate(m, paths);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.latency.count(), problem.size());
+  EXPECT_EQ(r.queueing_delay.count(), problem.size());
+  EXPECT_GE(r.queueing_delay.min(), 0.0);
+}
+
+TEST(Simulator, MaxStepsAbortsCleanly) {
+  const Mesh m({8, 8});
+  std::vector<Path> paths;
+  for (int i = 0; i < 20; ++i) paths.push_back(make_path({0, 1, 2, 3, 4, 5, 6, 7}));
+  SimulationOptions options;
+  options.max_steps = 2;
+  const SimulationResult r = simulate(m, paths, options);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Simulator, FurthestToGoPrioritizesLongPath) {
+  const Mesh m({8, 8});
+  // Packet 0: short path; packet 1: long path; both want edge (0,1) at
+  // step 1. Furthest-to-go lets the long one through first.
+  const std::vector<Path> paths = {make_path({0, 1}),
+                                   make_path({0, 1, 2, 3, 4, 5, 6, 7})};
+  SimulationOptions options;
+  options.policy = SchedulingPolicy::kFurthestToGo;
+  const SimulationResult r = simulate(m, paths, options);
+  EXPECT_TRUE(r.completed);
+  // Long packet is never delayed: makespan equals its length.
+  EXPECT_EQ(r.makespan, 7);
+  EXPECT_DOUBLE_EQ(r.latency.min(), 2.0);  // short one waited one step
+}
+
+TEST(Simulator, FifoPrefersEarlierArrival) {
+  const Mesh m({8, 8});
+  // Packet 0 reaches node 2 at step 2; packet 1 sits at node 2 from the
+  // start. Under FIFO packet 1 (arrival step 0) wins edge (2,3).
+  const std::vector<Path> paths = {make_path({0, 1, 2, 3}),
+                                   make_path({2, 3})};
+  SimulationOptions options;
+  options.policy = SchedulingPolicy::kFifo;
+  const SimulationResult r = simulate(m, paths, options);
+  EXPECT_TRUE(r.completed);
+  EXPECT_DOUBLE_EQ(r.latency.min(), 1.0);  // packet 1 goes immediately
+  EXPECT_EQ(r.makespan, 3);                // packet 0 undisturbed afterwards
+}
+
+TEST(Simulator, RandomRankIsDeterministicPerSeed) {
+  const Mesh m({8, 8});
+  const auto router = make_router(Algorithm::kRandomDimOrder, m);
+  Rng rng(1);
+  std::vector<Path> paths;
+  for (const auto& [s, t] : testing::sample_pairs(m, 60, 2)) {
+    paths.push_back(router->route(s, t, rng));
+  }
+  SimulationOptions options;
+  options.policy = SchedulingPolicy::kRandomRank;
+  options.seed = 77;
+  const SimulationResult a = simulate(m, paths, options);
+  const SimulationResult b = simulate(m, paths, options);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+}
+
+TEST(Simulator, WorksOnTorusWithWrapEdges) {
+  const Mesh t({8, 8}, true);
+  const auto router = make_router(Algorithm::kHierarchicalNd, t);
+  Rng rng(9);
+  std::vector<Path> paths;
+  for (const auto& [s, t2] : testing::sample_pairs(t, 100, 4)) {
+    paths.push_back(router->route(s, t2, rng));
+  }
+  const SimulationResult r = simulate(t, paths);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.makespan, r.dilation);
+}
+
+TEST(Simulator, FullDuplexLetsOpposingPacketsPass) {
+  const Mesh m({4, 4});
+  const std::vector<Path> paths = {make_path({1, 2}), make_path({2, 1})};
+  SimulationOptions options;
+  options.full_duplex = true;
+  const SimulationResult r = simulate(m, paths, options);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.makespan, 1);  // both cross in the same step
+}
+
+TEST(Simulator, FullDuplexStillSerializesSameDirection) {
+  const Mesh m({4, 4});
+  const std::vector<Path> paths = {make_path({1, 2}), make_path({1, 2, 3})};
+  SimulationOptions options;
+  options.full_duplex = true;
+  const SimulationResult r = simulate(m, paths, options);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(r.makespan, 2);  // same directed link: one per step
+}
+
+TEST(Simulator, FullDuplexNeverSlowerThanHalfDuplex) {
+  const Mesh m({8, 8});
+  const auto router = make_router(Algorithm::kHierarchical2d, m);
+  Rng rng(5);
+  std::vector<Path> paths;
+  for (const auto& [s, t] : testing::sample_pairs(m, 120, 21)) {
+    paths.push_back(router->route(s, t, rng));
+  }
+  SimulationOptions half;
+  SimulationOptions full;
+  full.full_duplex = true;
+  const SimulationResult a = simulate(m, paths, half);
+  const SimulationResult b = simulate(m, paths, full);
+  EXPECT_TRUE(a.completed);
+  EXPECT_TRUE(b.completed);
+  EXPECT_LE(b.makespan, a.makespan);
+}
+
+TEST(Simulator, PolicyNames) {
+  EXPECT_EQ(policy_name(SchedulingPolicy::kFifo), "fifo");
+  EXPECT_EQ(policy_name(SchedulingPolicy::kFurthestToGo), "furthest-to-go");
+  EXPECT_EQ(policy_name(SchedulingPolicy::kRandomRank), "random-rank");
+}
+
+}  // namespace
+}  // namespace oblivious

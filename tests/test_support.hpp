@@ -1,0 +1,36 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "rng/rng.hpp"
+
+namespace oblivious::testing {
+
+// Deterministic sample of `count` distinct-source/destination pairs.
+inline std::vector<std::pair<NodeId, NodeId>> sample_pairs(const Mesh& mesh,
+                                                           std::size_t count,
+                                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  while (pairs.size() < count) {
+    const NodeId s = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    const NodeId t = static_cast<NodeId>(
+        rng.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    if (s != t) pairs.emplace_back(s, t);
+  }
+  return pairs;
+}
+
+// Pretty parameter names for TEST_P instantiations.
+inline std::string param_name(std::int64_t side, bool torus) {
+  return (torus ? std::string("torus") : std::string("mesh")) + std::to_string(side);
+}
+
+}  // namespace oblivious::testing

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "analysis/trials.hpp"
+#include "routing/registry.hpp"
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+TEST(Trials, SummaryCountsMatch) {
+  const Mesh mesh({16, 16});
+  const auto router = make_router(Algorithm::kHierarchical2d, mesh);
+  const RoutingProblem problem = transpose(mesh);
+  const TrialSummary s = evaluate_trials(mesh, *router, problem, 5, 100);
+  EXPECT_EQ(s.congestion.count(), 5U);
+  EXPECT_EQ(s.dilation.count(), 5U);
+  EXPECT_EQ(s.max_stretch.count(), 5U);
+  EXPECT_GT(s.lower_bound, 0.0);
+  EXPECT_GT(s.max_expected_edge_load, 0.0);
+}
+
+TEST(Trials, DeterministicRouterHasZeroVariance) {
+  const Mesh mesh({16, 16});
+  const auto router = make_router(Algorithm::kEcube, mesh);
+  const RoutingProblem problem = transpose(mesh);
+  const TrialSummary s = evaluate_trials(mesh, *router, problem, 4, 7);
+  EXPECT_DOUBLE_EQ(s.congestion.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.congestion.min(), s.congestion.max());
+  // For a deterministic router E[C(e)] peaks at exactly C.
+  EXPECT_DOUBLE_EQ(s.max_expected_edge_load, s.congestion.mean());
+}
+
+TEST(Trials, ExpectedLoadNeverExceedsMeanCongestion) {
+  // E[max_e C(e)] >= max_e E[C(e)] by Jensen.
+  const Mesh mesh({16, 16});
+  const auto router = make_router(Algorithm::kHierarchical2d, mesh);
+  Rng wrng(5);
+  const RoutingProblem problem = random_permutation(mesh, wrng);
+  const TrialSummary s = evaluate_trials(mesh, *router, problem, 10, 55);
+  EXPECT_LE(s.max_expected_edge_load, s.congestion.mean() + 1e-9);
+}
+
+TEST(Trials, PoolAndSerialAgree) {
+  const Mesh mesh({16, 16});
+  const auto router = make_router(Algorithm::kValiant, mesh);
+  const RoutingProblem problem = transpose(mesh);
+  ThreadPool pool(3);
+  const TrialSummary serial = evaluate_trials(mesh, *router, problem, 6, 42);
+  const TrialSummary parallel =
+      evaluate_trials(mesh, *router, problem, 6, 42, &pool);
+  // Same seeds -> identical per-trial results regardless of scheduling.
+  EXPECT_DOUBLE_EQ(serial.congestion.mean(), parallel.congestion.mean());
+  EXPECT_DOUBLE_EQ(serial.congestion.min(), parallel.congestion.min());
+  EXPECT_DOUBLE_EQ(serial.congestion.max(), parallel.congestion.max());
+  EXPECT_DOUBLE_EQ(serial.max_expected_edge_load,
+                   parallel.max_expected_edge_load);
+}
+
+TEST(Trials, ConcentrationOnRandomizedRouter) {
+  // Theorem 3.9's w.h.p. claim, in miniature: the spread of C over trials
+  // is small relative to its mean.
+  const Mesh mesh({32, 32});
+  const auto router = make_router(Algorithm::kHierarchical2d, mesh);
+  const RoutingProblem problem = transpose(mesh);
+  const TrialSummary s = evaluate_trials(mesh, *router, problem, 20, 9);
+  EXPECT_LT(s.congestion.stddev(), 0.2 * s.congestion.mean());
+  EXPECT_LT(s.congestion.max() / s.congestion.min(), 1.8);
+}
+
+TEST(Trials, RejectsZeroTrials) {
+  const Mesh mesh({16, 16});
+  const auto router = make_router(Algorithm::kEcube, mesh);
+  EXPECT_THROW(evaluate_trials(mesh, *router, transpose(mesh), 0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oblivious

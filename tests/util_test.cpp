@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/bits.hpp"
+#include "util/small_vec.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace oblivious {
+namespace {
+
+// --- bits ------------------------------------------------------------------
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(1023), 9);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(std::uint64_t{1} << 63), 63);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Bits, FloorLog2RejectsZero) {
+  EXPECT_THROW(floor_log2(0), std::invalid_argument);
+}
+
+TEST(Bits, IsPowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1ULL << 40));
+  EXPECT_FALSE(is_power_of_two((1ULL << 40) + 1));
+}
+
+TEST(Bits, FloorDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(0, 5), 0);
+  EXPECT_EQ(floor_div(-1, 4), -1);
+}
+
+TEST(Bits, PosMod) {
+  EXPECT_EQ(pos_mod(7, 4), 3);
+  EXPECT_EQ(pos_mod(-1, 4), 3);
+  EXPECT_EQ(pos_mod(-8, 4), 0);
+  EXPECT_EQ(pos_mod(0, 4), 0);
+}
+
+// --- SmallVec ----------------------------------------------------------------
+
+TEST(SmallVec, StartsEmptyAndInline) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0U);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 4U);
+}
+
+TEST(SmallVec, PushBackWithinInlineCapacity) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4U);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(SmallVec, SpillsToHeapBeyondInlineCapacity) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100U);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, CopyPreservesContents) {
+  SmallVec<int, 2> v{1, 2, 3, 4, 5};
+  SmallVec<int, 2> w(v);
+  EXPECT_EQ(v, w);
+  w.push_back(6);
+  EXPECT_NE(v, w);
+}
+
+TEST(SmallVec, CopyAssignOverwrites) {
+  SmallVec<int, 2> v{1, 2, 3};
+  SmallVec<int, 2> w{9};
+  w = v;
+  EXPECT_EQ(w.size(), 3U);
+  EXPECT_EQ(w[2], 3);
+}
+
+TEST(SmallVec, MoveStealsHeapStorage) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const int* data = v.data();
+  SmallVec<int, 2> w(std::move(v));
+  EXPECT_EQ(w.data(), data);  // heap buffer moved, not copied
+  EXPECT_EQ(w.size(), 50U);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVec, MoveInlineCopies) {
+  SmallVec<int, 8> v{1, 2, 3};
+  SmallVec<int, 8> w(std::move(v));
+  EXPECT_EQ(w.size(), 3U);
+  EXPECT_EQ(w[0], 1);
+}
+
+TEST(SmallVec, ResizeGrowsWithValue) {
+  SmallVec<int, 2> v;
+  v.resize(5, 7);
+  EXPECT_EQ(v.size(), 5U);
+  for (const int x : v) EXPECT_EQ(x, 7);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2U);
+}
+
+TEST(SmallVec, AtThrowsOutOfRange) {
+  SmallVec<int, 2> v{1};
+  EXPECT_EQ(v.at(0), 1);
+  EXPECT_THROW(v.at(1), std::invalid_argument);
+}
+
+TEST(SmallVec, InitializerListAndEquality) {
+  SmallVec<int, 4> a{1, 2, 3};
+  SmallVec<int, 4> b{1, 2, 3};
+  SmallVec<int, 4> c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SmallVec, PopBack) {
+  SmallVec<int, 4> v{1, 2};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1U);
+  v.pop_back();
+  EXPECT_TRUE(v.empty());
+  EXPECT_THROW(v.pop_back(), std::invalid_argument);
+}
+
+// --- RunningStats ------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (const double x : {3.0, 1.0, 4.0, 1.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5U);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, VarianceMatchesDirectFormula) {
+  RunningStats s;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= 8.0;
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= 7.0;
+  for (const double x : xs) s.add(x);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i * i % 17);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1U);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+// --- IntHistogram --------------------------------------------------------------
+
+TEST(IntHistogram, CountsAndTotal) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(1);
+  EXPECT_EQ(h.total(), 3U);
+  EXPECT_EQ(h.count(3), 2U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_EQ(h.count(0), 0U);
+  EXPECT_EQ(h.count(99), 0U);
+  EXPECT_EQ(h.max_value(), 3);
+}
+
+TEST(IntHistogram, WeightedAdd) {
+  IntHistogram h;
+  h.add(2, 10);
+  EXPECT_EQ(h.total(), 10U);
+  EXPECT_EQ(h.count(2), 10U);
+}
+
+TEST(IntHistogram, Quantile) {
+  IntHistogram h;
+  for (int v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.5), 50);
+  EXPECT_EQ(h.quantile(0.99), 99);
+  EXPECT_EQ(h.quantile(1.0), 100);
+}
+
+TEST(IntHistogram, MeanAndEmpty) {
+  IntHistogram h;
+  EXPECT_EQ(h.max_value(), -1);
+  EXPECT_EQ(h.quantile(0.5), -1);
+  h.add(2);
+  h.add(4);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(IntHistogram, RejectsNegative) {
+  IntHistogram h;
+  EXPECT_THROW(h.add(-1), std::invalid_argument);
+}
+
+// --- Table --------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().add("x").add(std::int64_t{42});
+  t.row().add("longer-name").add(7.5, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("7.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2U);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().add(1).add(2);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsOverfullRow) {
+  Table t({"only"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), std::invalid_argument);
+}
+
+TEST(Table, RejectsAddWithoutRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oblivious

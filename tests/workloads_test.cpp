@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/generators.hpp"
+
+namespace oblivious {
+namespace {
+
+bool is_full_permutation(const Mesh& mesh, const RoutingProblem& p) {
+  if (p.size() != static_cast<std::size_t>(mesh.num_nodes())) return false;
+  return p.is_partial_permutation(mesh);
+}
+
+TEST(RoutingProblem, DistanceAggregates) {
+  const Mesh m({8, 8});
+  RoutingProblem p;
+  p.demands = {{0, 0}, {0, m.node_id(Coord{3, 4})}, {0, m.node_id(Coord{7, 7})}};
+  EXPECT_EQ(p.max_distance(m), 14);
+  EXPECT_EQ(p.total_distance(m), 0 + 7 + 14);
+}
+
+TEST(RoutingProblem, PartialPermutationDetection) {
+  const Mesh m({4, 4});
+  RoutingProblem ok;
+  ok.demands = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(ok.is_partial_permutation(m));
+  RoutingProblem dup_src;
+  dup_src.demands = {{0, 1}, {0, 2}};
+  EXPECT_FALSE(dup_src.is_partial_permutation(m));
+  RoutingProblem dup_dst;
+  dup_dst.demands = {{0, 2}, {1, 2}};
+  EXPECT_FALSE(dup_dst.is_partial_permutation(m));
+}
+
+TEST(Workloads, RandomPermutationIsPermutation) {
+  const Mesh m({8, 8});
+  Rng rng(1);
+  const RoutingProblem p = random_permutation(m, rng);
+  EXPECT_TRUE(is_full_permutation(m, p));
+  // Sources are 0..n-1 in order.
+  for (NodeId u = 0; u < m.num_nodes(); ++u) {
+    EXPECT_EQ(p.demands[static_cast<std::size_t>(u)].src, u);
+  }
+}
+
+TEST(Workloads, RandomPermutationVariesWithSeed) {
+  const Mesh m({8, 8});
+  Rng rng1(1);
+  Rng rng2(2);
+  EXPECT_NE(random_permutation(m, rng1).demands,
+            random_permutation(m, rng2).demands);
+}
+
+TEST(Workloads, TransposeSwapsFirstTwoDims) {
+  const Mesh m({8, 8});
+  const RoutingProblem p = transpose(m);
+  EXPECT_TRUE(is_full_permutation(m, p));
+  for (const Demand& d : p.demands) {
+    const Coord cs = m.coord(d.src);
+    const Coord ct = m.coord(d.dst);
+    EXPECT_EQ(cs[0], ct[1]);
+    EXPECT_EQ(cs[1], ct[0]);
+  }
+}
+
+TEST(Workloads, TransposeRequiresTwoDims) {
+  const Mesh line({8});
+  EXPECT_THROW(transpose(line), std::invalid_argument);
+}
+
+TEST(Workloads, BitReversalIsInvolution) {
+  const Mesh m({16, 16});
+  const RoutingProblem p = bit_reversal(m);
+  EXPECT_TRUE(is_full_permutation(m, p));
+  // Applying the map twice returns to the source.
+  for (const Demand& d : p.demands) {
+    EXPECT_EQ(p.demands[static_cast<std::size_t>(d.dst)].dst, d.src);
+  }
+  // Spot check: x=0b0001 -> 0b1000.
+  const NodeId s = m.node_id(Coord{1, 0});
+  EXPECT_EQ(p.demands[static_cast<std::size_t>(s)].dst, m.node_id(Coord{8, 0}));
+}
+
+TEST(Workloads, TornadoShiftsDimZero) {
+  const Mesh m({8, 8});
+  const RoutingProblem p = tornado(m);
+  EXPECT_TRUE(is_full_permutation(m, p));
+  for (const Demand& d : p.demands) {
+    const Coord cs = m.coord(d.src);
+    const Coord ct = m.coord(d.dst);
+    EXPECT_EQ(ct[0], (cs[0] + 3) % 8);
+    EXPECT_EQ(ct[1], cs[1]);
+  }
+}
+
+TEST(Workloads, HotspotSingleSink) {
+  const Mesh m({8, 8});
+  Rng rng(5);
+  const RoutingProblem p = hotspot(m, rng, 20);
+  EXPECT_LE(p.size(), 20U);
+  EXPECT_GE(p.size(), 19U);  // the sink itself may be skipped
+  std::set<NodeId> sinks;
+  std::set<NodeId> sources;
+  for (const Demand& d : p.demands) {
+    sinks.insert(d.dst);
+    EXPECT_TRUE(sources.insert(d.src).second);  // distinct sources
+  }
+  EXPECT_EQ(sinks.size(), 1U);
+}
+
+TEST(Workloads, NearestNeighborDistanceOne) {
+  const Mesh m({8, 8});
+  Rng rng(7);
+  const RoutingProblem p = nearest_neighbor(m, rng);
+  EXPECT_EQ(p.size(), static_cast<std::size_t>(m.num_nodes()));
+  for (const Demand& d : p.demands) {
+    EXPECT_EQ(m.distance(d.src, d.dst), 1);
+  }
+}
+
+TEST(Workloads, RandomPairsHitExactDistance) {
+  for (const bool torus : {false, true}) {
+    const Mesh m({16, 16}, torus);
+    Rng rng(9);
+    for (const std::int64_t dist : {1, 3, 7, 12}) {
+      const RoutingProblem p = random_pairs_at_distance(m, rng, 50, dist);
+      EXPECT_EQ(p.size(), 50U);
+      for (const Demand& d : p.demands) {
+        EXPECT_EQ(m.distance(d.src, d.dst), dist) << "torus=" << torus;
+      }
+    }
+  }
+}
+
+TEST(Workloads, BlockExchangeDistanceExactlyL) {
+  // Section 5.1: every packet travels exactly distance l.
+  const Mesh m({16, 16});
+  for (const std::int64_t l : {1, 2, 4, 8}) {
+    const RoutingProblem p = block_exchange(m, l);
+    EXPECT_TRUE(is_full_permutation(m, p));
+    for (const Demand& d : p.demands) {
+      EXPECT_EQ(m.distance(d.src, d.dst), l) << "l=" << l;
+    }
+  }
+}
+
+TEST(Workloads, BlockExchangeIsInvolution) {
+  const Mesh m({16, 16});
+  const RoutingProblem p = block_exchange(m, 4);
+  for (const Demand& d : p.demands) {
+    EXPECT_EQ(p.demands[static_cast<std::size_t>(d.dst)].dst, d.src);
+  }
+}
+
+TEST(Workloads, BlockExchangeRejectsBadThickness) {
+  const Mesh m({16, 16});
+  EXPECT_THROW(block_exchange(m, 3), std::invalid_argument);
+  EXPECT_THROW(block_exchange(m, 16), std::invalid_argument);
+}
+
+TEST(Workloads, CutStraddlersDistanceOneAcrossBisector) {
+  const Mesh m({16, 16});
+  const RoutingProblem p = cut_straddlers(m);
+  EXPECT_EQ(p.size(), 32U);  // both directions, 16 rows
+  for (const Demand& d : p.demands) {
+    EXPECT_EQ(m.distance(d.src, d.dst), 1);
+    const Coord cs = m.coord(d.src);
+    EXPECT_TRUE(cs[0] == 7 || cs[0] == 8);
+  }
+  EXPECT_TRUE(p.is_partial_permutation(m));
+}
+
+}  // namespace
+}  // namespace oblivious

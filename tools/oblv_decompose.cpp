@@ -1,0 +1,120 @@
+// oblv_decompose -- inspect the hierarchical mesh decomposition.
+//
+// Renders the type-1 / shifted families of a level (Figures 1-2 of the
+// paper), lists the per-level structure, and answers bridge queries for a
+// given pair of nodes.
+//
+// Examples:
+//   oblv_decompose --mesh 16x16 --render --level 2
+//   oblv_decompose --mesh 64x64 --pair 10,10:54,33
+//   oblv_decompose --mesh 16x16x16 --section4 --summary
+#include <iostream>
+#include <sstream>
+
+#include "decomposition/decomposition.hpp"
+#include "decomposition/render.hpp"
+#include "routing/hierarchical.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace oblivious;
+
+constexpr const char* kUsage = R"(usage: oblv_decompose [flags]
+  --mesh WxHx...   square power-of-two mesh (default 16x16)
+  --torus          wrap-around topology
+  --section4       use the d-dimensional type-j decomposition (default:
+                   Section 3 diagonal decomposition)
+  --summary        per-level table: side, lambda, families, counts
+  --render         ASCII-render the families (with --level N, default 1)
+  --level N        level to render
+  --pair X,Y:U,V   report the bridge for a node pair (2D coordinates)
+  --help           this text
+)";
+
+Mesh parse_mesh(const std::string& spec, bool torus) {
+  std::vector<std::int64_t> sides;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, 'x')) sides.push_back(std::stoll(part));
+  return Mesh(std::move(sides), torus);
+}
+
+Coord parse_coord(const std::string& spec, int dim) {
+  Coord c;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ',')) c.push_back(std::stoll(part));
+  OBLV_REQUIRE(static_cast<int>(c.size()) == dim, "coordinate/mesh dim mismatch");
+  return c;
+}
+
+int run(const Flags& flags) {
+  if (flags.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const Mesh mesh =
+      parse_mesh(flags.get("mesh", "16x16"), flags.get_bool("torus"));
+  const Decomposition dec = flags.get_bool("section4")
+                                ? Decomposition::section4(mesh)
+                                : Decomposition::section3(mesh);
+  std::cout << "network: " << mesh.describe() << ", "
+            << (flags.get_bool("section4") ? "Section 4 type-j"
+                                           : "Section 3 diagonal")
+            << " decomposition, " << dec.leaf_level() + 1 << " levels\n";
+
+  if (flags.get_bool("summary") || (!flags.get_bool("render") && !flags.has("pair"))) {
+    Table table({"level", "side", "lambda", "families", "submeshes"});
+    for (int level = 0; level <= dec.leaf_level(); ++level) {
+      table.row()
+          .add(level)
+          .add(dec.side_at(level))
+          .add(dec.shift_lambda(level))
+          .add(dec.num_types(level))
+          .add(dec.count_submeshes(level));
+    }
+    table.print(std::cout);
+  }
+
+  if (flags.get_bool("render")) {
+    const int level = static_cast<int>(flags.get_int("level", 1));
+    std::cout << render_level(dec, level);
+  }
+
+  if (flags.has("pair")) {
+    const std::string spec = flags.get("pair", "");
+    const std::size_t colon = spec.find(':');
+    OBLV_REQUIRE(colon != std::string::npos, "--pair wants X,Y:U,V");
+    const Coord s = parse_coord(spec.substr(0, colon), mesh.dim());
+    const Coord t = parse_coord(spec.substr(colon + 1), mesh.dim());
+    std::cout << "dist = " << mesh.distance(s, t) << "\n";
+    const RegularSubmesh dca = dec.deepest_common(s, t, true);
+    std::cout << "deepest common regular submesh: " << dca.describe()
+              << " (height " << dec.height_of(dca.level) << ")\n";
+    const RegularSubmesh tree_dca = dec.deepest_common(s, t, false);
+    std::cout << "deepest common type-1 (access tree): " << tree_dca.describe()
+              << " (height " << dec.height_of(tree_dca.level) << ")\n";
+    if (mesh.is_square() && mesh.sides_power_of_two()) {
+      const NdRouter router(mesh);
+      const RegularSubmesh bridge =
+          router.bridge_for(mesh.node_id(s), mesh.node_id(t));
+      std::cout << "Section 4 prescribed bridge: " << bridge.describe() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Flags::parse(argc, argv,
+                            {"mesh", "torus", "section4", "summary", "render",
+                             "level", "pair", "help"}));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+}

@@ -1,0 +1,196 @@
+// oblv_route -- command-line driver for the library.
+//
+// Route a workload on a mesh with any algorithm, print the quality report,
+// and optionally simulate delivery, render a load heatmap, or save/load
+// the problem.
+//
+// Examples:
+//   oblv_route --mesh 64x64 --algorithm hierarchical-2d --workload transpose
+//   oblv_route --mesh 32x32x32 --torus --algorithm hierarchical-nd
+//              --workload random --simulate
+//   oblv_route --mesh 128x128 --algorithm ecube --workload block-exchange
+//              --l 16 --heatmap
+//   oblv_route --load problem.txt --algorithm valiant --csv
+//   oblv_route --mesh 64x64 --workload tornado --save problem.txt
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/evaluate.hpp"
+#include "analysis/heatmap.hpp"
+#include "routing/registry.hpp"
+#include "simulator/simulator.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/io.hpp"
+
+namespace {
+
+using namespace oblivious;
+
+constexpr const char* kUsage = R"(usage: oblv_route [flags]
+  --mesh WxHx...       mesh shape (default 64x64)
+  --torus              wrap-around topology
+  --algorithm NAME     ecube | random-dim-order | staircase | valiant |
+                       bounded-valiant | access-tree | hierarchical-2d |
+                       hierarchical-nd | hierarchical-nd-frugal | all
+                       (default hierarchical-2d)
+  --workload NAME      transpose | bit-reversal | tornado | random |
+                       nearest-neighbor | hotspot | block-exchange |
+                       cut-straddlers   (default transpose)
+  --l N                block-exchange slab thickness (default 8)
+  --seed N             RNG seed (default 1)
+  --simulate           deliver the packets and report the makespan
+  --policy NAME        fifo | furthest-to-go | random-rank (default furthest-to-go)
+  --heatmap            render an ASCII edge-load heatmap (2D meshes)
+  --csv                emit the metrics row as CSV
+  --save FILE          write the generated problem and exit
+  --load FILE          read the mesh and problem from FILE (overrides --mesh)
+  --help               this text
+)";
+
+Mesh parse_mesh(const std::string& spec, bool torus) {
+  std::vector<std::int64_t> sides;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, 'x')) {
+    sides.push_back(std::stoll(part));
+  }
+  return Mesh(std::move(sides), torus);
+}
+
+RoutingProblem make_workload(const Mesh& mesh, const std::string& name,
+                             std::int64_t l, Rng& rng) {
+  if (name == "transpose") return transpose(mesh);
+  if (name == "bit-reversal") return bit_reversal(mesh);
+  if (name == "tornado") return tornado(mesh);
+  if (name == "random") return random_permutation(mesh, rng);
+  if (name == "nearest-neighbor") return nearest_neighbor(mesh, rng);
+  if (name == "hotspot") {
+    return hotspot(mesh, rng, static_cast<std::size_t>(mesh.num_nodes() / 8));
+  }
+  if (name == "block-exchange") return block_exchange(mesh, l);
+  if (name == "cut-straddlers") return cut_straddlers(mesh);
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+SchedulingPolicy parse_policy(const std::string& name) {
+  if (name == "fifo") return SchedulingPolicy::kFifo;
+  if (name == "furthest-to-go") return SchedulingPolicy::kFurthestToGo;
+  if (name == "random-rank") return SchedulingPolicy::kRandomRank;
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+int run(const Flags& flags) {
+  if (flags.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  Mesh mesh({1});
+  RoutingProblem problem;
+  if (flags.has("load")) {
+    std::ifstream in(flags.get("load", ""));
+    if (!in) {
+      std::cerr << "cannot open " << flags.get("load", "") << "\n";
+      return 1;
+    }
+    std::tie(mesh, problem) = read_problem(in);
+  } else {
+    mesh = parse_mesh(flags.get("mesh", "64x64"), flags.get_bool("torus"));
+    Rng wrng(seed);
+    problem = make_workload(mesh, flags.get("workload", "transpose"),
+                            flags.get_int("l", 8), wrng);
+  }
+  std::cout << "network : " << mesh.describe() << "\n";
+  std::cout << "packets : " << problem.size() << "\n";
+
+  if (flags.has("save")) {
+    std::ofstream out(flags.get("save", ""));
+    write_problem(out, mesh, problem);
+    std::cout << "problem written to " << flags.get("save", "") << "\n";
+    return 0;
+  }
+
+  std::vector<Algorithm> algorithms;
+  const std::string algo_name = flags.get("algorithm", "hierarchical-2d");
+  if (algo_name == "all") {
+    algorithms = algorithms_for(mesh);
+  } else {
+    const auto a = algorithm_from_name(algo_name);
+    if (!a.has_value()) {
+      std::cerr << "unknown algorithm '" << algo_name << "'\n" << kUsage;
+      return 1;
+    }
+    algorithms = {*a};
+  }
+
+  const double lb = best_lower_bound(mesh, problem);
+  std::cout << "C* bound: >= " << lb << "\n\n";
+  Table table({"algorithm", "C", "C/C*", "D", "max stretch", "mean stretch",
+               "bits/pkt", "route ms"});
+  for (const Algorithm a : algorithms) {
+    const auto router = make_router(a, mesh);
+    RouteAllOptions options;
+    options.seed = seed;
+    RunningStats bits;
+    const std::vector<Path> paths =
+        route_all(mesh, *router, problem, options, &bits);
+    const RouteSetMetrics m = [&] {
+      RouteSetMetrics metrics = measure_paths(mesh, problem, paths, lb);
+      metrics.algorithm = router->name();
+      metrics.bits_per_packet = bits;
+      return metrics;
+    }();
+    table.row()
+        .add(m.algorithm)
+        .add(m.congestion)
+        .add(m.congestion_ratio, 2)
+        .add(m.dilation)
+        .add(m.max_stretch, 2)
+        .add(m.mean_stretch, 2)
+        .add(m.bits_per_packet.mean(), 1)
+        .add(m.routing_seconds * 1e3, 1);
+
+    if (flags.get_bool("simulate")) {
+      SimulationOptions sim_options;
+      sim_options.policy =
+          parse_policy(flags.get("policy", "furthest-to-go"));
+      sim_options.seed = seed;
+      const SimulationResult sim = simulate(mesh, paths, sim_options);
+      std::cout << m.algorithm << ": delivered in " << sim.makespan
+                << " steps (max(C,D) = "
+                << std::max(sim.congestion, sim.dilation)
+                << ", mean latency " << sim.latency.mean() << ")\n";
+    }
+    if (flags.get_bool("heatmap") && mesh.dim() == 2) {
+      EdgeLoadMap loads(mesh);
+      loads.add_paths(paths);
+      std::cout << m.algorithm << " load heatmap:\n"
+                << render_load_heatmap(loads) << "\n";
+    }
+  }
+  if (flags.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Flags::parse(
+        argc, argv,
+        {"mesh", "torus", "algorithm", "workload", "l", "seed", "simulate",
+         "policy", "heatmap", "csv", "save", "load", "help"}));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+}
