@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e10_kappa_choices"
+  "../bench/bench_e10_kappa_choices.pdb"
+  "CMakeFiles/bench_e10_kappa_choices.dir/bench_e10_kappa_choices.cpp.o"
+  "CMakeFiles/bench_e10_kappa_choices.dir/bench_e10_kappa_choices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_kappa_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e11_offered_load"
+  "../bench/bench_e11_offered_load.pdb"
+  "CMakeFiles/bench_e11_offered_load.dir/bench_e11_offered_load.cpp.o"
+  "CMakeFiles/bench_e11_offered_load.dir/bench_e11_offered_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_offered_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e12_concentration"
+  "../bench/bench_e12_concentration.pdb"
+  "CMakeFiles/bench_e12_concentration.dir/bench_e12_concentration.cpp.o"
+  "CMakeFiles/bench_e12_concentration.dir/bench_e12_concentration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e13_hypercube"
+  "../bench/bench_e13_hypercube.pdb"
+  "CMakeFiles/bench_e13_hypercube.dir/bench_e13_hypercube.cpp.o"
+  "CMakeFiles/bench_e13_hypercube.dir/bench_e13_hypercube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e14_offline_gap"
+  "../bench/bench_e14_offline_gap.pdb"
+  "CMakeFiles/bench_e14_offline_gap.dir/bench_e14_offline_gap.cpp.o"
+  "CMakeFiles/bench_e14_offline_gap.dir/bench_e14_offline_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_offline_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

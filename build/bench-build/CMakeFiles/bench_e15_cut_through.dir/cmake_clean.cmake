@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e15_cut_through"
+  "../bench/bench_e15_cut_through.pdb"
+  "CMakeFiles/bench_e15_cut_through.dir/bench_e15_cut_through.cpp.o"
+  "CMakeFiles/bench_e15_cut_through.dir/bench_e15_cut_through.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_cut_through.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

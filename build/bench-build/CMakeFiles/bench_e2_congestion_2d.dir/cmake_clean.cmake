@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_congestion_2d"
+  "../bench/bench_e2_congestion_2d.pdb"
+  "CMakeFiles/bench_e2_congestion_2d.dir/bench_e2_congestion_2d.cpp.o"
+  "CMakeFiles/bench_e2_congestion_2d.dir/bench_e2_congestion_2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_congestion_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_stretch_ddim"
+  "../bench/bench_e3_stretch_ddim.pdb"
+  "CMakeFiles/bench_e3_stretch_ddim.dir/bench_e3_stretch_ddim.cpp.o"
+  "CMakeFiles/bench_e3_stretch_ddim.dir/bench_e3_stretch_ddim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_stretch_ddim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

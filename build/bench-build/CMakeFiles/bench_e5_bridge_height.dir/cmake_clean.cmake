@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_bridge_height"
+  "../bench/bench_e5_bridge_height.pdb"
+  "CMakeFiles/bench_e5_bridge_height.dir/bench_e5_bridge_height.cpp.o"
+  "CMakeFiles/bench_e5_bridge_height.dir/bench_e5_bridge_height.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_bridge_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_random_bits"
+  "../bench/bench_e7_random_bits.pdb"
+  "CMakeFiles/bench_e7_random_bits.dir/bench_e7_random_bits.cpp.o"
+  "CMakeFiles/bench_e7_random_bits.dir/bench_e7_random_bits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_random_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

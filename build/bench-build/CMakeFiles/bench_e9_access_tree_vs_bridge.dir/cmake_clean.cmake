@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_access_tree_vs_bridge"
+  "../bench/bench_e9_access_tree_vs_bridge.pdb"
+  "CMakeFiles/bench_e9_access_tree_vs_bridge.dir/bench_e9_access_tree_vs_bridge.cpp.o"
+  "CMakeFiles/bench_e9_access_tree_vs_bridge.dir/bench_e9_access_tree_vs_bridge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_access_tree_vs_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

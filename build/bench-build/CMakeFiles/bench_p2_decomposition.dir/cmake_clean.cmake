@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_p2_decomposition"
+  "../bench/bench_p2_decomposition.pdb"
+  "CMakeFiles/bench_p2_decomposition.dir/bench_p2_decomposition.cpp.o"
+  "CMakeFiles/bench_p2_decomposition.dir/bench_p2_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

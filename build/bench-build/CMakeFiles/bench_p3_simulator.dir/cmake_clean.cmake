@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_p3_simulator"
+  "../bench/bench_p3_simulator.pdb"
+  "CMakeFiles/bench_p3_simulator.dir/bench_p3_simulator.cpp.o"
+  "CMakeFiles/bench_p3_simulator.dir/bench_p3_simulator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p3_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

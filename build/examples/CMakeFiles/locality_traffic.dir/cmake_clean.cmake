@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_traffic.dir/locality_traffic.cpp.o"
+  "CMakeFiles/locality_traffic.dir/locality_traffic.cpp.o.d"
+  "locality_traffic"
+  "locality_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidim_tour.dir/multidim_tour.cpp.o"
+  "CMakeFiles/multidim_tour.dir/multidim_tour.cpp.o.d"
+  "multidim_tour"
+  "multidim_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidim_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_vs_oblivious.dir/offline_vs_oblivious.cpp.o"
+  "CMakeFiles/offline_vs_oblivious.dir/offline_vs_oblivious.cpp.o.d"
+  "offline_vs_oblivious"
+  "offline_vs_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_vs_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

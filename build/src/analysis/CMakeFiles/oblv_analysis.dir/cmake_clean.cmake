@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_analysis.dir/congestion.cpp.o"
+  "CMakeFiles/oblv_analysis.dir/congestion.cpp.o.d"
+  "CMakeFiles/oblv_analysis.dir/evaluate.cpp.o"
+  "CMakeFiles/oblv_analysis.dir/evaluate.cpp.o.d"
+  "CMakeFiles/oblv_analysis.dir/heatmap.cpp.o"
+  "CMakeFiles/oblv_analysis.dir/heatmap.cpp.o.d"
+  "CMakeFiles/oblv_analysis.dir/lower_bound.cpp.o"
+  "CMakeFiles/oblv_analysis.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/oblv_analysis.dir/trials.cpp.o"
+  "CMakeFiles/oblv_analysis.dir/trials.cpp.o.d"
+  "liboblv_analysis.a"
+  "liboblv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_core.dir/oblivious_routing.cpp.o"
+  "CMakeFiles/oblv_core.dir/oblivious_routing.cpp.o.d"
+  "liboblv_core.a"
+  "liboblv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomposition/access_graph.cpp" "src/decomposition/CMakeFiles/oblv_decomposition.dir/access_graph.cpp.o" "gcc" "src/decomposition/CMakeFiles/oblv_decomposition.dir/access_graph.cpp.o.d"
+  "/root/repo/src/decomposition/decomposition.cpp" "src/decomposition/CMakeFiles/oblv_decomposition.dir/decomposition.cpp.o" "gcc" "src/decomposition/CMakeFiles/oblv_decomposition.dir/decomposition.cpp.o.d"
+  "/root/repo/src/decomposition/render.cpp" "src/decomposition/CMakeFiles/oblv_decomposition.dir/render.cpp.o" "gcc" "src/decomposition/CMakeFiles/oblv_decomposition.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/oblv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oblv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

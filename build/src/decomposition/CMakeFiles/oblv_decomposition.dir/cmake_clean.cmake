@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_decomposition.dir/access_graph.cpp.o"
+  "CMakeFiles/oblv_decomposition.dir/access_graph.cpp.o.d"
+  "CMakeFiles/oblv_decomposition.dir/decomposition.cpp.o"
+  "CMakeFiles/oblv_decomposition.dir/decomposition.cpp.o.d"
+  "CMakeFiles/oblv_decomposition.dir/render.cpp.o"
+  "CMakeFiles/oblv_decomposition.dir/render.cpp.o.d"
+  "liboblv_decomposition.a"
+  "liboblv_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/oblv_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/oblv_mesh.dir/path.cpp.o"
+  "CMakeFiles/oblv_mesh.dir/path.cpp.o.d"
+  "CMakeFiles/oblv_mesh.dir/region.cpp.o"
+  "CMakeFiles/oblv_mesh.dir/region.cpp.o.d"
+  "liboblv_mesh.a"
+  "liboblv_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

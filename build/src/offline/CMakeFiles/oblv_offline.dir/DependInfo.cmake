@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/greedy.cpp" "src/offline/CMakeFiles/oblv_offline.dir/greedy.cpp.o" "gcc" "src/offline/CMakeFiles/oblv_offline.dir/greedy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/oblv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/oblv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/oblv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomposition/CMakeFiles/oblv_decomposition.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oblv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

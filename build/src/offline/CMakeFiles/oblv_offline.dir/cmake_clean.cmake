@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_offline.dir/greedy.cpp.o"
+  "CMakeFiles/oblv_offline.dir/greedy.cpp.o.d"
+  "liboblv_offline.a"
+  "liboblv_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/oblv_parallel.dir/thread_pool.cpp.o.d"
+  "liboblv_parallel.a"
+  "liboblv_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/baselines.cpp" "src/routing/CMakeFiles/oblv_routing.dir/baselines.cpp.o" "gcc" "src/routing/CMakeFiles/oblv_routing.dir/baselines.cpp.o.d"
+  "/root/repo/src/routing/bounded_valiant.cpp" "src/routing/CMakeFiles/oblv_routing.dir/bounded_valiant.cpp.o" "gcc" "src/routing/CMakeFiles/oblv_routing.dir/bounded_valiant.cpp.o.d"
+  "/root/repo/src/routing/hierarchical.cpp" "src/routing/CMakeFiles/oblv_routing.dir/hierarchical.cpp.o" "gcc" "src/routing/CMakeFiles/oblv_routing.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/routing/kchoice.cpp" "src/routing/CMakeFiles/oblv_routing.dir/kchoice.cpp.o" "gcc" "src/routing/CMakeFiles/oblv_routing.dir/kchoice.cpp.o.d"
+  "/root/repo/src/routing/one_bend.cpp" "src/routing/CMakeFiles/oblv_routing.dir/one_bend.cpp.o" "gcc" "src/routing/CMakeFiles/oblv_routing.dir/one_bend.cpp.o.d"
+  "/root/repo/src/routing/registry.cpp" "src/routing/CMakeFiles/oblv_routing.dir/registry.cpp.o" "gcc" "src/routing/CMakeFiles/oblv_routing.dir/registry.cpp.o.d"
+  "/root/repo/src/routing/staircase.cpp" "src/routing/CMakeFiles/oblv_routing.dir/staircase.cpp.o" "gcc" "src/routing/CMakeFiles/oblv_routing.dir/staircase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/oblv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomposition/CMakeFiles/oblv_decomposition.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oblv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_routing.dir/baselines.cpp.o"
+  "CMakeFiles/oblv_routing.dir/baselines.cpp.o.d"
+  "CMakeFiles/oblv_routing.dir/bounded_valiant.cpp.o"
+  "CMakeFiles/oblv_routing.dir/bounded_valiant.cpp.o.d"
+  "CMakeFiles/oblv_routing.dir/hierarchical.cpp.o"
+  "CMakeFiles/oblv_routing.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/oblv_routing.dir/kchoice.cpp.o"
+  "CMakeFiles/oblv_routing.dir/kchoice.cpp.o.d"
+  "CMakeFiles/oblv_routing.dir/one_bend.cpp.o"
+  "CMakeFiles/oblv_routing.dir/one_bend.cpp.o.d"
+  "CMakeFiles/oblv_routing.dir/registry.cpp.o"
+  "CMakeFiles/oblv_routing.dir/registry.cpp.o.d"
+  "CMakeFiles/oblv_routing.dir/staircase.cpp.o"
+  "CMakeFiles/oblv_routing.dir/staircase.cpp.o.d"
+  "liboblv_routing.a"
+  "liboblv_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

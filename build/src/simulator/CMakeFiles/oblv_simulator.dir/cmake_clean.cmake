@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_simulator.dir/cut_through.cpp.o"
+  "CMakeFiles/oblv_simulator.dir/cut_through.cpp.o.d"
+  "CMakeFiles/oblv_simulator.dir/online.cpp.o"
+  "CMakeFiles/oblv_simulator.dir/online.cpp.o.d"
+  "CMakeFiles/oblv_simulator.dir/simulator.cpp.o"
+  "CMakeFiles/oblv_simulator.dir/simulator.cpp.o.d"
+  "liboblv_simulator.a"
+  "liboblv_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oblv_simulator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/oblv_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/oblv_util.dir/flags.cpp.o"
+  "CMakeFiles/oblv_util.dir/flags.cpp.o.d"
+  "CMakeFiles/oblv_util.dir/table.cpp.o"
+  "CMakeFiles/oblv_util.dir/table.cpp.o.d"
+  "liboblv_util.a"
+  "liboblv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/adversarial.cpp" "src/workloads/CMakeFiles/oblv_workloads.dir/adversarial.cpp.o" "gcc" "src/workloads/CMakeFiles/oblv_workloads.dir/adversarial.cpp.o.d"
+  "/root/repo/src/workloads/generators.cpp" "src/workloads/CMakeFiles/oblv_workloads.dir/generators.cpp.o" "gcc" "src/workloads/CMakeFiles/oblv_workloads.dir/generators.cpp.o.d"
+  "/root/repo/src/workloads/io.cpp" "src/workloads/CMakeFiles/oblv_workloads.dir/io.cpp.o" "gcc" "src/workloads/CMakeFiles/oblv_workloads.dir/io.cpp.o.d"
+  "/root/repo/src/workloads/problem.cpp" "src/workloads/CMakeFiles/oblv_workloads.dir/problem.cpp.o" "gcc" "src/workloads/CMakeFiles/oblv_workloads.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/oblv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/oblv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomposition/CMakeFiles/oblv_decomposition.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oblv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_workloads.dir/adversarial.cpp.o"
+  "CMakeFiles/oblv_workloads.dir/adversarial.cpp.o.d"
+  "CMakeFiles/oblv_workloads.dir/generators.cpp.o"
+  "CMakeFiles/oblv_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/oblv_workloads.dir/io.cpp.o"
+  "CMakeFiles/oblv_workloads.dir/io.cpp.o.d"
+  "CMakeFiles/oblv_workloads.dir/problem.cpp.o"
+  "CMakeFiles/oblv_workloads.dir/problem.cpp.o.d"
+  "liboblv_workloads.a"
+  "liboblv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

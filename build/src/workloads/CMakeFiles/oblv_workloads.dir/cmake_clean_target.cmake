@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboblv_workloads.a"
+)

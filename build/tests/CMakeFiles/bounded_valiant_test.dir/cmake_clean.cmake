@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_valiant_test.dir/bounded_valiant_test.cpp.o"
+  "CMakeFiles/bounded_valiant_test.dir/bounded_valiant_test.cpp.o.d"
+  "bounded_valiant_test"
+  "bounded_valiant_test.pdb"
+  "bounded_valiant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_valiant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_height_test.dir/bridge_height_test.cpp.o"
+  "CMakeFiles/bridge_height_test.dir/bridge_height_test.cpp.o.d"
+  "bridge_height_test"
+  "bridge_height_test.pdb"
+  "bridge_height_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_height_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

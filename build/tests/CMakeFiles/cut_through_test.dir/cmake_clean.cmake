@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cut_through_test.dir/cut_through_test.cpp.o"
+  "CMakeFiles/cut_through_test.dir/cut_through_test.cpp.o.d"
+  "cut_through_test"
+  "cut_through_test.pdb"
+  "cut_through_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cut_through_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

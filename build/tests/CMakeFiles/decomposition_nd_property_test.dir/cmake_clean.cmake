@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_nd_property_test.dir/decomposition_nd_property_test.cpp.o"
+  "CMakeFiles/decomposition_nd_property_test.dir/decomposition_nd_property_test.cpp.o.d"
+  "decomposition_nd_property_test"
+  "decomposition_nd_property_test.pdb"
+  "decomposition_nd_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_nd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for decomposition_nd_property_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_router_test.dir/hierarchical_router_test.cpp.o"
+  "CMakeFiles/hierarchical_router_test.dir/hierarchical_router_test.cpp.o.d"
+  "hierarchical_router_test"
+  "hierarchical_router_test.pdb"
+  "hierarchical_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

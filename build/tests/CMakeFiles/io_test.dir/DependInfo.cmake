@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io_test.cpp" "tests/CMakeFiles/io_test.dir/io_test.cpp.o" "gcc" "tests/CMakeFiles/io_test.dir/io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oblv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/oblv_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/oblv_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/oblv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/oblv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/oblv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomposition/CMakeFiles/oblv_decomposition.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/oblv_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/oblv_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/oblv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

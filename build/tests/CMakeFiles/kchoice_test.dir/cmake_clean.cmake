@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kchoice_test.dir/kchoice_test.cpp.o"
+  "CMakeFiles/kchoice_test.dir/kchoice_test.cpp.o.d"
+  "kchoice_test"
+  "kchoice_test.pdb"
+  "kchoice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kchoice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_bend_test.dir/one_bend_test.cpp.o"
+  "CMakeFiles/one_bend_test.dir/one_bend_test.cpp.o.d"
+  "one_bend_test"
+  "one_bend_test.pdb"
+  "one_bend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_bend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

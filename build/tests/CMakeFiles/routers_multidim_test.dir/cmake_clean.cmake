@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routers_multidim_test.dir/routers_multidim_test.cpp.o"
+  "CMakeFiles/routers_multidim_test.dir/routers_multidim_test.cpp.o.d"
+  "routers_multidim_test"
+  "routers_multidim_test.pdb"
+  "routers_multidim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routers_multidim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

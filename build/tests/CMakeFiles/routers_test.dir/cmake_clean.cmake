@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routers_test.dir/routers_test.cpp.o"
+  "CMakeFiles/routers_test.dir/routers_test.cpp.o.d"
+  "routers_test"
+  "routers_test.pdb"
+  "routers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trials_test.dir/trials_test.cpp.o"
+  "CMakeFiles/trials_test.dir/trials_test.cpp.o.d"
+  "trials_test"
+  "trials_test.pdb"
+  "trials_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trials_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

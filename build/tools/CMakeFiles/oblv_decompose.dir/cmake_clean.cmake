@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_decompose.dir/oblv_decompose.cpp.o"
+  "CMakeFiles/oblv_decompose.dir/oblv_decompose.cpp.o.d"
+  "oblv_decompose"
+  "oblv_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

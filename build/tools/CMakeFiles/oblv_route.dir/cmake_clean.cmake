@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oblv_route.dir/oblv_route.cpp.o"
+  "CMakeFiles/oblv_route.dir/oblv_route.cpp.o.d"
+  "oblv_route"
+  "oblv_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oblv_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
