@@ -37,7 +37,7 @@ RunningStats measure(const Mesh& mesh, const Router& router, std::size_t pairs,
 class DiagonalAncestorRouter final : public Router {
  public:
   explicit DiagonalAncestorRouter(const Mesh& mesh)
-      : inner_(mesh, AncestorRouter::Hierarchy::kAccessGraph) {}
+      : Router(mesh), inner_(mesh, AncestorRouter::Hierarchy::kAccessGraph) {}
   Path route(NodeId s, NodeId t, Rng& rng) const override {
     return inner_.route(s, t, rng);
   }

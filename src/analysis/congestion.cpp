@@ -1,6 +1,7 @@
 #include "analysis/congestion.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/bits.hpp"
 #include "util/check.hpp"
@@ -8,17 +9,23 @@
 namespace oblivious {
 
 EdgeLoadMap::EdgeLoadMap(const Mesh& mesh)
-    : mesh_(&mesh), loads_(static_cast<std::size_t>(mesh.num_edges()), 0) {}
+    : mesh_(&mesh), loads_(static_cast<std::size_t>(mesh.num_edges()), 0) {
+  const int dim = mesh.dim();
+  line_strides_.assign(static_cast<std::size_t>(dim), {});
+  for (int d = 0; d < dim; ++d) {
+    auto& strides = line_strides_[static_cast<std::size_t>(d)];
+    strides.assign(static_cast<std::size_t>(dim), 0);
+    std::int64_t t = 1;
+    for (int i = dim - 1; i >= 0; --i) {
+      if (i == d) continue;
+      strides[static_cast<std::size_t>(i)] = t;
+      t *= mesh.side(i);
+    }
+  }
+}
 
 void EdgeLoadMap::add_path(const Path& path) {
   if (path.nodes.size() < 2) return;
-  // Strides of a unit step per dimension.
-  SmallVec<std::int64_t, 8> strides;
-  strides.resize(static_cast<std::size_t>(mesh_->dim()), 1);
-  for (int d = mesh_->dim() - 2; d >= 0; --d) {
-    strides[static_cast<std::size_t>(d)] =
-        strides[static_cast<std::size_t>(d) + 1] * mesh_->side(d + 1);
-  }
   // Walk the path with an incrementally maintained coordinate so each hop
   // costs O(d) instead of a full id->coord conversion per node.
   Coord cur = mesh_->coord(path.nodes.front());
@@ -29,7 +36,7 @@ void EdgeLoadMap::add_path(const Path& path) {
     for (int d = 0; d < mesh_->dim() && !matched; ++d) {
       const std::size_t dd = static_cast<std::size_t>(d);
       const std::int64_t side = mesh_->side(d);
-      const std::int64_t s = strides[dd];
+      const std::int64_t s = mesh_->node_stride(d);
       if (delta == s && cur[dd] + 1 < side) {
         // +1 step, keyed at the lower endpoint (current coordinate).
         loads_[static_cast<std::size_t>(mesh_->edge_id(cur, d))]++;
@@ -61,20 +68,151 @@ void EdgeLoadMap::add_paths(const std::vector<Path>& paths) {
   for (const Path& p : paths) add_path(p);
 }
 
-void EdgeLoadMap::clear() { std::fill(loads_.begin(), loads_.end(), 0U); }
+std::int64_t EdgeLoadMap::line_index(const Coord& c, int d) const {
+  const auto& strides = line_strides_[static_cast<std::size_t>(d)];
+  std::int64_t line = 0;
+  for (int i = 0; i < mesh_->dim(); ++i) {
+    if (i == d) continue;
+    line += c[static_cast<std::size_t>(i)] * strides[static_cast<std::size_t>(i)];
+  }
+  return line;
+}
+
+void EdgeLoadMap::range_add(int d, std::size_t base, std::int64_t lo,
+                            std::int64_t hi, std::int64_t count) {
+  if (lo >= hi) return;
+  auto& diff = diff_[static_cast<std::size_t>(d)];
+  const std::int64_t radix = mesh_->edge_dim_radix(d);
+  diff[base + static_cast<std::size_t>(lo)] += count;
+  // A range closing at the end of the line needs no closing marker: the
+  // prefix sum stops at radix-1.
+  if (hi < radix) diff[base + static_cast<std::size_t>(hi)] -= count;
+}
+
+void EdgeLoadMap::add_segments(const SegmentPath& sp) {
+  OBLV_REQUIRE(!sp.empty(), "cannot account an empty segment path");
+  if (sp.segments.empty()) return;
+  if (diff_.empty()) {
+    diff_.resize(static_cast<std::size_t>(mesh_->dim()));
+    for (int d = 0; d < mesh_->dim(); ++d) {
+      diff_[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(mesh_->edge_dim_offset(d + 1) -
+                                   mesh_->edge_dim_offset(d)),
+          0);
+    }
+  }
+  dirty_ = true;
+  Coord cur = mesh_->coord(sp.source);
+  for (const Segment& seg : sp.segments) {
+    const int d = seg.dim;
+    const std::size_t dd = static_cast<std::size_t>(d);
+    const std::int64_t side = mesh_->side(d);
+    const std::int64_t radix = mesh_->edge_dim_radix(d);
+    OBLV_REQUIRE(radix > 0, "segment along a side-1 dimension");
+    const std::int64_t k = std::abs(seg.run);
+    const std::size_t base =
+        static_cast<std::size_t>(line_index(cur, d) * radix);
+    if (mesh_->torus() && side > 2) {
+      // Wrapping dimension: whole laps charge the full line, the
+      // remainder is a cyclic range split into at most two pieces.
+      const std::int64_t laps = k / side;
+      if (laps > 0) range_add(d, base, 0, side, laps);
+      const std::int64_t rem = k % side;
+      if (rem > 0) {
+        const std::int64_t start =
+            seg.run > 0 ? cur[dd] : pos_mod(cur[dd] - rem, side);
+        if (start + rem <= side) {
+          range_add(d, base, start, start + rem, 1);
+        } else {
+          range_add(d, base, start, side, 1);
+          range_add(d, base, 0, start + rem - side, 1);
+        }
+      }
+      cur[dd] = pos_mod(cur[dd] + seg.run, side);
+    } else if (mesh_->torus() && side == 2) {
+      // A side-2 torus dimension has a single edge per line (keyed at
+      // coordinate 0); every unit step crosses it.
+      range_add(d, base, 0, 1, k);
+      cur[dd] = pos_mod(cur[dd] + seg.run, side);
+    } else if (seg.run > 0) {
+      OBLV_REQUIRE(cur[dd] + k < side, "segment run leaves the mesh");
+      range_add(d, base, cur[dd], cur[dd] + k, 1);
+      cur[dd] += k;
+    } else {
+      OBLV_REQUIRE(cur[dd] - k >= 0, "segment run leaves the mesh");
+      range_add(d, base, cur[dd] - k, cur[dd], 1);
+      cur[dd] -= k;
+    }
+  }
+  OBLV_CHECK(mesh_->node_id(cur) == sp.dest,
+             "segment path destination mismatch");
+}
+
+void EdgeLoadMap::add_segment_paths(const std::vector<SegmentPath>& sps) {
+  for (const SegmentPath& sp : sps) add_segments(sp);
+}
+
+void EdgeLoadMap::flush() const {
+  if (!dirty_) return;
+  dirty_ = false;
+  for (int d = 0; d < mesh_->dim(); ++d) {
+    auto& diff = diff_[static_cast<std::size_t>(d)];
+    const std::int64_t radix = mesh_->edge_dim_radix(d);
+    const std::int64_t lines =
+        static_cast<std::int64_t>(diff.size()) / std::max<std::int64_t>(radix, 1);
+    // Suffix stride: edge ids of a line advance by node_stride(d) as the
+    // dimension-d coordinate increments (see Mesh's edge numbering).
+    const std::int64_t stride = mesh_->node_stride(d);
+    const EdgeId offset = mesh_->edge_dim_offset(d);
+    std::size_t idx = 0;
+    for (std::int64_t line = 0; line < lines; ++line) {
+      const std::int64_t a = line / stride;
+      const std::int64_t b = line % stride;
+      const std::int64_t edge_base = offset + (a * radix) * stride + b;
+      std::int64_t running = 0;
+      for (std::int64_t pos = 0; pos < radix; ++pos, ++idx) {
+        running += diff[idx];
+        diff[idx] = 0;
+        if (running != 0) {
+          loads_[static_cast<std::size_t>(edge_base + pos * stride)] +=
+              static_cast<std::uint32_t>(running);
+        }
+      }
+    }
+  }
+}
+
+void EdgeLoadMap::merge(const EdgeLoadMap& other) {
+  OBLV_REQUIRE(mesh_->num_edges() == other.mesh_->num_edges(),
+               "cannot merge load maps over different meshes");
+  flush();
+  other.flush();
+  for (std::size_t e = 0; e < loads_.size(); ++e) {
+    loads_[e] += other.loads_[e];
+  }
+}
+
+void EdgeLoadMap::clear() {
+  std::fill(loads_.begin(), loads_.end(), 0U);
+  for (auto& diff : diff_) std::fill(diff.begin(), diff.end(), 0);
+  dirty_ = false;
+}
 
 std::uint32_t EdgeLoadMap::load(EdgeId e) const {
   OBLV_REQUIRE(e >= 0 && e < mesh_->num_edges(), "edge id out of range");
+  flush();
   return loads_[static_cast<std::size_t>(e)];
 }
 
 std::uint32_t EdgeLoadMap::max_load() const {
+  flush();
   std::uint32_t best = 0;
   for (const std::uint32_t l : loads_) best = std::max(best, l);
   return best;
 }
 
 EdgeId EdgeLoadMap::argmax() const {
+  flush();
   std::size_t best = 0;
   for (std::size_t i = 1; i < loads_.size(); ++i) {
     if (loads_[i] > loads_[best]) best = i;
@@ -83,6 +221,7 @@ EdgeId EdgeLoadMap::argmax() const {
 }
 
 double EdgeLoadMap::mean_nonzero() const {
+  flush();
   std::uint64_t sum = 0;
   std::int64_t used = 0;
   for (const std::uint32_t l : loads_) {
@@ -95,6 +234,7 @@ double EdgeLoadMap::mean_nonzero() const {
 }
 
 std::int64_t EdgeLoadMap::edges_used() const {
+  flush();
   std::int64_t used = 0;
   for (const std::uint32_t l : loads_) {
     if (l > 0) ++used;
@@ -103,6 +243,7 @@ std::int64_t EdgeLoadMap::edges_used() const {
 }
 
 IntHistogram EdgeLoadMap::histogram() const {
+  flush();
   IntHistogram h;
   for (const std::uint32_t l : loads_) h.add(static_cast<std::int64_t>(l));
   return h;

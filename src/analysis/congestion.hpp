@@ -3,6 +3,14 @@
 // The congestion C of a path set is the maximum number of paths crossing
 // any edge (Section 2); edges are undirected, matching the paper's model
 // of one packet per edge per time step.
+//
+// Two ingestion paths:
+//  * add_path walks a node-list path hop by hop (O(path length));
+//  * add_segments charges a SegmentPath with one difference-array range
+//    update per straight run (O(#segments)), deferring the per-edge
+//    materialization to a single prefix-sum flush. The flush happens
+//    lazily on first read, so interleaving add_path / add_segments /
+//    queries stays correct.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +18,7 @@
 
 #include "mesh/mesh.hpp"
 #include "mesh/path.hpp"
+#include "mesh/segment_path.hpp"
 #include "util/stats.hpp"
 
 namespace oblivious {
@@ -20,7 +29,22 @@ class EdgeLoadMap {
 
   void add_path(const Path& path);
   void add_paths(const std::vector<Path>& paths);
+
+  // O(#segments): each straight run becomes one range bump in a per-axis
+  // difference array; a lap of a torus dimension charges the whole line.
+  void add_segments(const SegmentPath& sp);
+  void add_segment_paths(const std::vector<SegmentPath>& sps);
+
   void clear();
+
+  // Folds pending difference-array contributions into the per-edge loads
+  // (one prefix-sum pass per axis). Read accessors call this lazily; an
+  // explicit call is only needed for timing.
+  void flush() const;
+
+  // Adds every edge load of `other` (over the same mesh) into this map;
+  // used to merge sharded per-thread accumulators.
+  void merge(const EdgeLoadMap& other);
 
   const Mesh& mesh() const { return *mesh_; }
   std::uint32_t load(EdgeId e) const;
@@ -36,8 +60,23 @@ class EdgeLoadMap {
   IntHistogram histogram() const;
 
  private:
+  // +count on positions [lo, hi) of the dimension-d line starting at
+  // diff index `base`.
+  void range_add(int d, std::size_t base, std::int64_t lo, std::int64_t hi,
+                 std::int64_t count);
+  // Mixed-radix index of the dimension-d line through coordinate `c`
+  // (the coordinate with dimension d removed).
+  std::int64_t line_index(const Coord& c, int d) const;
+
   const Mesh* mesh_;
-  std::vector<std::uint32_t> loads_;
+  mutable std::vector<std::uint32_t> loads_;
+  // Per-dimension difference arrays in line-major layout (line stride =
+  // edge_dim_radix(d)); allocated on first add_segments.
+  mutable std::vector<std::vector<std::int64_t>> diff_;
+  mutable bool dirty_ = false;
+  // line_strides_[d][i]: contribution of coordinate i to the line index
+  // of dimension d (line_strides_[d][d] is unused and 0).
+  std::vector<std::vector<std::int64_t>> line_strides_;
 };
 
 }  // namespace oblivious

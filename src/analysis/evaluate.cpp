@@ -1,6 +1,7 @@
 #include "analysis/evaluate.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "analysis/congestion.hpp"
 #include "parallel/thread_pool.hpp"
@@ -36,6 +37,43 @@ std::vector<Path> route_all(const Mesh& mesh, const Router& router,
   return paths;
 }
 
+std::vector<SegmentPath> route_all_segments(const Mesh& mesh,
+                                            const Router& router,
+                                            const RoutingProblem& problem,
+                                            const RouteAllOptions& options,
+                                            RunningStats* bits_per_packet) {
+  Rng rng(options.seed);
+  BitMeter meter;
+  if (options.meter_bits) rng.attach_meter(&meter);
+  std::vector<SegmentPath> paths;
+  paths.reserve(problem.size());
+  for (const Demand& demand : problem.demands) {
+    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
+                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
+                 "demand endpoints must be mesh nodes");
+    const std::uint64_t bits_before = meter.bits;
+    SegmentPath sp = router.route_segments(demand.src, demand.dst, rng);
+    OBLV_CHECK(sp.source == demand.src && sp.destination() == demand.dst,
+               "router returned a path with wrong endpoints");
+    if (options.erase_cycles) {
+      // Loop erasure needs the node sequence; round-trip through it.
+      sp = segments_from_path(
+          mesh, remove_cycles(path_from_segments(mesh, sp)));
+    }
+    if (bits_per_packet != nullptr && options.meter_bits) {
+      bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
+    }
+    paths.push_back(std::move(sp));
+  }
+  return paths;
+}
+
+// Per-packet RNG stream shared by every parallel routing entry point: the
+// stream depends only on (seed, packet index), never on threading.
+static Rng packet_rng(std::uint64_t seed, std::size_t i) {
+  return Rng(splitmix64(seed ^ splitmix64(static_cast<std::uint64_t>(i))));
+}
+
 std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
                                      const RoutingProblem& problem,
                                      ThreadPool& pool, std::uint64_t seed) {
@@ -48,9 +86,31 @@ std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
   parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       const Demand& demand = problem.demands[i];
-      Rng rng(splitmix64(seed ^ splitmix64(static_cast<std::uint64_t>(i))));
+      Rng rng = packet_rng(seed, i);
       paths[i] = router.route(demand.src, demand.dst, rng);
       OBLV_CHECK(!paths[i].nodes.empty() && paths[i].source() == demand.src &&
+                     paths[i].destination() == demand.dst,
+                 "router returned a path with wrong endpoints");
+    }
+  });
+  return paths;
+}
+
+std::vector<SegmentPath> route_all_segments_parallel(
+    const Mesh& mesh, const Router& router, const RoutingProblem& problem,
+    ThreadPool& pool, std::uint64_t seed) {
+  for (const Demand& demand : problem.demands) {
+    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
+                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
+                 "demand endpoints must be mesh nodes");
+  }
+  std::vector<SegmentPath> paths(problem.size());
+  parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Demand& demand = problem.demands[i];
+      Rng rng = packet_rng(seed, i);
+      paths[i] = router.route_segments(demand.src, demand.dst, rng);
+      OBLV_CHECK(paths[i].source == demand.src &&
                      paths[i].destination() == demand.dst,
                  "router returned a path with wrong endpoints");
     }
@@ -82,6 +142,88 @@ RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
   m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
   m.congestion_ratio = static_cast<double>(m.congestion) /
                        std::max(lower_bound, 1.0);
+  return m;
+}
+
+RouteSetMetrics measure_segment_paths(const Mesh& mesh,
+                                      const RoutingProblem& problem,
+                                      const std::vector<SegmentPath>& paths,
+                                      double lower_bound) {
+  OBLV_REQUIRE(paths.size() == problem.size(), "one path per demand required");
+  RouteSetMetrics m;
+  m.packets = paths.size();
+  m.max_distance = problem.max_distance(mesh);
+  m.lower_bound = lower_bound;
+
+  EdgeLoadMap loads(mesh);
+  loads.add_segment_paths(paths);
+  RunningStats stretch;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    m.dilation = std::max(m.dilation, paths[i].length());
+    if (problem.demands[i].src != problem.demands[i].dst) {
+      stretch.add(segment_path_stretch(mesh, paths[i]));
+    }
+  }
+  m.congestion = static_cast<std::int64_t>(loads.max_load());
+  m.max_stretch = stretch.count() > 0 ? stretch.max() : 1.0;
+  m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
+  m.congestion_ratio = static_cast<double>(m.congestion) /
+                       std::max(lower_bound, 1.0);
+  return m;
+}
+
+RouteSetMetrics route_and_measure_parallel(
+    const Mesh& mesh, const Router& router, const RoutingProblem& problem,
+    double lower_bound, ThreadPool& pool, std::uint64_t seed,
+    std::vector<SegmentPath>* paths_out) {
+  for (const Demand& demand : problem.demands) {
+    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
+                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
+                 "demand endpoints must be mesh nodes");
+  }
+
+  WallTimer timer;
+  std::vector<SegmentPath> paths(problem.size());
+  EdgeLoadMap loads(mesh);
+  std::mutex merge_mutex;
+  parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
+    // Each chunk accounts its paths into a private shard; integer edge
+    // loads commute under addition, so the merge order cannot change the
+    // totals.
+    EdgeLoadMap shard(mesh);
+    for (std::size_t i = begin; i < end; ++i) {
+      const Demand& demand = problem.demands[i];
+      Rng rng = packet_rng(seed, i);
+      paths[i] = router.route_segments(demand.src, demand.dst, rng);
+      OBLV_CHECK(paths[i].source == demand.src &&
+                     paths[i].destination() == demand.dst,
+                 "router returned a path with wrong endpoints");
+      shard.add_segments(paths[i]);
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    loads.merge(shard);
+  });
+  const double seconds = timer.elapsed_seconds();
+
+  RouteSetMetrics m;
+  m.algorithm = router.name();
+  m.packets = paths.size();
+  m.max_distance = problem.max_distance(mesh);
+  m.lower_bound = lower_bound;
+  m.routing_seconds = seconds;
+  RunningStats stretch;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    m.dilation = std::max(m.dilation, paths[i].length());
+    if (problem.demands[i].src != problem.demands[i].dst) {
+      stretch.add(segment_path_stretch(mesh, paths[i]));
+    }
+  }
+  m.congestion = static_cast<std::int64_t>(loads.max_load());
+  m.max_stretch = stretch.count() > 0 ? stretch.max() : 1.0;
+  m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
+  m.congestion_ratio = static_cast<double>(m.congestion) /
+                       std::max(lower_bound, 1.0);
+  if (paths_out != nullptr) *paths_out = std::move(paths);
   return m;
 }
 

@@ -10,6 +10,7 @@
 #include "analysis/lower_bound.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/path.hpp"
+#include "mesh/segment_path.hpp"
 #include "routing/router.hpp"
 #include "util/stats.hpp"
 #include "workloads/problem.hpp"
@@ -45,6 +46,15 @@ std::vector<Path> route_all(const Mesh& mesh, const Router& router,
                             const RouteAllOptions& options,
                             RunningStats* bits_per_packet = nullptr);
 
+// Segment-pipeline twin of route_all: same seed, same draw order, so the
+// returned segment paths describe exactly the same routes -- but without
+// ever materializing node lists.
+std::vector<SegmentPath> route_all_segments(const Mesh& mesh,
+                                            const Router& router,
+                                            const RoutingProblem& problem,
+                                            const RouteAllOptions& options,
+                                            RunningStats* bits_per_packet = nullptr);
+
 // Parallel batch routing: demands are routed concurrently on the pool.
 // Because path selection is oblivious, parallelism is trivially safe; the
 // per-packet rng is derived deterministically from (seed, packet index),
@@ -55,10 +65,33 @@ std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
                                      const RoutingProblem& problem,
                                      ThreadPool& pool, std::uint64_t seed);
 
+// Parallel segment routing with the same counter-derived per-packet RNG
+// streams as route_all_parallel (Rng(splitmix64(seed ^ splitmix64(i)))):
+// output is bit-identical for any thread count and chunking.
+std::vector<SegmentPath> route_all_segments_parallel(
+    const Mesh& mesh, const Router& router, const RoutingProblem& problem,
+    ThreadPool& pool, std::uint64_t seed);
+
 // Computes metrics for an existing path set.
 RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
                               const std::vector<Path>& paths,
                               double lower_bound);
+
+// Metrics for an existing segment path set: congestion via the O(segments)
+// difference-array accounting, stretch/dilation from run lengths.
+RouteSetMetrics measure_segment_paths(const Mesh& mesh,
+                                      const RoutingProblem& problem,
+                                      const std::vector<SegmentPath>& paths,
+                                      double lower_bound);
+
+// Route + account in one parallel pass: per-chunk sharded EdgeLoadMap
+// accumulators are merged at the end, and the final statistics pass is
+// sequential, so every reported number is identical for any thread count.
+// When `paths_out` is non-null the selected paths are stored there.
+RouteSetMetrics route_and_measure_parallel(
+    const Mesh& mesh, const Router& router, const RoutingProblem& problem,
+    double lower_bound, ThreadPool& pool, std::uint64_t seed,
+    std::vector<SegmentPath>* paths_out = nullptr);
 
 // Route + measure in one call. The congestion lower bound uses the
 // hierarchical decomposition when the mesh supports one, otherwise the cut

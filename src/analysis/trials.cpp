@@ -21,22 +21,27 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
 
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     TrialSummary local;
+    // Both accumulators live across the whole trial range: the load map is
+    // cleared (not reallocated) between trials.
     std::vector<double> local_sums(static_cast<std::size_t>(mesh.num_edges()),
                                    0.0);
+    EdgeLoadMap loads(mesh);
     for (std::size_t t = begin; t < end; ++t) {
       RouteAllOptions options;
       options.seed = base_seed + t;
       options.meter_bits = false;
-      const std::vector<Path> paths = route_all(mesh, router, problem, options);
-      EdgeLoadMap loads(mesh);
-      loads.add_paths(paths);
+      const std::vector<SegmentPath> paths =
+          route_all_segments(mesh, router, problem, options);
+      loads.clear();
+      loads.add_segment_paths(paths);
       local.congestion.add(static_cast<double>(loads.max_load()));
       std::int64_t dilation = 0;
       double max_stretch = 1.0;
       for (std::size_t i = 0; i < paths.size(); ++i) {
         dilation = std::max(dilation, paths[i].length());
         if (problem.demands[i].src != problem.demands[i].dst) {
-          max_stretch = std::max(max_stretch, path_stretch(mesh, paths[i]));
+          max_stretch =
+              std::max(max_stretch, segment_path_stretch(mesh, paths[i]));
         }
       }
       local.dilation.add(static_cast<double>(dilation));

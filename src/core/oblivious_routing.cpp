@@ -31,6 +31,16 @@ RoutingRun ObliviousMeshRouting::route(const RoutingProblem& problem,
   return run;
 }
 
+SegmentRoutingRun ObliviousMeshRouting::route_segments(
+    const RoutingProblem& problem, ThreadPool& pool,
+    std::uint64_t seed) const {
+  SegmentRoutingRun run;
+  run.metrics = route_and_measure_parallel(mesh_, *router_, problem,
+                                           best_lower_bound(mesh_, problem),
+                                           pool, seed, &run.paths);
+  return run;
+}
+
 SimulationResult ObliviousMeshRouting::deliver(
     const std::vector<Path>& paths, const SimulationOptions& options) const {
   return simulate(mesh_, paths, options);

@@ -33,6 +33,11 @@ struct RoutingRun {
   RouteSetMetrics metrics;
 };
 
+struct SegmentRoutingRun {
+  std::vector<SegmentPath> paths;
+  RouteSetMetrics metrics;
+};
+
 class ObliviousMeshRouting {
  public:
   ObliviousMeshRouting(Mesh mesh, Algorithm algorithm);
@@ -47,6 +52,14 @@ class ObliviousMeshRouting {
   // Routes a whole problem obliviously and measures path quality.
   RoutingRun route(const RoutingProblem& problem,
                    std::uint64_t seed = 1) const;
+
+  // Segment-pipeline routing: packets are routed in parallel on `pool`
+  // (deterministically -- per-packet rng streams depend only on seed and
+  // packet index) and congestion is accounted in O(segments) per path.
+  // The preferred entry point for large problems.
+  SegmentRoutingRun route_segments(const RoutingProblem& problem,
+                                   ThreadPool& pool,
+                                   std::uint64_t seed = 1) const;
 
   // Delivers a path set in the synchronous one-packet-per-edge model.
   SimulationResult deliver(const std::vector<Path>& paths,

@@ -63,7 +63,21 @@ class Mesh {
   // Maximum possible distance between any two nodes.
   std::int64_t diameter() const;
 
+  // Node-id stride of a +1 step along dimension d.
+  std::int64_t node_stride(int d) const {
+    return node_strides_[static_cast<std::size_t>(d)];
+  }
+
   // --- edges ---------------------------------------------------------------
+  // First edge id of dimension d (edges are numbered dimension-major).
+  EdgeId edge_dim_offset(int d) const {
+    return edge_offsets_[static_cast<std::size_t>(d)];
+  }
+  // Edges per line along dimension d: side-1, or side when the dimension
+  // wraps (torus with side > 2).
+  std::int64_t edge_dim_radix(int d) const {
+    return edge_dim_radix_[static_cast<std::size_t>(d)];
+  }
   // Undirected edge between u and its +1 neighbor along dimension d.
   // On the torus this includes the wrap edge (coordinate side-1 -> 0).
   EdgeId edge_id(const Coord& u, int d) const;

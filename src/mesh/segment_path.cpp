@@ -1,0 +1,106 @@
+#include "mesh/segment_path.hpp"
+
+#include <cstdlib>
+
+#include "mesh/mesh.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace oblivious {
+
+SegmentPath segments_from_path(const Mesh& mesh, const Path& path) {
+  OBLV_REQUIRE(!path.nodes.empty(), "cannot convert an empty path");
+  SegmentPath sp;
+  sp.source = path.nodes.front();
+  sp.dest = path.nodes.back();
+  if (path.nodes.size() < 2) return sp;
+  Coord cur = mesh.coord(sp.source);
+  for (std::size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const std::int64_t delta = path.nodes[i + 1] - path.nodes[i];
+    bool matched = false;
+    for (int d = 0; d < mesh.dim() && !matched; ++d) {
+      const std::size_t dd = static_cast<std::size_t>(d);
+      const std::int64_t side = mesh.side(d);
+      const std::int64_t s = mesh.node_stride(d);
+      if (delta == s && cur[dd] + 1 < side) {
+        sp.append(d, 1);
+        cur[dd] += 1;
+        matched = true;
+      } else if (delta == -s && cur[dd] - 1 >= 0) {
+        sp.append(d, -1);
+        cur[dd] -= 1;
+        matched = true;
+      } else if (mesh.torus() && side > 2 && cur[dd] == side - 1 &&
+                 delta == -s * (side - 1)) {
+        sp.append(d, 1);  // wrap: side-1 -> 0 is a +1 step
+        cur[dd] = 0;
+        matched = true;
+      } else if (mesh.torus() && side > 2 && cur[dd] == 0 &&
+                 delta == s * (side - 1)) {
+        sp.append(d, -1);  // wrap: 0 -> side-1 is a -1 step
+        cur[dd] = side - 1;
+        matched = true;
+      }
+    }
+    OBLV_REQUIRE(matched, "path hop is not a mesh edge");
+  }
+  return sp;
+}
+
+Path path_from_segments(const Mesh& mesh, const SegmentPath& sp) {
+  OBLV_REQUIRE(!sp.empty(), "cannot convert an empty segment path");
+  Path path;
+  path.nodes.reserve(static_cast<std::size_t>(sp.length()) + 1);
+  path.nodes.push_back(sp.source);
+  Coord cur = mesh.coord(sp.source);
+  for (const Segment& seg : sp.segments) {
+    const int d = seg.dim;
+    const std::size_t dd = static_cast<std::size_t>(d);
+    const int dir = seg.run > 0 ? 1 : -1;
+    const std::int64_t steps = std::abs(seg.run);
+    for (std::int64_t i = 0; i < steps; ++i) {
+      cur[dd] += dir;
+      if (mesh.torus()) cur[dd] = pos_mod(cur[dd], mesh.side(d));
+      OBLV_REQUIRE(cur[dd] >= 0 && cur[dd] < mesh.side(d),
+                   "segment run leaves the mesh");
+      path.nodes.push_back(mesh.node_id(cur));
+    }
+  }
+  OBLV_REQUIRE(path.nodes.back() == sp.dest,
+               "segment path destination mismatch");
+  return path;
+}
+
+bool is_valid_segment_path(const Mesh& mesh, const SegmentPath& sp) {
+  if (sp.empty()) return false;
+  if (sp.source < 0 || sp.source >= mesh.num_nodes()) return false;
+  if (sp.dest < 0 || sp.dest >= mesh.num_nodes()) return false;
+  Coord cur = mesh.coord(sp.source);
+  for (const Segment& seg : sp.segments) {
+    if (seg.dim < 0 || seg.dim >= mesh.dim() || seg.run == 0) return false;
+    const std::size_t dd = static_cast<std::size_t>(seg.dim);
+    const std::int64_t side = mesh.side(seg.dim);
+    if (mesh.torus() && side > 2) {
+      cur[dd] = pos_mod(cur[dd] + seg.run, side);
+    } else {
+      // Movement is monotone within a run, so the endpoint bounds every
+      // intermediate position. Side-<=2 torus dims wrap in unit steps.
+      if (mesh.torus() && side == 2) {
+        cur[dd] = pos_mod(cur[dd] + seg.run, side);
+      } else {
+        cur[dd] += seg.run;
+        if (cur[dd] < 0 || cur[dd] >= side) return false;
+      }
+    }
+  }
+  return mesh.node_id(cur) == sp.dest;
+}
+
+double segment_path_stretch(const Mesh& mesh, const SegmentPath& sp) {
+  OBLV_REQUIRE(!sp.empty(), "stretch of an empty segment path");
+  const std::int64_t dist = mesh.distance(sp.source, sp.dest);
+  if (dist == 0) return 1.0;
+  return static_cast<double>(sp.length()) / static_cast<double>(dist);
+}
+
+}  // namespace oblivious

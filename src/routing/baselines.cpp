@@ -14,6 +14,18 @@ Path DimensionOrderRouter::route(NodeId s, NodeId t, Rng& /*rng*/) const {
   return path;
 }
 
+SegmentPath DimensionOrderRouter::route_segments(NodeId s, NodeId t,
+                                                 Rng& /*rng*/) const {
+  SegmentPath sp;
+  sp.source = s;
+  sp.dest = t;
+  const auto order = identity_order(mesh_->dim());
+  append_dim_order_segments(*mesh_, mesh_->coord(s), mesh_->coord(t),
+                            std::span<const int>(order.data(), order.size()),
+                            sp);
+  return sp;
+}
+
 Path RandomDimOrderRouter::route(NodeId s, NodeId t, Rng& rng) const {
   Path path;
   path.nodes.push_back(s);
@@ -21,6 +33,18 @@ Path RandomDimOrderRouter::route(NodeId s, NodeId t, Rng& rng) const {
   append_dim_order_path(*mesh_, mesh_->coord(s), mesh_->coord(t),
                         std::span<const int>(order.data(), order.size()), path);
   return path;
+}
+
+SegmentPath RandomDimOrderRouter::route_segments(NodeId s, NodeId t,
+                                                 Rng& rng) const {
+  SegmentPath sp;
+  sp.source = s;
+  sp.dest = t;
+  const auto order = rng.random_permutation(mesh_->dim());
+  append_dim_order_segments(*mesh_, mesh_->coord(s), mesh_->coord(t),
+                            std::span<const int>(order.data(), order.size()),
+                            sp);
+  return sp;
 }
 
 Path ValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
@@ -38,6 +62,26 @@ Path ValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
   append_dim_order_path(*mesh_, mid, ct,
                         std::span<const int>(order2.data(), order2.size()), path);
   return path;
+}
+
+SegmentPath ValiantRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
+  SegmentPath sp;
+  sp.source = s;
+  sp.dest = t;
+  if (s == t) return sp;
+  const Coord cs = mesh_->coord(s);
+  const Coord ct = mesh_->coord(t);
+  const Region whole = Region::whole(*mesh_);
+  const Coord mid = whole.random_coord(*mesh_, rng);
+  const auto order1 = rng.random_permutation(mesh_->dim());
+  append_dim_order_segments(*mesh_, cs, mid,
+                            std::span<const int>(order1.data(), order1.size()),
+                            sp);
+  const auto order2 = rng.random_permutation(mesh_->dim());
+  append_dim_order_segments(*mesh_, mid, ct,
+                            std::span<const int>(order2.data(), order2.size()),
+                            sp);
+  return sp;
 }
 
 }  // namespace oblivious

@@ -19,36 +19,30 @@ namespace oblivious {
 
 class DimensionOrderRouter final : public Router {
  public:
-  explicit DimensionOrderRouter(const Mesh& mesh) : mesh_(&mesh) {}
+  explicit DimensionOrderRouter(const Mesh& mesh) : Router(mesh) {}
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override { return "ecube"; }
   bool deterministic() const override { return true; }
-
- private:
-  const Mesh* mesh_;
 };
 
 class RandomDimOrderRouter final : public Router {
  public:
-  explicit RandomDimOrderRouter(const Mesh& mesh) : mesh_(&mesh) {}
+  explicit RandomDimOrderRouter(const Mesh& mesh) : Router(mesh) {}
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override { return "random-dim-order"; }
-
- private:
-  const Mesh* mesh_;
 };
 
 class ValiantRouter final : public Router {
  public:
-  explicit ValiantRouter(const Mesh& mesh) : mesh_(&mesh) {}
+  explicit ValiantRouter(const Mesh& mesh) : Router(mesh) {}
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override { return "valiant"; }
-
- private:
-  const Mesh* mesh_;
 };
 
 }  // namespace oblivious

@@ -10,7 +10,7 @@
 namespace oblivious {
 
 BoundedValiantRouter::BoundedValiantRouter(const Mesh& mesh, double margin)
-    : mesh_(&mesh), margin_(margin) {
+    : Router(mesh), margin_(margin) {
   OBLV_REQUIRE(margin >= 0.0, "margin must be non-negative");
 }
 
@@ -67,6 +67,28 @@ Path BoundedValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
   append_path_in_region(*mesh_, box, mid, ct,
                         std::span<const int>(order2.data(), order2.size()), path);
   return path;
+}
+
+SegmentPath BoundedValiantRouter::route_segments(NodeId s, NodeId t,
+                                                 Rng& rng) const {
+  SegmentPath sp;
+  sp.source = s;
+  sp.dest = t;
+  if (s == t) return sp;
+  const Coord cs = mesh_->coord(s);
+  const Coord ct = mesh_->coord(t);
+  const Region box = box_for(s, t);
+  const Coord mid = box.random_coord(*mesh_, rng);
+
+  const auto order1 = rng.random_permutation(mesh_->dim());
+  append_segments_in_region(*mesh_, box, cs, mid,
+                            std::span<const int>(order1.data(), order1.size()),
+                            sp);
+  const auto order2 = rng.random_permutation(mesh_->dim());
+  append_segments_in_region(*mesh_, box, mid, ct,
+                            std::span<const int>(order2.data(), order2.size()),
+                            sp);
+  return sp;
 }
 
 }  // namespace oblivious

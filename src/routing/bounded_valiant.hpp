@@ -22,13 +22,13 @@ class BoundedValiantRouter final : public Router {
   explicit BoundedValiantRouter(const Mesh& mesh, double margin = 0.0);
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override;
 
   // The sampling region for a pair (exposed for tests).
   Region box_for(NodeId s, NodeId t) const;
 
  private:
-  const Mesh* mesh_;
   double margin_;
 };
 

@@ -1,7 +1,7 @@
 #include "routing/hierarchical.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "routing/one_bend.hpp"
@@ -12,34 +12,65 @@ namespace oblivious {
 
 namespace {
 
+// Emission dispatch for one leg of the chain: node list or segments.
+inline void append_leg(const Mesh& mesh, const Region& region,
+                       const Coord& from, const Coord& to,
+                       std::span<const int> order, Path& out) {
+  append_path_in_region(mesh, region, from, to, order, out);
+}
+inline void append_leg(const Mesh& mesh, const Region& region,
+                       const Coord& from, const Coord& to,
+                       std::span<const int> order, SegmentPath& out) {
+  append_segments_in_region(mesh, region, from, to, order, out);
+}
+
 // Connects the waypoints of a bitonic chain. `chain` holds the regions of
 // the bitonic access-graph path (ascent over s, bridge, descent over t) and
 // `up_count` how many of them belong to the ascent; waypoint i is drawn in
 // chain[i] and the subpath to it stays inside the *enclosing* region --
 // chain[i] while ascending (it contains the previous, smaller region) and
 // chain[i-1] while descending. The final leg runs to t inside the last
-// chain region.
-Path connect_chain(const Mesh& mesh, const std::vector<Region>& chain,
-                   std::size_t up_count, const Coord& cs, const Coord& ct,
-                   NodeId s,
-                   const std::function<Coord(const Region&, std::size_t)>& waypoint,
-                   const std::function<SmallVec<int, 8>(std::size_t)>& order_for) {
+// chain region. Templated on the waypoint/order callbacks (no per-waypoint
+// std::function allocations) and on the output representation.
+template <typename PathT, typename WaypointFn, typename OrderFn>
+PathT connect_chain(const Mesh& mesh, const std::vector<Region>& chain,
+                    std::size_t up_count, const Coord& cs, const Coord& ct,
+                    NodeId s, NodeId t, const WaypointFn& waypoint,
+                    const OrderFn& order_for) {
   OBLV_CHECK(!chain.empty(), "bitonic chain cannot be empty");
-  Path path;
-  path.nodes.push_back(s);
+  PathT path;
+  if constexpr (std::is_same_v<PathT, Path>) {
+    (void)t;
+    path.nodes.push_back(s);
+  } else {
+    path.source = s;
+    path.dest = t;
+  }
   Coord cur = cs;
   for (std::size_t i = 0; i < chain.size(); ++i) {
     const Coord nxt = waypoint(chain[i], i);
     const Region& enclosing = (i <= up_count) ? chain[i] : chain[i - 1];
     const auto order = order_for(i);
-    append_path_in_region(mesh, enclosing, cur, nxt,
-                          std::span<const int>(order.data(), order.size()), path);
+    append_leg(mesh, enclosing, cur, nxt,
+               std::span<const int>(order.data(), order.size()), path);
     cur = nxt;
   }
   const auto order = order_for(chain.size());
-  append_path_in_region(mesh, chain.back(), cur, ct,
-                        std::span<const int>(order.data(), order.size()), path);
+  append_leg(mesh, chain.back(), cur, ct,
+             std::span<const int>(order.data(), order.size()), path);
   return path;
+}
+
+template <typename PathT>
+PathT trivial_path(NodeId s) {
+  if constexpr (std::is_same_v<PathT, Path>) {
+    return Path{{s}};
+  } else {
+    SegmentPath sp;
+    sp.source = s;
+    sp.dest = s;
+    return sp;
+  }
 }
 
 }  // namespace
@@ -49,7 +80,7 @@ Path connect_chain(const Mesh& mesh, const std::vector<Region>& chain,
 // ---------------------------------------------------------------------------
 
 AncestorRouter::AncestorRouter(const Mesh& mesh, Hierarchy hierarchy)
-    : mesh_(&mesh),
+    : Router(mesh),
       decomp_(mesh, DecompositionConfig::section3()),
       hierarchy_(hierarchy) {}
 
@@ -62,8 +93,9 @@ RegularSubmesh AncestorRouter::bridge_for(NodeId s, NodeId t) const {
                                 hierarchy_ == Hierarchy::kAccessGraph);
 }
 
-Path AncestorRouter::route(NodeId s, NodeId t, Rng& rng) const {
-  if (s == t) return Path{{s}};
+template <typename PathT>
+PathT AncestorRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
+  if (s == t) return trivial_path<PathT>(s);
   const Coord cs = mesh_->coord(s);
   const Coord ct = mesh_->coord(t);
   const int k = decomp_.leaf_level();
@@ -84,12 +116,20 @@ Path AncestorRouter::route(NodeId s, NodeId t, Rng& rng) const {
     chain.push_back(decomp_.type1_at(ct, level).region);
   }
 
-  return connect_chain(
-      *mesh_, chain, up_count, cs, ct, s,
+  return connect_chain<PathT>(
+      *mesh_, chain, up_count, cs, ct, s, t,
       [&](const Region& region, std::size_t) {
         return region.random_coord(*mesh_, rng);
       },
       [&](std::size_t) { return rng.random_permutation(mesh_->dim()); });
+}
+
+Path AncestorRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  return route_impl<Path>(s, t, rng);
+}
+
+SegmentPath AncestorRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
+  return route_impl<SegmentPath>(s, t, rng);
 }
 
 // ---------------------------------------------------------------------------
@@ -98,7 +138,7 @@ Path AncestorRouter::route(NodeId s, NodeId t, Rng& rng) const {
 
 NdRouter::NdRouter(const Mesh& mesh, RandomnessMode mode,
                    BridgeHeightMode bridge_mode)
-    : mesh_(&mesh),
+    : Router(mesh),
       decomp_(Decomposition::section4(mesh)),
       mode_(mode),
       bridge_mode_(bridge_mode) {}
@@ -153,8 +193,9 @@ RegularSubmesh NdRouter::bridge_for(NodeId s, NodeId t) const {
                      k - bridge_height);
 }
 
-Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
-  if (s == t) return Path{{s}};
+template <typename PathT>
+PathT NdRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
+  if (s == t) return trivial_path<PathT>(s);
   const Coord cs = mesh_->coord(s);
   const Coord ct = mesh_->coord(t);
   const int k = decomp_.leaf_level();
@@ -178,8 +219,8 @@ Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
   }
 
   if (mode_ == RandomnessMode::kNaive) {
-    return connect_chain(
-        *mesh_, chain, up_count, cs, ct, s,
+    return connect_chain<PathT>(
+        *mesh_, chain, up_count, cs, ct, s, t,
         [&](const Region& region, std::size_t) {
           return region.random_coord(*mesh_, rng);
         },
@@ -200,8 +241,8 @@ Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
     v1[dd] = static_cast<std::int64_t>(rng.bits(bh));
     v2[dd] = static_cast<std::int64_t>(rng.bits(bh));
   }
-  return connect_chain(
-      *mesh_, chain, up_count, cs, ct, s,
+  return connect_chain<PathT>(
+      *mesh_, chain, up_count, cs, ct, s, t,
       [&](const Region& region, std::size_t i) {
         const Coord& v = (i % 2 == 0) ? v1 : v2;
         Coord off;
@@ -215,6 +256,14 @@ Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
         return region.coord_at(*mesh_, off);
       },
       [&](std::size_t) { return order; });
+}
+
+Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  return route_impl<Path>(s, t, rng);
+}
+
+SegmentPath NdRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
+  return route_impl<SegmentPath>(s, t, rng);
 }
 
 }  // namespace oblivious

@@ -44,6 +44,7 @@ class AncestorRouter final : public Router {
   AncestorRouter(const Mesh& mesh, Hierarchy hierarchy);
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override;
 
   const Decomposition& decomposition() const { return decomp_; }
@@ -53,7 +54,9 @@ class AncestorRouter final : public Router {
   RegularSubmesh bridge_for(NodeId s, NodeId t) const;
 
  private:
-  const Mesh* mesh_;
+  template <typename PathT>
+  PathT route_impl(NodeId s, NodeId t, Rng& rng) const;
+
   Decomposition decomp_;
   Hierarchy hierarchy_;
 };
@@ -79,6 +82,7 @@ class NdRouter final : public Router {
                     BridgeHeightMode bridge_mode = BridgeHeightMode::kPrescribed);
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override;
 
   const Decomposition& decomposition() const { return decomp_; }
@@ -91,8 +95,9 @@ class NdRouter final : public Router {
  private:
   RegularSubmesh find_bridge(const Coord& cs, const Coord& ct, int m1_level,
                              int bridge_level) const;
+  template <typename PathT>
+  PathT route_impl(NodeId s, NodeId t, Rng& rng) const;
 
-  const Mesh* mesh_;
   Decomposition decomp_;
   RandomnessMode mode_;
   BridgeHeightMode bridge_mode_;

@@ -4,10 +4,21 @@
 
 namespace oblivious {
 
+namespace {
+
+const Mesh& inner_mesh(const std::unique_ptr<Router>& inner) {
+  OBLV_REQUIRE(inner != nullptr, "inner router required");
+  return inner->mesh();
+}
+
+}  // namespace
+
 KChoiceRouter::KChoiceRouter(std::unique_ptr<Router> inner, int kappa,
                              std::uint64_t table_seed)
-    : inner_(std::move(inner)), kappa_(kappa), table_seed_(table_seed) {
-  OBLV_REQUIRE(inner_ != nullptr, "inner router required");
+    : Router(inner_mesh(inner)),
+      inner_(std::move(inner)),
+      kappa_(kappa),
+      table_seed_(table_seed) {
   OBLV_REQUIRE(kappa_ >= 1, "kappa must be >= 1");
 }
 
@@ -33,6 +44,13 @@ Path KChoiceRouter::route(NodeId s, NodeId t, Rng& rng) const {
   const int index =
       static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(kappa_)));
   return alternative(s, t, index);
+}
+
+SegmentPath KChoiceRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
+  const int index =
+      static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(kappa_)));
+  Rng inner_rng(pair_seed(s, t, index));
+  return inner_->route_segments(s, t, inner_rng);
 }
 
 std::string KChoiceRouter::name() const {

@@ -32,6 +32,7 @@ class KChoiceRouter final : public Router {
                 std::uint64_t table_seed = 0x5eedUL);
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override;
   bool deterministic() const override { return kappa_ == 1; }
 

@@ -4,6 +4,12 @@
 // source, destination, and private random bits -- never on other packets
 // (Section 1). Implementations must therefore be callable independently
 // per packet, which also makes them trivially parallel.
+//
+// Every router offers two equivalent emission modes: `route` returns the
+// full node list, `route_segments` returns the compact segment form
+// (source + maximal axis-aligned runs). The two draw randomness in the
+// same order, so with equal rng state they describe the same path; the
+// measurement pipeline consumes segments, the simulator consumes nodes.
 #pragma once
 
 #include <memory>
@@ -12,24 +18,38 @@
 
 #include "mesh/mesh.hpp"
 #include "mesh/path.hpp"
+#include "mesh/segment_path.hpp"
 #include "rng/rng.hpp"
 
 namespace oblivious {
 
 class Router {
  public:
+  explicit Router(const Mesh& mesh) : mesh_(&mesh) {}
   virtual ~Router() = default;
+
+  const Mesh& mesh() const { return *mesh_; }
 
   // Selects a path from s to t. The same (s, t, rng state) always yields
   // the same path; randomized routers draw all their randomness from `rng`
   // so that attaching a BitMeter measures their per-packet bit consumption.
   virtual Path route(NodeId s, NodeId t, Rng& rng) const = 0;
 
+  // Same path, compact form, without materializing the node list. The
+  // default derives it from `route`; hot routers override it to emit
+  // segments natively (O(#segments) instead of O(path length)).
+  virtual SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const {
+    return segments_from_path(*mesh_, route(s, t, rng));
+  }
+
   virtual std::string name() const = 0;
 
   // True for kappa = 1 algorithms (Section 5: a deterministic algorithm
   // fixes the path given source and destination).
   virtual bool deterministic() const { return false; }
+
+ protected:
+  const Mesh* mesh_;
 };
 
 }  // namespace oblivious

@@ -51,4 +51,44 @@ Path RandomStaircaseRouter::route(NodeId s, NodeId t, Rng& rng) const {
   return path;
 }
 
+SegmentPath RandomStaircaseRouter::route_segments(NodeId s, NodeId t,
+                                                  Rng& rng) const {
+  // The staircase draws a dimension per hop, so the run structure follows
+  // the draws; consecutive same-dimension hops still merge into one run.
+  SegmentPath sp;
+  sp.source = s;
+  sp.dest = t;
+  Coord cur = mesh_->coord(s);
+  const Coord target = mesh_->coord(t);
+
+  SmallVec<std::int64_t, 8> remaining;
+  remaining.resize(cur.size());
+  std::int64_t total = 0;
+  for (int d = 0; d < mesh_->dim(); ++d) {
+    const std::size_t dd = static_cast<std::size_t>(d);
+    remaining[dd] = mesh_->displacement(cur[dd], target[dd], d);
+    total += std::abs(remaining[dd]);
+  }
+
+  while (total > 0) {
+    std::int64_t pick = static_cast<std::int64_t>(
+        rng.uniform_below(static_cast<std::uint64_t>(total)));
+    int dim = 0;
+    for (int d = 0; d < mesh_->dim(); ++d) {
+      const std::int64_t r = std::abs(remaining[static_cast<std::size_t>(d)]);
+      if (pick < r) {
+        dim = d;
+        break;
+      }
+      pick -= r;
+    }
+    const std::size_t dd = static_cast<std::size_t>(dim);
+    const int dir = remaining[dd] > 0 ? 1 : -1;
+    sp.append(dim, dir);
+    remaining[dd] -= dir;
+    --total;
+  }
+  return sp;
+}
+
 }  // namespace oblivious

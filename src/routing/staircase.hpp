@@ -15,13 +15,11 @@ namespace oblivious {
 
 class RandomStaircaseRouter final : public Router {
  public:
-  explicit RandomStaircaseRouter(const Mesh& mesh) : mesh_(&mesh) {}
+  explicit RandomStaircaseRouter(const Mesh& mesh) : Router(mesh) {}
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
+  SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
   std::string name() const override { return "staircase"; }
-
- private:
-  const Mesh* mesh_;
 };
 
 }  // namespace oblivious
