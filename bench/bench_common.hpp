@@ -10,15 +10,46 @@
 #include <iostream>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious::bench {
 
+namespace detail {
+inline std::string& bench_id() {
+  static std::string id;
+  return id;
+}
+}  // namespace detail
+
+// Writes the standard {"schema", "bench", "metrics"} envelope to the path
+// named by the OBLV_METRICS_JSON environment variable. No-op when the
+// variable is unset, so every bench binary can call this unconditionally.
+inline void emit_metrics_json(const std::string& id) {
+  const char* path = std::getenv("OBLV_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  try {
+    obs::write_metrics_json_file(path, {{"bench", id}},
+                                 obs::MetricsRegistry::global().snapshot());
+  } catch (const std::exception& e) {
+    std::cerr << "metrics export failed: " << e.what() << "\n";
+  }
+}
+
 inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "=============================================================\n"
             << id << "\n" << claim << "\n"
             << "=============================================================\n";
+  // Every experiment harness announces itself through banner(); piggyback
+  // the metrics emitter on it so OBLV_METRICS_JSON works for all of them.
+  detail::bench_id() = id;
+  static const bool registered = [] {
+    std::atexit([] { emit_metrics_json(detail::bench_id()); });
+    return true;
+  }();
+  (void)registered;
 }
 
 inline void note(const std::string& text) { std::cout << text << "\n"; }

@@ -5,6 +5,7 @@
 // per-packet use, which is the deployment model the paper argues for.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "routing/registry.hpp"
 
 namespace {
@@ -52,5 +53,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  oblivious::bench::emit_metrics_json("bench_p1_throughput");
   return 0;
 }

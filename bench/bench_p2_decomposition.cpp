@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/lower_bound.hpp"
+#include "bench_common.hpp"
 #include "decomposition/decomposition.hpp"
 #include "routing/hierarchical.hpp"
 #include "rng/rng.hpp"
@@ -77,4 +78,11 @@ BENCHMARK(bm_boundary_lower_bound);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  oblivious::bench::emit_metrics_json("bench_p2_decomposition");
+  return 0;
+}

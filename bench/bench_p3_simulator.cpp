@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/evaluate.hpp"
+#include "bench_common.hpp"
 #include "routing/registry.hpp"
 #include "simulator/cut_through.hpp"
 #include "simulator/online.hpp"
@@ -68,4 +69,11 @@ BENCHMARK(bm_online_simulate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  oblivious::bench::emit_metrics_json("bench_p3_simulator");
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/congestion.hpp"
+#include "bench_common.hpp"
 #include "analysis/evaluate.hpp"
 #include "parallel/thread_pool.hpp"
 #include "routing/registry.hpp"
@@ -110,5 +111,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  oblivious::bench::emit_metrics_json("bench_p4_pipeline");
   return 0;
 }

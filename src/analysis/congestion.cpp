@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
 
@@ -25,6 +26,7 @@ EdgeLoadMap::EdgeLoadMap(const Mesh& mesh)
 }
 
 void EdgeLoadMap::add_path(const Path& path) {
+  ++paths_added_;
   if (path.nodes.size() < 2) return;
   // Walk the path with an incrementally maintained coordinate so each hop
   // costs O(d) instead of a full id->coord conversion per node.
@@ -91,6 +93,7 @@ void EdgeLoadMap::range_add(int d, std::size_t base, std::int64_t lo,
 
 void EdgeLoadMap::add_segments(const SegmentPath& sp) {
   OBLV_REQUIRE(!sp.empty(), "cannot account an empty segment path");
+  segments_charged_ += sp.segments.size();
   if (sp.segments.empty()) return;
   if (diff_.empty()) {
     diff_.resize(static_cast<std::size_t>(mesh_->dim()));
@@ -154,6 +157,7 @@ void EdgeLoadMap::add_segment_paths(const std::vector<SegmentPath>& sps) {
 
 void EdgeLoadMap::flush() const {
   if (!dirty_) return;
+  OBLV_SCOPED_TIMER("loads.flush_seconds");
   dirty_ = false;
   for (int d = 0; d < mesh_->dim(); ++d) {
     auto& diff = diff_[static_cast<std::size_t>(d)];
@@ -190,6 +194,8 @@ void EdgeLoadMap::merge(const EdgeLoadMap& other) {
   for (std::size_t e = 0; e < loads_.size(); ++e) {
     loads_[e] += other.loads_[e];
   }
+  segments_charged_ += other.segments_charged_;
+  paths_added_ += other.paths_added_;
 }
 
 void EdgeLoadMap::clear() {
@@ -247,6 +253,29 @@ IntHistogram EdgeLoadMap::histogram() const {
   IntHistogram h;
   for (const std::uint32_t l : loads_) h.add(static_cast<std::int64_t>(l));
   return h;
+}
+
+void EdgeLoadMap::record_metrics(const std::string& prefix) const {
+  if (!obs::metrics_enabled()) return;
+  auto& registry = obs::MetricsRegistry::global();
+  const IntHistogram h = histogram();  // flushes
+  registry.gauge(prefix + ".max_edge_load")
+      .set(static_cast<double>(max_load()));
+  registry.gauge(prefix + ".p50_edge_load")
+      .set(static_cast<double>(h.quantile(0.5)));
+  registry.gauge(prefix + ".p99_edge_load")
+      .set(static_cast<double>(h.quantile(0.99)));
+  registry.gauge(prefix + ".edges_used")
+      .set(static_cast<double>(edges_used()));
+  registry.gauge(prefix + ".mean_nonzero_load").set(mean_nonzero());
+  registry.histogram(prefix + ".edge_load").merge_int_histogram(h);
+  // Counters report the charges accumulated since the previous call, so
+  // repeated snapshots of a long-lived map do not double count.
+  registry.counter(prefix + ".segments_charged")
+      .add(segments_charged_ - reported_segments_);
+  registry.counter(prefix + ".paths_added").add(paths_added_ - reported_paths_);
+  reported_segments_ = segments_charged_;
+  reported_paths_ = paths_added_;
 }
 
 }  // namespace oblivious

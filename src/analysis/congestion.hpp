@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mesh/mesh.hpp"
@@ -46,6 +47,16 @@ class EdgeLoadMap {
   // used to merge sharded per-thread accumulators.
   void merge(const EdgeLoadMap& other);
 
+  // Lifetime totals of the two ingestion paths (survive clear()).
+  std::uint64_t segments_charged() const { return segments_charged_; }
+  std::uint64_t paths_added() const { return paths_added_; }
+
+  // Publishes accounting metrics (max/p50/p99 edge load, edges used, the
+  // edge-load histogram, and the segment/path charge counters accumulated
+  // since the previous call) under `prefix.` in the global obs registry.
+  // No-op when metrics are disabled.
+  void record_metrics(const std::string& prefix) const;
+
   const Mesh& mesh() const { return *mesh_; }
   std::uint32_t load(EdgeId e) const;
   // C = max edge load.
@@ -69,6 +80,11 @@ class EdgeLoadMap {
   std::int64_t line_index(const Coord& c, int d) const;
 
   const Mesh* mesh_;
+  std::uint64_t segments_charged_ = 0;
+  std::uint64_t paths_added_ = 0;
+  // Charges already published by record_metrics (counters report deltas).
+  mutable std::uint64_t reported_segments_ = 0;
+  mutable std::uint64_t reported_paths_ = 0;
   mutable std::vector<std::uint32_t> loads_;
   // Per-dimension difference arrays in line-major layout (line stride =
   // edge_dim_radix(d)); allocated on first add_segments.

@@ -4,11 +4,20 @@
 #include <mutex>
 
 #include "analysis/congestion.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious {
+
+// Path-length histograms sample every 16th packet and weight each sample
+// by the stride: the one-bend hot loop is ~100ns/packet and an exhaustive
+// per-packet histogram bump (~10ns) would blow the <2% observability
+// budget enforced by bench_p5_obs_overhead. The stride is a power of two
+// and keyed on the packet index, so the sample set is deterministic and
+// identical for the serial and parallel entry points.
+constexpr std::size_t kLengthSampleStride = 16;
 
 std::vector<Path> route_all(const Mesh& mesh, const Router& router,
                             const RoutingProblem& problem,
@@ -17,9 +26,13 @@ std::vector<Path> route_all(const Mesh& mesh, const Router& router,
   Rng rng(options.seed);
   BitMeter meter;
   if (options.meter_bits) rng.attach_meter(&meter);
+  const bool obs_on = obs::metrics_enabled();
+  WallTimer timer;
+  IntHistogram path_lengths;
   std::vector<Path> paths;
   paths.reserve(problem.size());
-  for (const Demand& demand : problem.demands) {
+  for (std::size_t i = 0; i < problem.demands.size(); ++i) {
+    const Demand& demand = problem.demands[i];
     OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
                      demand.dst >= 0 && demand.dst < mesh.num_nodes(),
                  "demand endpoints must be mesh nodes");
@@ -32,7 +45,19 @@ std::vector<Path> route_all(const Mesh& mesh, const Router& router,
     if (bits_per_packet != nullptr && options.meter_bits) {
       bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
     }
+    if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
+      path_lengths.add(path.length(), kLengthSampleStride);
+    }
     paths.push_back(std::move(path));
+  }
+  if (obs_on) {
+    OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
+    OBLV_COUNTER_ADD("routing.packets", problem.size());
+    OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
+    if (options.meter_bits) {
+      OBLV_COUNTER_ADD("routing.rng_bits", meter.bits);
+      OBLV_COUNTER_ADD("routing.rng_draws", meter.draws);
+    }
   }
   return paths;
 }
@@ -45,9 +70,13 @@ std::vector<SegmentPath> route_all_segments(const Mesh& mesh,
   Rng rng(options.seed);
   BitMeter meter;
   if (options.meter_bits) rng.attach_meter(&meter);
+  const bool obs_on = obs::metrics_enabled();
+  WallTimer timer;
+  IntHistogram path_lengths;
   std::vector<SegmentPath> paths;
   paths.reserve(problem.size());
-  for (const Demand& demand : problem.demands) {
+  for (std::size_t i = 0; i < problem.demands.size(); ++i) {
+    const Demand& demand = problem.demands[i];
     OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
                      demand.dst >= 0 && demand.dst < mesh.num_nodes(),
                  "demand endpoints must be mesh nodes");
@@ -63,7 +92,19 @@ std::vector<SegmentPath> route_all_segments(const Mesh& mesh,
     if (bits_per_packet != nullptr && options.meter_bits) {
       bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
     }
+    if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
+      path_lengths.add(sp.length(), kLengthSampleStride);
+    }
     paths.push_back(std::move(sp));
+  }
+  if (obs_on) {
+    OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
+    OBLV_COUNTER_ADD("routing.packets", problem.size());
+    OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
+    if (options.meter_bits) {
+      OBLV_COUNTER_ADD("routing.rng_bits", meter.bits);
+      OBLV_COUNTER_ADD("routing.rng_draws", meter.draws);
+    }
   }
   return paths;
 }
@@ -82,8 +123,11 @@ std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
                      demand.dst >= 0 && demand.dst < mesh.num_nodes(),
                  "demand endpoints must be mesh nodes");
   }
+  WallTimer timer;
   std::vector<Path> paths(problem.size());
   parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
+    const bool obs_on = obs::metrics_enabled();
+    IntHistogram path_lengths;
     for (std::size_t i = begin; i < end; ++i) {
       const Demand& demand = problem.demands[i];
       Rng rng = packet_rng(seed, i);
@@ -91,8 +135,17 @@ std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
       OBLV_CHECK(!paths[i].nodes.empty() && paths[i].source() == demand.src &&
                      paths[i].destination() == demand.dst,
                  "router returned a path with wrong endpoints");
+      if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
+        path_lengths.add(paths[i].length(), kLengthSampleStride);
+      }
+    }
+    if (obs_on) {
+      // Per-chunk flush into this worker's thread-local shard.
+      OBLV_COUNTER_ADD("routing.packets", end - begin);
+      OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
     }
   });
+  OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
   return paths;
 }
 
@@ -104,8 +157,11 @@ std::vector<SegmentPath> route_all_segments_parallel(
                      demand.dst >= 0 && demand.dst < mesh.num_nodes(),
                  "demand endpoints must be mesh nodes");
   }
+  WallTimer timer;
   std::vector<SegmentPath> paths(problem.size());
   parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
+    const bool obs_on = obs::metrics_enabled();
+    IntHistogram path_lengths;
     for (std::size_t i = begin; i < end; ++i) {
       const Demand& demand = problem.demands[i];
       Rng rng = packet_rng(seed, i);
@@ -113,9 +169,31 @@ std::vector<SegmentPath> route_all_segments_parallel(
       OBLV_CHECK(paths[i].source == demand.src &&
                      paths[i].destination() == demand.dst,
                  "router returned a path with wrong endpoints");
+      if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
+        path_lengths.add(paths[i].length(), kLengthSampleStride);
+      }
+    }
+    if (obs_on) {
+      OBLV_COUNTER_ADD("routing.packets", end - begin);
+      OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
     }
   });
+  OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
   return paths;
+}
+
+// Publishes the quality gauges, the stretch histogram's source stats and
+// the accounting metrics of a finished measurement pass.
+static void record_route_set_metrics(const RouteSetMetrics& m,
+                                     const EdgeLoadMap& loads) {
+  if (!obs::metrics_enabled()) return;
+  loads.record_metrics("loads");
+  OBLV_GAUGE_SET("routing.congestion", m.congestion);
+  OBLV_GAUGE_SET("routing.dilation", m.dilation);
+  OBLV_GAUGE_SET("routing.max_stretch", m.max_stretch);
+  OBLV_GAUGE_SET("routing.mean_stretch", m.mean_stretch);
+  OBLV_GAUGE_SET("routing.congestion_ratio", m.congestion_ratio);
+  OBLV_GAUGE_SET("routing.lower_bound", m.lower_bound);
 }
 
 RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
@@ -127,6 +205,7 @@ RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
   m.max_distance = problem.max_distance(mesh);
   m.lower_bound = lower_bound;
 
+  const bool obs_on = obs::metrics_enabled();
   EdgeLoadMap loads(mesh);
   RunningStats stretch;
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -134,7 +213,9 @@ RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
     loads.add_path(path);
     m.dilation = std::max(m.dilation, path.length());
     if (problem.demands[i].src != problem.demands[i].dst) {
-      stretch.add(path_stretch(mesh, path));
+      const double s = path_stretch(mesh, path);
+      stretch.add(s);
+      if (obs_on) OBLV_HISTOGRAM_ADD("routing.stretch", s);
     }
   }
   m.congestion = static_cast<std::int64_t>(loads.max_load());
@@ -142,6 +223,7 @@ RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
   m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
   m.congestion_ratio = static_cast<double>(m.congestion) /
                        std::max(lower_bound, 1.0);
+  record_route_set_metrics(m, loads);
   return m;
 }
 
@@ -155,13 +237,16 @@ RouteSetMetrics measure_segment_paths(const Mesh& mesh,
   m.max_distance = problem.max_distance(mesh);
   m.lower_bound = lower_bound;
 
+  const bool obs_on = obs::metrics_enabled();
   EdgeLoadMap loads(mesh);
   loads.add_segment_paths(paths);
   RunningStats stretch;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     m.dilation = std::max(m.dilation, paths[i].length());
     if (problem.demands[i].src != problem.demands[i].dst) {
-      stretch.add(segment_path_stretch(mesh, paths[i]));
+      const double s = segment_path_stretch(mesh, paths[i]);
+      stretch.add(s);
+      if (obs_on) OBLV_HISTOGRAM_ADD("routing.stretch", s);
     }
   }
   m.congestion = static_cast<std::int64_t>(loads.max_load());
@@ -169,6 +254,7 @@ RouteSetMetrics measure_segment_paths(const Mesh& mesh,
   m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
   m.congestion_ratio = static_cast<double>(m.congestion) /
                        std::max(lower_bound, 1.0);
+  record_route_set_metrics(m, loads);
   return m;
 }
 
@@ -189,7 +275,10 @@ RouteSetMetrics route_and_measure_parallel(
   parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
     // Each chunk accounts its paths into a private shard; integer edge
     // loads commute under addition, so the merge order cannot change the
-    // totals.
+    // totals. Metrics use the same idiom: per-chunk locals flushed into
+    // the worker's thread-local registry shard.
+    const bool obs_on = obs::metrics_enabled();
+    IntHistogram path_lengths;
     EdgeLoadMap shard(mesh);
     for (std::size_t i = begin; i < end; ++i) {
       const Demand& demand = problem.demands[i];
@@ -199,11 +288,17 @@ RouteSetMetrics route_and_measure_parallel(
                      paths[i].destination() == demand.dst,
                  "router returned a path with wrong endpoints");
       shard.add_segments(paths[i]);
+      if (obs_on) path_lengths.add(paths[i].length());
+    }
+    if (obs_on) {
+      OBLV_COUNTER_ADD("routing.packets", end - begin);
+      OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
     }
     const std::lock_guard<std::mutex> lock(merge_mutex);
     loads.merge(shard);
   });
   const double seconds = timer.elapsed_seconds();
+  OBLV_STAT_RECORD("routing.route_seconds", seconds);
 
   RouteSetMetrics m;
   m.algorithm = router.name();
@@ -211,11 +306,14 @@ RouteSetMetrics route_and_measure_parallel(
   m.max_distance = problem.max_distance(mesh);
   m.lower_bound = lower_bound;
   m.routing_seconds = seconds;
+  const bool obs_on = obs::metrics_enabled();
   RunningStats stretch;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     m.dilation = std::max(m.dilation, paths[i].length());
     if (problem.demands[i].src != problem.demands[i].dst) {
-      stretch.add(segment_path_stretch(mesh, paths[i]));
+      const double s = segment_path_stretch(mesh, paths[i]);
+      stretch.add(s);
+      if (obs_on) OBLV_HISTOGRAM_ADD("routing.stretch", s);
     }
   }
   m.congestion = static_cast<std::int64_t>(loads.max_load());
@@ -223,6 +321,7 @@ RouteSetMetrics route_and_measure_parallel(
   m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
   m.congestion_ratio = static_cast<double>(m.congestion) /
                        std::max(lower_bound, 1.0);
+  record_route_set_metrics(m, loads);
   if (paths_out != nullptr) *paths_out = std::move(paths);
   return m;
 }

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "analysis/congestion.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace oblivious {
 
@@ -12,6 +14,7 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
                              const RoutingProblem& problem, int trials,
                              std::uint64_t base_seed, ThreadPool* pool) {
   OBLV_REQUIRE(trials >= 1, "need at least one trial");
+  OBLV_SCOPED_TIMER("trials.total_seconds");
   TrialSummary summary;
   summary.lower_bound = best_lower_bound(mesh, problem);
 
@@ -21,12 +24,16 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
 
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     TrialSummary local;
+    const bool obs_on = obs::metrics_enabled();
+    RunningStats trial_seconds;
+    IntHistogram congestion_hist;
     // Both accumulators live across the whole trial range: the load map is
     // cleared (not reallocated) between trials.
     std::vector<double> local_sums(static_cast<std::size_t>(mesh.num_edges()),
                                    0.0);
     EdgeLoadMap loads(mesh);
     for (std::size_t t = begin; t < end; ++t) {
+      WallTimer trial_timer;
       RouteAllOptions options;
       options.seed = base_seed + t;
       options.meter_bits = false;
@@ -50,6 +57,17 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
         local_sums[static_cast<std::size_t>(e)] +=
             static_cast<double>(loads.load(e));
       }
+      if (obs_on) {
+        trial_seconds.add(trial_timer.elapsed_seconds());
+        congestion_hist.add(static_cast<std::int64_t>(loads.max_load()));
+      }
+    }
+    if (obs_on) {
+      // One registry visit per chunk, into this worker's own shard.
+      OBLV_STAT_MERGE("trials.trial_seconds", trial_seconds);
+      OBLV_HISTOGRAM_MERGE("trials.congestion", congestion_hist);
+      OBLV_COUNTER_ADD("trials.trials_run", end - begin);
+      loads.record_metrics("loads");
     }
     const std::lock_guard<std::mutex> lock(merge_mutex);
     summary.congestion.merge(local.congestion);
@@ -69,6 +87,13 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
   for (const double sum : edge_load_sums) {
     summary.max_expected_edge_load = std::max(
         summary.max_expected_edge_load, sum / static_cast<double>(trials));
+  }
+  if (obs::metrics_enabled()) {
+    OBLV_GAUGE_SET("trials.mean_congestion", summary.congestion.mean());
+    OBLV_GAUGE_SET("trials.max_congestion", summary.congestion.max());
+    OBLV_GAUGE_SET("trials.max_expected_edge_load",
+                   summary.max_expected_edge_load);
+    OBLV_GAUGE_SET("trials.lower_bound", summary.lower_bound);
   }
   return summary;
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace oblivious {
 
@@ -28,12 +30,32 @@ std::string RegularSubmesh::describe() const {
 
 Decomposition::Decomposition(const Mesh& mesh, DecompositionConfig config)
     : mesh_(&mesh), config_(config) {
+  WallTimer build_timer;
   OBLV_REQUIRE(mesh.is_square(), "decomposition requires a square mesh");
   OBLV_REQUIRE(mesh.sides_power_of_two(),
                "decomposition requires power-of-two side lengths");
   OBLV_REQUIRE(config_.shift_divisor_log2 >= 1, "shift divisor must be >= 2");
   side_ = mesh.side(0);
   k_ = floor_log2(static_cast<std::uint64_t>(side_));
+  if (obs::metrics_enabled()) {
+    // Closed-form counts only (the decomposition is implicit, so the build
+    // itself is O(1); enumerating truncated shifted pieces would be O(n)).
+    double type1_submeshes = 0.0;
+    std::int64_t bridge_families = 0;
+    for (int l = 0; l <= k_; ++l) {
+      const std::int64_t cells = side_ / side_at(l);  // per dimension
+      double count = 1.0;
+      for (int d = 0; d < mesh.dim(); ++d) count *= static_cast<double>(cells);
+      type1_submeshes += count;
+      bridge_families += num_types(l) - 1;
+    }
+    OBLV_COUNTER_ADD("decomposition.builds", 1);
+    OBLV_GAUGE_SET("decomposition.levels", k_ + 1);
+    OBLV_GAUGE_SET("decomposition.type1_submeshes", type1_submeshes);
+    OBLV_GAUGE_SET("decomposition.bridge_families", bridge_families);
+    OBLV_STAT_RECORD("decomposition.build_seconds",
+                     build_timer.elapsed_seconds());
+  }
 }
 
 Decomposition Decomposition::section3(const Mesh& mesh) {
@@ -169,7 +191,7 @@ RegularSubmesh Decomposition::deepest_common(const Coord& s, const Coord& t,
       if (auto sm = common_submesh(s, t, level, type)) return *std::move(sm);
     }
   }
-  OBLV_CHECK(false, "the root submesh contains every pair");
+  OBLV_UNREACHABLE("the root submesh contains every pair");
 }
 
 void Decomposition::for_each_submesh(

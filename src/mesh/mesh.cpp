@@ -212,7 +212,7 @@ EdgeId Mesh::edge_between(NodeId a, NodeId b) const {
     }
     return edge_id(ca, d);
   }
-  OBLV_CHECK(false, "adjacent nodes with equal coordinates");
+  OBLV_UNREACHABLE("adjacent nodes with equal coordinates");
 }
 
 std::pair<NodeId, NodeId> Mesh::edge_endpoints(EdgeId e) const {
@@ -238,7 +238,7 @@ int Mesh::edge_dim(EdgeId e) const {
   for (int d = 0; d < dim(); ++d) {
     if (e < edge_offsets_[static_cast<std::size_t>(d) + 1]) return d;
   }
-  OBLV_CHECK(false, "edge id not in any dimension range");
+  OBLV_UNREACHABLE("edge id not in any dimension range");
 }
 
 std::int64_t Mesh::boundary_edge_count(const Region& r) const {

@@ -1,0 +1,470 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace oblivious::obs {
+
+namespace {
+
+// --- JSON writing -----------------------------------------------------------
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // Integer-valued doubles print exactly as integers; everything else with
+  // 17 significant digits, which round-trips IEEE doubles exactly.
+  if (v == std::floor(v) && std::fabs(v) <= 9.007199254740992e15) {
+    os << static_cast<std::int64_t>(v);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp << std::setprecision(17) << v;
+  os << tmp.str();
+}
+
+struct JsonWriter {
+  std::ostream& os;
+  int indent_width;
+  int depth = 0;
+
+  void newline() {
+    if (indent_width <= 0) return;
+    os << '\n';
+    for (int i = 0; i < depth * indent_width; ++i) os << ' ';
+  }
+};
+
+template <typename Map, typename Fn>
+void write_object(JsonWriter& w, const Map& map, const Fn& write_value) {
+  w.os << '{';
+  ++w.depth;
+  bool first = true;
+  for (const auto& [key, value] : map) {
+    if (!first) w.os << ',';
+    first = false;
+    w.newline();
+    write_escaped(w.os, key);
+    w.os << (w.indent_width > 0 ? ": " : ":");
+    write_value(value);
+  }
+  --w.depth;
+  if (!first) w.newline();
+  w.os << '}';
+}
+
+void write_stat(JsonWriter& w, const StatSnapshot& s) {
+  w.os << "{\"count\": " << s.count << ", \"mean\": ";
+  write_double(w.os, s.mean);
+  w.os << ", \"stddev\": ";
+  write_double(w.os, s.stddev);
+  w.os << ", \"min\": ";
+  write_double(w.os, s.min);
+  w.os << ", \"max\": ";
+  write_double(w.os, s.max);
+  w.os << ", \"total\": ";
+  write_double(w.os, s.total);
+  w.os << '}';
+}
+
+void write_histogram(JsonWriter& w, const HistogramSnapshot& h) {
+  w.os << "{\"count\": " << h.count << ", \"sum\": ";
+  write_double(w.os, h.sum);
+  w.os << ", \"mean\": ";
+  write_double(w.os, h.mean());
+  w.os << ", \"p50\": ";
+  write_double(w.os, h.quantile(0.50));
+  w.os << ", \"p90\": ";
+  write_double(w.os, h.quantile(0.90));
+  w.os << ", \"p99\": ";
+  write_double(w.os, h.quantile(0.99));
+  w.os << ", \"buckets\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) w.os << ", ";
+    first = false;
+    w.os << "{\"i\": " << i << ", \"le\": ";
+    write_double(w.os, Histogram::bucket_upper_bound(static_cast<int>(i)));
+    w.os << ", \"n\": " << h.buckets[i] << '}';
+  }
+  w.os << "]}";
+}
+
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.os << '{';
+  ++w.depth;
+  w.newline();
+  w.os << "\"counters\": ";
+  write_object(w, snapshot.counters,
+               [&](std::uint64_t v) { w.os << v; });
+  w.os << ',';
+  w.newline();
+  w.os << "\"gauges\": ";
+  write_object(w, snapshot.gauges, [&](double v) { write_double(w.os, v); });
+  w.os << ',';
+  w.newline();
+  w.os << "\"timers\": ";
+  write_object(w, snapshot.stats,
+               [&](const StatSnapshot& s) { write_stat(w, s); });
+  w.os << ',';
+  w.newline();
+  w.os << "\"histograms\": ";
+  write_object(w, snapshot.histograms,
+               [&](const HistogramSnapshot& h) { write_histogram(w, h); });
+  --w.depth;
+  w.newline();
+  w.os << '}';
+}
+
+// --- Minimal JSON parsing ---------------------------------------------------
+//
+// A small recursive-descent parser for the subset emitted above (objects,
+// arrays, numbers, strings, true/false/null). Kept private to this file;
+// only metrics_from_json is exposed.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_keyword(c == 't');
+    if (c == 'n') {
+      parse_literal("null");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  void parse_literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_keyword(bool value) {
+    parse_literal(value ? "true" : "false");
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            const int code =
+                std::stoi(text_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            // Only the control characters our writer emits.
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(parse_value());
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double as_number(const JsonValue* v) {
+  if (v == nullptr || v->type != JsonValue::Type::kNumber) return 0.0;
+  return v->number;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot, int indent) {
+  std::ostringstream os;
+  JsonWriter w{os, indent};
+  write_metrics(w, snapshot);
+  return os.str();
+}
+
+std::string metrics_envelope_json(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"oblv-metrics-v1\"";
+  for (const auto& [key, value] : labels) {
+    os << ",\n  ";
+    write_escaped(os, key);
+    os << ": ";
+    write_escaped(os, value);
+  }
+  os << ",\n  \"metrics\": ";
+  JsonWriter w{os, 2};
+  w.depth = 1;
+  write_metrics(w, snapshot);
+  os << "\n}\n";
+  return os.str();
+}
+
+MetricsSnapshot metrics_from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.type != JsonValue::Type::kObject) {
+    throw std::invalid_argument("metrics JSON must be an object");
+  }
+  const JsonValue* metrics = root.find("metrics");
+  if (metrics == nullptr) metrics = &root;  // bare metrics object
+  if (metrics->type != JsonValue::Type::kObject) {
+    throw std::invalid_argument("\"metrics\" must be an object");
+  }
+
+  MetricsSnapshot out;
+  if (const JsonValue* counters = metrics->find("counters")) {
+    for (const auto& [name, v] : counters->object) {
+      out.counters[name] = static_cast<std::uint64_t>(as_number(&v));
+    }
+  }
+  if (const JsonValue* gauges = metrics->find("gauges")) {
+    for (const auto& [name, v] : gauges->object) {
+      out.gauges[name] = as_number(&v);
+    }
+  }
+  if (const JsonValue* timers = metrics->find("timers")) {
+    for (const auto& [name, v] : timers->object) {
+      StatSnapshot s;
+      s.count = static_cast<std::uint64_t>(as_number(v.find("count")));
+      s.mean = as_number(v.find("mean"));
+      s.stddev = as_number(v.find("stddev"));
+      s.min = as_number(v.find("min"));
+      s.max = as_number(v.find("max"));
+      s.total = as_number(v.find("total"));
+      out.stats[name] = s;
+    }
+  }
+  if (const JsonValue* histograms = metrics->find("histograms")) {
+    for (const auto& [name, v] : histograms->object) {
+      HistogramSnapshot h;
+      h.buckets.assign(static_cast<std::size_t>(Histogram::kNumBuckets), 0);
+      h.count = static_cast<std::uint64_t>(as_number(v.find("count")));
+      h.sum = as_number(v.find("sum"));
+      if (const JsonValue* buckets = v.find("buckets")) {
+        for (const JsonValue& b : buckets->array) {
+          const auto i = static_cast<std::size_t>(as_number(b.find("i")));
+          if (i < h.buckets.size()) {
+            h.buckets[i] = static_cast<std::uint64_t>(as_number(b.find("n")));
+          }
+        }
+      }
+      out.histograms[name] = h;
+    }
+  }
+  return out;
+}
+
+std::string render_metrics_table(const MetricsSnapshot& snapshot) {
+  Table table({"kind", "name", "count", "value/mean", "p50", "p99", "max"});
+  for (const auto& [name, v] : snapshot.counters) {
+    table.row().add("counter").add(name).add(v).add("-").add("-").add("-").add(
+        "-");
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    table.row().add("gauge").add(name).add("-").add(v, 4).add("-").add("-").add(
+        "-");
+  }
+  for (const auto& [name, s] : snapshot.stats) {
+    table.row()
+        .add("timer")
+        .add(name)
+        .add(s.count)
+        .add(s.mean, 6)
+        .add("-")
+        .add("-")
+        .add(s.max, 6);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    table.row()
+        .add("histogram")
+        .add(name)
+        .add(h.count)
+        .add(h.mean(), 3)
+        .add(h.quantile(0.50), 3)
+        .add(h.quantile(0.99), 3)
+        .add(h.quantile(1.0), 3);
+  }
+  return table.to_string();
+}
+
+void write_metrics_json_file(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const MetricsSnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << metrics_envelope_json(labels, snapshot);
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace oblivious::obs

@@ -1,0 +1,56 @@
+// Exporters for MetricsSnapshot: a machine-readable JSON schema (shared by
+// `oblv_route --metrics-json`, the bench harnesses' OBLV_METRICS_JSON
+// output and the CI perf-smoke gate) and a human-readable table.
+//
+// Schema (documented in DESIGN.md, "Metrics schema"):
+//
+//   {
+//     "schema": "oblv-metrics-v1",
+//     "<label>": "<value>", ...            // e.g. "bench": "bench_p4_pipeline"
+//     "metrics": {
+//       "counters":   {"name": 123, ...},
+//       "gauges":     {"name": 4.5, ...},
+//       "timers":     {"name": {"count":..,"mean":..,"stddev":..,
+//                               "min":..,"max":..,"total":..}, ...},
+//       "histograms": {"name": {"count":..,"sum":..,"mean":..,
+//                               "p50":..,"p90":..,"p99":..,
+//                               "buckets":[{"i":..,"le":..,"n":..}, ...]}, ...}
+//     }
+//   }
+//
+// metrics_from_json accepts either the envelope or the bare "metrics"
+// object, ignores derived fields (mean, p50, ...) and reconstructs the
+// snapshot exactly (doubles are printed with 17 significant digits).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace oblivious::obs {
+
+// The bare "metrics" object.
+std::string metrics_to_json(const MetricsSnapshot& snapshot, int indent = 2);
+
+// Full envelope with "schema" plus caller labels in order.
+std::string metrics_envelope_json(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const MetricsSnapshot& snapshot);
+
+// Inverse of the writers: parses an envelope or bare metrics object.
+// Throws std::invalid_argument on malformed input.
+MetricsSnapshot metrics_from_json(const std::string& json);
+
+// Aligned human-readable summary (one row per metric).
+std::string render_metrics_table(const MetricsSnapshot& snapshot);
+
+// Writes the envelope to `path`; throws std::runtime_error on I/O failure.
+void write_metrics_json_file(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const MetricsSnapshot& snapshot);
+
+}  // namespace oblivious::obs

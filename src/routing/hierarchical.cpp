@@ -183,7 +183,7 @@ RegularSubmesh NdRouter::find_bridge(const Coord& cs, const Coord& ct,
       }
     }
   }
-  OBLV_CHECK(false, "the root submesh contains everything");
+  OBLV_UNREACHABLE("the root submesh contains everything");
 }
 
 RegularSubmesh NdRouter::bridge_for(NodeId s, NodeId t) const {

@@ -49,7 +49,7 @@ std::string algorithm_name(Algorithm algorithm) {
     case Algorithm::kHierarchicalNdFrugal:
       return "hierarchical-nd-frugal";
   }
-  OBLV_CHECK(false, "unknown algorithm");
+  OBLV_UNREACHABLE("unknown algorithm");
 }
 
 std::optional<Algorithm> algorithm_from_name(const std::string& name) {
@@ -82,7 +82,7 @@ std::unique_ptr<Router> make_router(Algorithm algorithm, const Mesh& mesh) {
     case Algorithm::kHierarchicalNdFrugal:
       return std::make_unique<NdRouter>(mesh, NdRouter::RandomnessMode::kFrugal);
   }
-  OBLV_CHECK(false, "unknown algorithm");
+  OBLV_UNREACHABLE("unknown algorithm");
 }
 
 }  // namespace oblivious

@@ -89,7 +89,7 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
         if (state[a].rank != state[b].rank) return state[a].rank < state[b].rank;
         return a < b;
     }
-    OBLV_CHECK(false, "unknown policy");
+    OBLV_UNREACHABLE("unknown policy");
   };
 
   std::unordered_map<EdgeId, std::size_t> winner;

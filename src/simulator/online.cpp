@@ -119,7 +119,7 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
         if (a.rank != b.rank) return a.rank < b.rank;
         return ia < ib;
     }
-    OBLV_CHECK(false, "unknown policy");
+    OBLV_UNREACHABLE("unknown policy");
   };
 
   std::unordered_map<EdgeId, std::size_t> winner;

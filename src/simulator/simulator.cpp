@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "analysis/congestion.hpp"
+#include "obs/metrics.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
 
@@ -34,11 +35,13 @@ std::string policy_name(SchedulingPolicy policy) {
     case SchedulingPolicy::kRandomRank:
       return "random-rank";
   }
-  OBLV_CHECK(false, "unknown policy");
+  OBLV_UNREACHABLE("unknown policy");
 }
 
 SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
                           const SimulationOptions& options) {
+  OBLV_SCOPED_TIMER("simulate.seconds");
+  const bool obs_on = obs::metrics_enabled();
   SimulationResult result;
 
   // Precompute the edge sequence of every path and the path-set metrics.
@@ -97,7 +100,7 @@ SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
         return a < b;
       }
     }
-    OBLV_CHECK(false, "unknown policy");
+    OBLV_UNREACHABLE("unknown policy");
   };
 
   // Directed-link keying for full-duplex mode: fold the travel direction
@@ -121,6 +124,10 @@ SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
 
   std::unordered_map<EdgeId, std::size_t> winner;
   std::int64_t step = 0;
+  // Queue-occupancy instrumentation: per step, the number of packets in
+  // flight and the number parked in node queues (lost arbitration).
+  IntHistogram inflight_hist;
+  IntHistogram queued_hist;
   while (!active.empty() && step < max_steps) {
     ++step;
     winner.clear();
@@ -129,12 +136,14 @@ SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
       const auto it = winner.find(e);
       if (it == winner.end() || wins(i, it->second)) winner[e] = i;
     }
+    std::int64_t queued_this_step = 0;
     std::vector<std::size_t> still_active;
     still_active.reserve(active.size());
     for (const std::size_t i : active) {
       const EdgeId e = arbitration_key(i);
       if (winner[e] != i) {
         still_active.push_back(i);
+        ++queued_this_step;
         continue;
       }
       ++state[i].hop;
@@ -148,10 +157,24 @@ SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
         still_active.push_back(i);
       }
     }
+    if (obs_on) {
+      inflight_hist.add(static_cast<std::int64_t>(active.size()));
+      queued_hist.add(queued_this_step);
+    }
     active = std::move(still_active);
   }
 
   result.completed = active.empty();
+  if (obs_on) {
+    OBLV_COUNTER_ADD("simulate.packets", paths.size());
+    OBLV_COUNTER_ADD("simulate.steps", step);
+    OBLV_GAUGE_SET("simulate.makespan", result.makespan);
+    OBLV_GAUGE_SET("simulate.optimality_ratio", result.optimality_ratio());
+    OBLV_STAT_MERGE("simulate.latency_steps", result.latency);
+    OBLV_STAT_MERGE("simulate.queueing_delay_steps", result.queueing_delay);
+    OBLV_HISTOGRAM_MERGE("simulate.inflight_packets", inflight_hist);
+    OBLV_HISTOGRAM_MERGE("simulate.queued_packets", queued_hist);
+  }
   return result;
 }
 

@@ -1,9 +1,10 @@
 // Error-checking macros used across the library.
 //
-// OBLV_REQUIRE  - precondition violations (caller error) -> std::invalid_argument
-// OBLV_CHECK    - internal invariant violations (library bug) -> std::logic_error
+// OBLV_REQUIRE      - precondition violations (caller error) -> std::invalid_argument
+// OBLV_CHECK        - internal invariant violations (library bug) -> std::logic_error
+// OBLV_UNREACHABLE  - marks code that must never execute -> std::logic_error
 //
-// Both are always on; the checked expressions in this library are O(1) and
+// All are always on; the checked expressions in this library are O(1) and
 // never on inner loops where they would matter.
 #pragma once
 
@@ -40,3 +41,9 @@ namespace oblivious::detail {
   do {                                                                       \
     if (!(expr)) ::oblivious::detail::throw_check(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+// Unconditional call into a [[noreturn]] function, so the compiler knows the
+// enclosing path ends here (OBLV_CHECK(false, ...) hides that at -O0 and
+// trips -Wreturn-type under -Werror).
+#define OBLV_UNREACHABLE(msg) \
+  ::oblivious::detail::throw_check("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,236 @@
+// Tests for the obs/ metrics layer: registry cells, thread-local shard
+// merging, the log-bucketed histogram, exporter round-trips and the
+// runtime enable gate.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/stats.hpp"
+
+namespace oblivious::obs {
+namespace {
+
+// Every test works on its own registry (the global one is shared with the
+// rest of the process and other tests).
+class ObsTest : public ::testing::Test {
+ protected:
+  MetricsRegistry registry_;
+};
+
+TEST_F(ObsTest, CounterAccumulatesAndSnapshots) {
+  registry_.counter("c").add();
+  registry_.counter("c").add(41);
+  const MetricsSnapshot snap = registry_.snapshot();
+  ASSERT_EQ(snap.counters.count("c"), 1u);
+  EXPECT_EQ(snap.counters.at("c"), 42u);
+}
+
+TEST_F(ObsTest, GaugeKeepsNewestWrite) {
+  registry_.gauge("g").set(1.5);
+  registry_.gauge("g").set(-3.25);
+  const MetricsSnapshot snap = registry_.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), -3.25);
+}
+
+TEST_F(ObsTest, StatRecordsAndMerges) {
+  registry_.record_stat("t", 1.0);
+  registry_.record_stat("t", 3.0);
+  RunningStats extra;
+  extra.add(5.0);
+  registry_.merge_stat("t", extra);
+  const MetricsSnapshot snap = registry_.snapshot();
+  const StatSnapshot& s = snap.stats.at("t");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.total, 9.0);
+}
+
+TEST_F(ObsTest, HandlesSurviveReset) {
+  Counter& c = registry_.counter("c");
+  Gauge& g = registry_.gauge("g");
+  Histogram& h = registry_.histogram("h");
+  c.add(7);
+  g.set(7.0);
+  h.add(7.0);
+  registry_.reset();
+  const MetricsSnapshot zeroed = registry_.snapshot();
+  EXPECT_EQ(zeroed.counters.at("c"), 0u);
+  EXPECT_EQ(zeroed.histograms.at("h").count, 0u);
+  // A reset gauge is "never written": it drops out of the snapshot.
+  EXPECT_EQ(zeroed.gauges.count("g"), 0u);
+  c.add(2);
+  g.set(2.0);
+  h.add(2.0);
+  const MetricsSnapshot snap = registry_.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+}
+
+TEST_F(ObsTest, ShardMergeUnderThreadPoolSumsExactly) {
+  // Each worker chunk bumps the same counter name from its own thread;
+  // the snapshot must see the exact total across all shards.
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 10000;
+  parallel_for_chunks(pool, kItems, [&](std::size_t begin, std::size_t end) {
+    Counter& c = registry_.counter("work.items");
+    Histogram& h = registry_.histogram("work.sizes");
+    RunningStats chunk;
+    for (std::size_t i = begin; i < end; ++i) {
+      c.add(1);
+      h.add(static_cast<double>(i % 17) + 1.0);
+      chunk.add(static_cast<double>(i));
+    }
+    registry_.merge_stat("work.chunks", chunk);
+    registry_.gauge("work.last_end").set(static_cast<double>(end));
+  });
+  const MetricsSnapshot snap = registry_.snapshot();
+  EXPECT_EQ(snap.counters.at("work.items"), kItems);
+  EXPECT_EQ(snap.histograms.at("work.sizes").count, kItems);
+  EXPECT_EQ(snap.stats.at("work.chunks").count, kItems);
+  // sum 0..kItems-1
+  EXPECT_DOUBLE_EQ(snap.stats.at("work.chunks").total,
+                   static_cast<double>(kItems) * (kItems - 1) / 2.0);
+  // Some chunk end wrote last; all chunk ends are in (0, kItems].
+  EXPECT_GT(snap.gauges.at("work.last_end"), 0.0);
+  EXPECT_LE(snap.gauges.at("work.last_end"), static_cast<double>(kItems));
+}
+
+TEST_F(ObsTest, HistogramBucketsAreMonotoneAndContainValues) {
+  for (const double v : {1e-7, 0.5, 1.0, 3.0, 1024.0, 1e12}) {
+    const int idx = Histogram::bucket_index(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_LE(v, Histogram::bucket_upper_bound(idx)) << "v=" << v;
+    if (idx > 0) {
+      // Buckets are half-open: [upper_bound(i-1), upper_bound(i)).
+      EXPECT_GE(v, Histogram::bucket_upper_bound(idx - 1)) << "v=" << v;
+    }
+  }
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_LT(Histogram::bucket_upper_bound(i - 1),
+              Histogram::bucket_upper_bound(i));
+  }
+}
+
+TEST_F(ObsTest, HistogramQuantilesBracketTheMass) {
+  Histogram& h = registry_.histogram("h");
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  const HistogramSnapshot snap = registry_.snapshot().histograms.at("h");
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  // Bucket upper bounds over-approximate; p50 must sit near 50 and the
+  // quantiles must be monotone.
+  const double p50 = snap.quantile(0.5);
+  const double p99 = snap.quantile(0.99);
+  EXPECT_GE(p50, 50.0);
+  EXPECT_LE(p50, 64.0);  // next power-of-two sub-bucket bound
+  EXPECT_GE(p99, 99.0);
+  EXPECT_LE(snap.quantile(0.1), p50);
+  EXPECT_LE(p50, p99);
+}
+
+TEST_F(ObsTest, MergeIntHistogramMatchesPerValueAdds) {
+  IntHistogram ints;
+  for (int i = 0; i < 50; ++i) ints.add(i % 7);
+  Histogram& merged = registry_.histogram("merged");
+  merged.merge_int_histogram(ints);
+  Histogram& direct = registry_.histogram("direct");
+  for (int i = 0; i < 50; ++i) direct.add(static_cast<double>(i % 7));
+  const MetricsSnapshot snap = registry_.snapshot();
+  EXPECT_EQ(snap.histograms.at("merged").buckets,
+            snap.histograms.at("direct").buckets);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("merged").sum,
+                   snap.histograms.at("direct").sum);
+}
+
+TEST_F(ObsTest, JsonRoundTripReconstructsSnapshot) {
+  registry_.counter("pkts").add(123456789);
+  registry_.gauge("ratio").set(1.0 / 3.0);
+  registry_.gauge("neg").set(-7.5);
+  registry_.record_stat("secs", 0.125);
+  registry_.record_stat("secs", 0.375);
+  Histogram& h = registry_.histogram("lens");
+  h.add(3.0, 10);
+  h.add(1e9);
+  const MetricsSnapshot before = registry_.snapshot();
+
+  const MetricsSnapshot after = metrics_from_json(metrics_to_json(before));
+  EXPECT_EQ(after.counters, before.counters);
+  EXPECT_EQ(after.gauges, before.gauges);
+  ASSERT_EQ(after.stats.count("secs"), 1u);
+  EXPECT_EQ(after.stats.at("secs").count, before.stats.at("secs").count);
+  EXPECT_DOUBLE_EQ(after.stats.at("secs").mean, before.stats.at("secs").mean);
+  EXPECT_DOUBLE_EQ(after.stats.at("secs").stddev,
+                   before.stats.at("secs").stddev);
+  ASSERT_EQ(after.histograms.count("lens"), 1u);
+  EXPECT_EQ(after.histograms.at("lens").buckets,
+            before.histograms.at("lens").buckets);
+  EXPECT_DOUBLE_EQ(after.histograms.at("lens").sum,
+                   before.histograms.at("lens").sum);
+}
+
+TEST_F(ObsTest, EnvelopeCarriesLabelsAndParsesBack) {
+  registry_.counter("c").add(5);
+  const std::string json = metrics_envelope_json(
+      {{"tool", "obs_test"}, {"mesh", "mesh[8x8]"}}, registry_.snapshot());
+  EXPECT_NE(json.find("\"schema\": \"oblv-metrics-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"obs_test\""), std::string::npos);
+  const MetricsSnapshot parsed = metrics_from_json(json);
+  EXPECT_EQ(parsed.counters.at("c"), 5u);
+}
+
+TEST_F(ObsTest, RenderTableListsEveryMetric) {
+  registry_.counter("a.count").add(2);
+  registry_.gauge("b.value").set(4.0);
+  registry_.record_stat("c.secs", 0.5);
+  registry_.histogram("d.sizes").add(8.0);
+  const std::string table = render_metrics_table(registry_.snapshot());
+  for (const char* name : {"a.count", "b.value", "c.secs", "d.sizes"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+}
+
+#if defined(OBLV_METRICS_ENABLED) && OBLV_METRICS_ENABLED
+TEST(ObsEnableTest, DisableGatesMacrosAndScopedTimer) {
+  // The macros write through the *global* registry; gate them off and
+  // check nothing is recorded under a unique name.
+  set_metrics_enabled(false);
+  OBLV_COUNTER_ADD("obs_test.disabled_counter", 1);
+  OBLV_SCOPED_TIMER("obs_test.disabled_timer");
+  set_metrics_enabled(true);
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.count("obs_test.disabled_counter"), 0u);
+  EXPECT_EQ(snap.stats.count("obs_test.disabled_timer"), 0u);
+
+  OBLV_COUNTER_ADD("obs_test.enabled_counter", 3);
+  { OBLV_SCOPED_TIMER("obs_test.enabled_timer"); }
+  const MetricsSnapshot snap2 = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap2.counters.at("obs_test.enabled_counter"), 3u);
+  EXPECT_EQ(snap2.stats.at("obs_test.enabled_timer").count, 1u);
+}
+#else
+TEST(ObsEnableTest, CompiledOutMacrosRecordNothing) {
+  OBLV_COUNTER_ADD("obs_test.compiled_out_counter", 1);
+  OBLV_SCOPED_TIMER("obs_test.compiled_out_timer");
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.count("obs_test.compiled_out_counter"), 0u);
+  EXPECT_EQ(snap.stats.count("obs_test.compiled_out_timer"), 0u);
+}
+#endif
+
+TEST(ObsExportTest, MalformedJsonThrows) {
+  EXPECT_THROW(metrics_from_json("not json"), std::invalid_argument);
+  EXPECT_THROW(metrics_from_json("{\"metrics\": ["), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oblivious::obs

@@ -211,6 +211,50 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeEmptyWithEmptyStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0U);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  // Still usable afterwards.
+  a.add(4.0);
+  EXPECT_EQ(a.count(), 1U);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+}
+
+TEST(RunningStats, MergeEmptyWithNonemptyCopiesEveryMoment) {
+  RunningStats src;
+  src.add(1.0);
+  src.add(2.0);
+  src.add(6.0);
+  RunningStats dst;
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), src.count());
+  EXPECT_DOUBLE_EQ(dst.mean(), src.mean());
+  EXPECT_DOUBLE_EQ(dst.variance(), src.variance());
+  EXPECT_DOUBLE_EQ(dst.min(), src.min());
+  EXPECT_DOUBLE_EQ(dst.max(), src.max());
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  // Merging two single-sample streams gives the two-sample variance.
+  RunningStats t;
+  t.add(5.5);
+  s.merge(t);
+  EXPECT_EQ(s.count(), 2U);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0);  // ((1)^2 + (1)^2) / (2 - 1)
+}
+
 // --- IntHistogram --------------------------------------------------------------
 
 TEST(IntHistogram, CountsAndTotal) {

@@ -18,6 +18,9 @@
 
 #include "analysis/evaluate.hpp"
 #include "analysis/heatmap.hpp"
+#include "analysis/trials.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "routing/registry.hpp"
 #include "simulator/simulator.hpp"
 #include "util/flags.hpp"
@@ -45,6 +48,12 @@ constexpr const char* kUsage = R"(usage: oblv_route [flags]
   --policy NAME        fifo | furthest-to-go | random-rank (default furthest-to-go)
   --heatmap            render an ASCII edge-load heatmap (2D meshes)
   --csv                emit the metrics row as CSV
+  --trials N           randomized re-routings for the trial statistics
+                       (default 3 with --metrics-json, else 0)
+  --metrics-json FILE  write an oblv-metrics-v1 JSON report covering the
+                       decomposition, routing, accounting, trials and
+                       simulation stages (implies --simulate and trials)
+  --metrics-table      print the metrics as an aligned table
   --save FILE          write the generated problem and exit
   --load FILE          read the mesh and problem from FILE (overrides --mesh)
   --help               this text
@@ -128,6 +137,14 @@ int run(const Flags& flags) {
     algorithms = {*a};
   }
 
+  // --metrics-json wants all four pipeline stages represented in the
+  // report, so it forces a trial pass and a delivery simulation even when
+  // the corresponding flags are absent.
+  const bool want_metrics =
+      flags.has("metrics-json") || flags.get_bool("metrics-table");
+  const int trials =
+      static_cast<int>(flags.get_int("trials", want_metrics ? 3 : 0));
+
   const double lb = best_lower_bound(mesh, problem);
   std::cout << "C* bound: >= " << lb << "\n\n";
   Table table({"algorithm", "C", "C/C*", "D", "max stretch", "mean stretch",
@@ -155,7 +172,15 @@ int run(const Flags& flags) {
         .add(m.bits_per_packet.mean(), 1)
         .add(m.routing_seconds * 1e3, 1);
 
-    if (flags.get_bool("simulate")) {
+    if (trials > 0) {
+      const TrialSummary summary =
+          evaluate_trials(mesh, *router, problem, trials, seed, nullptr);
+      std::cout << m.algorithm << ": " << trials << " trials, congestion "
+                << summary.congestion.mean() << " +/- "
+                << summary.congestion.stddev() << " (max "
+                << summary.congestion.max() << ")\n";
+    }
+    if (flags.get_bool("simulate") || want_metrics) {
       SimulationOptions sim_options;
       sim_options.policy =
           parse_policy(flags.get("policy", "furthest-to-go"));
@@ -178,6 +203,27 @@ int run(const Flags& flags) {
   } else {
     table.print(std::cout);
   }
+
+  if (want_metrics) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    if (flags.get_bool("metrics-table")) {
+      std::cout << "\n" << obs::render_metrics_table(snapshot);
+    }
+    if (flags.has("metrics-json")) {
+      const std::string path = flags.get("metrics-json", "");
+      obs::write_metrics_json_file(
+          path,
+          {{"tool", "oblv_route"},
+           {"mesh", mesh.describe()},
+           {"algorithm", algo_name},
+           {"workload", flags.has("load") ? "file:" + flags.get("load", "")
+                                          : flags.get("workload", "transpose")},
+           {"seed", std::to_string(seed)}},
+          snapshot);
+      std::cout << "metrics written to " << path << "\n";
+    }
+  }
   return 0;
 }
 
@@ -188,7 +234,8 @@ int main(int argc, char** argv) {
     return run(Flags::parse(
         argc, argv,
         {"mesh", "torus", "algorithm", "workload", "l", "seed", "simulate",
-         "policy", "heatmap", "csv", "save", "load", "help"}));
+         "policy", "heatmap", "csv", "save", "load", "trials", "metrics-json",
+         "metrics-table", "help"}));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n" << kUsage;
     return 1;
