@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "mesh/contracts.hpp"
 #include "obs/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
@@ -26,8 +28,11 @@ EdgeLoadMap::EdgeLoadMap(const Mesh& mesh)
 }
 
 void EdgeLoadMap::add_path(const Path& path) {
+  // Hop validity is enforced by the always-on per-hop OBLV_REQUIRE below;
+  // no gated precondition here so the thrown type is build-independent.
   ++paths_added_;
   if (path.nodes.size() < 2) return;
+  edge_charges_ += static_cast<std::uint64_t>(path.length());
   // Walk the path with an incrementally maintained coordinate so each hop
   // costs O(d) instead of a full id->coord conversion per node.
   Coord cur = mesh_->coord(path.nodes.front());
@@ -93,8 +98,12 @@ void EdgeLoadMap::range_add(int d, std::size_t base, std::int64_t lo,
 
 void EdgeLoadMap::add_segments(const SegmentPath& sp) {
   OBLV_REQUIRE(!sp.empty(), "cannot account an empty segment path");
+  OBLV_EXPECTS(contracts::validate_segment_path(*mesh_, sp),
+               "add_segments needs a valid segment path");
   segments_charged_ += sp.segments.size();
   if (sp.segments.empty()) return;
+  // Every unit step of every run (laps included) crosses exactly one edge.
+  edge_charges_ += static_cast<std::uint64_t>(sp.length());
   if (diff_.empty()) {
     diff_.resize(static_cast<std::size_t>(mesh_->dim()));
     for (int d = 0; d < mesh_->dim(); ++d) {
@@ -196,12 +205,16 @@ void EdgeLoadMap::merge(const EdgeLoadMap& other) {
   }
   segments_charged_ += other.segments_charged_;
   paths_added_ += other.paths_added_;
+  edge_charges_ += other.edge_charges_;
+  OBLV_ENSURES(contracts::validate_load_map_consistency(*this),
+               "merged loads must sum to the merged hop count");
 }
 
 void EdgeLoadMap::clear() {
   std::fill(loads_.begin(), loads_.end(), 0U);
   for (auto& diff : diff_) std::fill(diff.begin(), diff.end(), 0);
   dirty_ = false;
+  edge_charges_ = 0;
 }
 
 std::uint32_t EdgeLoadMap::load(EdgeId e) const {
@@ -277,5 +290,17 @@ void EdgeLoadMap::record_metrics(const std::string& prefix) const {
   reported_segments_ = segments_charged_;
   reported_paths_ = paths_added_;
 }
+
+namespace contracts {
+
+bool validate_load_map_consistency(const EdgeLoadMap& loads) {
+  std::uint64_t sum = 0;
+  for (EdgeId e = 0; e < loads.mesh().num_edges(); ++e) {
+    sum += loads.load(e);  // first call flushes pending difference arrays
+  }
+  return sum == loads.total_edge_charges();
+}
+
+}  // namespace contracts
 
 }  // namespace oblivious

@@ -28,11 +28,13 @@ class EdgeLoadMap {
  public:
   explicit EdgeLoadMap(const Mesh& mesh);
 
+  // \pre `path` is a valid path of this map's mesh (every hop an edge).
   void add_path(const Path& path);
   void add_paths(const std::vector<Path>& paths);
 
   // O(#segments): each straight run becomes one range bump in a per-axis
   // difference array; a lap of a torus dimension charges the whole line.
+  // \pre `sp` is a non-empty valid segment path of this map's mesh.
   void add_segments(const SegmentPath& sp);
   void add_segment_paths(const std::vector<SegmentPath>& sps);
 
@@ -43,13 +45,20 @@ class EdgeLoadMap {
   // explicit call is only needed for timing.
   void flush() const;
 
-  // Adds every edge load of `other` (over the same mesh) into this map;
-  // used to merge sharded per-thread accumulators.
+  // Adds every edge load of `other` into this map; used to merge sharded
+  // per-thread accumulators.
+  // \pre `other` accounts loads over the same mesh as this map.
   void merge(const EdgeLoadMap& other);
 
   // Lifetime totals of the two ingestion paths (survive clear()).
   std::uint64_t segments_charged() const { return segments_charged_; }
   std::uint64_t paths_added() const { return paths_added_; }
+
+  // Unit hops ingested since construction/clear(): every hop of every
+  // added path or segment run charges exactly one edge, so after a flush
+  // the per-edge loads sum to exactly this value (see
+  // contracts::validate_load_map_consistency).
+  std::uint64_t total_edge_charges() const { return edge_charges_; }
 
   // Publishes accounting metrics (max/p50/p99 edge load, edges used, the
   // edge-load histogram, and the segment/path charge counters accumulated
@@ -82,6 +91,8 @@ class EdgeLoadMap {
   const Mesh* mesh_;
   std::uint64_t segments_charged_ = 0;
   std::uint64_t paths_added_ = 0;
+  // Unit hops ingested; mirrors the loads_ content, reset by clear().
+  std::uint64_t edge_charges_ = 0;
   // Charges already published by record_metrics (counters report deltas).
   mutable std::uint64_t reported_segments_ = 0;
   mutable std::uint64_t reported_paths_ = 0;
@@ -94,5 +105,15 @@ class EdgeLoadMap {
   // of dimension d (line_strides_[d][d] is unused and 0).
   std::vector<std::vector<std::int64_t>> line_strides_;
 };
+
+namespace contracts {
+
+// PR 1 pipeline invariant: the O(segments) difference-array accounting is
+// *exact* -- after a flush the per-edge loads sum to precisely the number
+// of unit hops ingested. O(E); intended for OBLV_ENSURES at accounting
+// boundaries and for direct use in tests.
+bool validate_load_map_consistency(const EdgeLoadMap& loads);
+
+}  // namespace contracts
 
 }  // namespace oblivious

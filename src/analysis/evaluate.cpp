@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious {
@@ -218,6 +219,8 @@ RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
       if (obs_on) OBLV_HISTOGRAM_ADD("routing.stretch", s);
     }
   }
+  OBLV_ENSURES(contracts::validate_load_map_consistency(loads),
+               "edge loads must sum to the hop count of the measured paths");
   m.congestion = static_cast<std::int64_t>(loads.max_load());
   m.max_stretch = stretch.count() > 0 ? stretch.max() : 1.0;
   m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
@@ -249,6 +252,8 @@ RouteSetMetrics measure_segment_paths(const Mesh& mesh,
       if (obs_on) OBLV_HISTOGRAM_ADD("routing.stretch", s);
     }
   }
+  OBLV_ENSURES(contracts::validate_load_map_consistency(loads),
+               "segment accounting must agree with the hop count");
   m.congestion = static_cast<std::int64_t>(loads.max_load());
   m.max_stretch = stretch.count() > 0 ? stretch.max() : 1.0;
   m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;

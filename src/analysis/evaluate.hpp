@@ -41,6 +41,7 @@ struct RouteAllOptions {
 };
 
 // Routes every demand independently (obliviously).
+// \pre every demand's src and dst are node ids of `mesh`.
 std::vector<Path> route_all(const Mesh& mesh, const Router& router,
                             const RoutingProblem& problem,
                             const RouteAllOptions& options,
@@ -73,12 +74,14 @@ std::vector<SegmentPath> route_all_segments_parallel(
     ThreadPool& pool, std::uint64_t seed);
 
 // Computes metrics for an existing path set.
+// \pre paths.size() == problem.size(), one (valid mesh) path per demand.
 RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
                               const std::vector<Path>& paths,
                               double lower_bound);
 
 // Metrics for an existing segment path set: congestion via the O(segments)
 // difference-array accounting, stretch/dilation from run lengths.
+// \pre paths.size() == problem.size(), one (valid) segment path per demand.
 RouteSetMetrics measure_segment_paths(const Mesh& mesh,
                                       const RoutingProblem& problem,
                                       const std::vector<SegmentPath>& paths,

@@ -13,6 +13,7 @@ namespace oblivious {
 
 // 2D meshes only; `width` bounds the rendered grid (larger meshes are
 // downsampled by taking the max over each cell of nodes).
+// \pre loads.mesh().dim() == 2 and width >= 1.
 std::string render_load_heatmap(const EdgeLoadMap& loads, int width = 64);
 
 }  // namespace oblivious

@@ -1,6 +1,8 @@
 #include "analysis/lower_bound.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <tuple>
 #include <unordered_map>
 
 #include "util/check.hpp"
@@ -73,14 +75,23 @@ CongestionLowerBound congestion_lower_bound(const Mesh& mesh,
     }
   }
 
+  // The argmax over an unordered_map must not depend on bucket order: ties
+  // on b are broken toward the smallest (level, type, grid_key) triple, so
+  // boundary_argmax is a pure function of the problem.
+  // oblv-lint: allow(D002) argmax tie-broken on the submesh key
+  std::optional<std::tuple<int, int, std::int64_t>> best_key;
   for (const auto& [key, entry] : crossings) {
     const auto& [count, submesh] = entry;
     const std::int64_t out_edges = mesh.boundary_edge_count(submesh.region);
     OBLV_CHECK(out_edges > 0, "crossed submesh must have boundary edges");
     const double b = static_cast<double>(count) / static_cast<double>(out_edges);
-    if (b > out.boundary) {
+    const bool better =
+        b > out.boundary ||
+        (b == out.boundary && best_key.has_value() && key < *best_key);
+    if (better) {
       out.boundary = b;
       out.boundary_argmax = submesh;
+      best_key = key;
     }
   }
   return out;

@@ -26,8 +26,8 @@ struct CongestionLowerBound {
   double value() const;
 };
 
-// Boundary congestion over all regular submeshes of `decomposition`
-// (which must decompose `mesh`).
+// Boundary congestion over all regular submeshes of `decomposition`.
+// \pre `decomposition` was built over this same `mesh` object.
 CongestionLowerBound congestion_lower_bound(const Mesh& mesh,
                                             const Decomposition& decomposition,
                                             const RoutingProblem& problem);

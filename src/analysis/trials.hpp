@@ -25,6 +25,7 @@ struct TrialSummary {
 
 // Runs `trials` independent routings of `problem` with seeds
 // base_seed, base_seed+1, ...; uses `pool` when provided.
+// \pre trials >= 1.
 TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
                              const RoutingProblem& problem, int trials,
                              std::uint64_t base_seed, ThreadPool* pool = nullptr);

@@ -28,6 +28,8 @@ struct AccessGraphNode {
 
 class AccessGraph {
  public:
+  // \pre the decomposed mesh has at most 2^16 nodes (explicit
+  // materialization is for tests and figures only).
   explicit AccessGraph(const Decomposition& decomposition);
 
   const Decomposition& decomposition() const { return *decomp_; }
@@ -36,6 +38,7 @@ class AccessGraph {
     return nodes_.at(static_cast<std::size_t>(idx));
   }
 
+  // \pre 0 <= level <= decomposition().leaf_level().
   std::vector<int> nodes_at_level(int level) const;
 
   // Index of a node by identity, or nullopt if not in the graph.

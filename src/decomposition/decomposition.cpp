@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious {
@@ -188,7 +189,13 @@ RegularSubmesh Decomposition::deepest_common(const Coord& s, const Coord& t,
   for (int level = k_; level >= 0; --level) {
     const int types = use_shifted_types ? num_types(level) : 1;
     for (int type = 1; type <= types; ++type) {
-      if (auto sm = common_submesh(s, t, level, type)) return *std::move(sm);
+      if (auto sm = common_submesh(s, t, level, type)) {
+        OBLV_ENSURES(sm->region.contains(*mesh_, s) &&
+                         sm->region.contains(*mesh_, t),
+                     "deepest_common must return a submesh containing both "
+                     "endpoints");
+        return *std::move(sm);
+      }
     }
   }
   OBLV_UNREACHABLE("the root submesh contains every pair");

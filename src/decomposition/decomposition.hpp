@@ -66,7 +66,8 @@ struct RegularSubmesh {
 
 class Decomposition {
  public:
-  // Requires a square mesh with power-of-two side length.
+  // \pre the mesh is square with power-of-two side length, and
+  // config.shift_divisor_log2 >= 1.
   Decomposition(const Mesh& mesh, DecompositionConfig config);
 
   static Decomposition section3(const Mesh& mesh);

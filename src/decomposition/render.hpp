@@ -14,6 +14,8 @@ namespace oblivious {
 // the mesh (dimensions dim_x, dim_y; all other coordinates fixed to
 // `slice`). Every submesh gets its own letter; '.' marks nodes not covered
 // by any valid submesh of the family (discarded corners).
+// \pre dim_x and dim_y are distinct valid dimensions (equal only on a
+// 1-dimensional mesh).
 std::string render_family(const Decomposition& decomposition, int level, int type,
                           int dim_x = 0, int dim_y = 1, std::int64_t slice = 0);
 

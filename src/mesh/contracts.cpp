@@ -1,0 +1,56 @@
+#include "mesh/contracts.hpp"
+
+namespace oblivious::contracts {
+
+double stretch_bound(int dim) {
+  if (dim == 2) return 64.0;  // Theorem 3.4
+  return 40.0 * dim * (dim + 1);  // Theorem 4.2, explicit proof constants
+}
+
+bool validate_path_in_mesh(const Mesh& mesh, const Path& path) {
+  return is_valid_path(mesh, path);
+}
+
+bool validate_path_endpoints(const Path& path, NodeId s, NodeId t) {
+  return !path.nodes.empty() && path.source() == s && path.destination() == t;
+}
+
+bool validate_segment_path(const Mesh& mesh, const SegmentPath& sp) {
+  return is_valid_segment_path(mesh, sp);
+}
+
+bool validate_segment_path_endpoints(const SegmentPath& sp, NodeId s,
+                                     NodeId t) {
+  return !sp.empty() && sp.source == s && sp.dest == t;
+}
+
+bool validate_segment_path_lossless(const Mesh& mesh, const SegmentPath& sp) {
+  if (!is_valid_segment_path(mesh, sp)) return false;
+  const Path replayed = path_from_segments(mesh, sp);
+  if (!is_valid_path(mesh, replayed)) return false;
+  return segments_from_path(mesh, replayed) == sp;
+}
+
+bool validate_bitonic_chain(const Mesh& mesh, const std::vector<Region>& chain,
+                            std::size_t up_count) {
+  if (chain.empty() || up_count >= chain.size()) return false;
+  for (std::size_t i = 1; i <= up_count; ++i) {
+    if (!chain[i].contains_region(mesh, chain[i - 1])) return false;
+  }
+  for (std::size_t i = up_count + 1; i < chain.size(); ++i) {
+    if (!chain[i - 1].contains_region(mesh, chain[i])) return false;
+  }
+  return true;
+}
+
+bool validate_stretch_bound(const Mesh& mesh, const Path& path, int dim) {
+  if (path.nodes.empty()) return false;
+  return path_stretch(mesh, path) <= stretch_bound(dim);
+}
+
+bool validate_stretch_bound(const Mesh& mesh, const SegmentPath& sp, int dim) {
+  if (sp.empty()) return false;
+  return segment_path_stretch(mesh, sp) <= stretch_bound(dim);
+}
+
+}  // namespace oblivious::contracts

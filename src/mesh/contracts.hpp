@@ -1,0 +1,70 @@
+// Paper-invariant validators, used as the predicates of OBLV_EXPECTS /
+// OBLV_ENSURES at the API boundaries of mesh/, decomposition/, routing/,
+// analysis/ and simulator/.
+//
+// Each validator encodes one checkable guarantee of the paper (Busch,
+// Magdon-Ismail, Xi; IPDPS 2005):
+//   validate_path_in_mesh          - Section 2 path model: non-empty node
+//                                    sequence, every hop a mesh edge
+//   validate_path_endpoints        - oblivious routing contract: the path
+//                                    connects exactly (s, t)
+//   validate_segment_path          - same, for the compact segment form
+//   validate_segment_path_lossless - SegmentPath <-> Path round-trip is
+//                                    the identity (PR 1 pipeline invariant)
+//   validate_bitonic_chain         - Section 3.2/4.1 access-graph paths:
+//                                    regions grow to the bridge, then
+//                                    shrink, each leg's enclosing region
+//                                    containing its smaller neighbour
+//   validate_stretch_bound         - Theorem 3.4 (stretch <= 64 in 2D) and
+//                                    Theorem 4.2 (<= 40 d (d+1) in d dims,
+//                                    the explicit constants of the proof)
+//
+// All validators are plain bool functions: callable from tests directly
+// and free when the enclosing contract macro is compiled out.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "mesh/region.hpp"
+#include "mesh/segment_path.hpp"
+
+namespace oblivious::contracts {
+
+// Theorem 3.4 / 4.2 stretch ceiling for the paper's routers on a
+// d-dimensional mesh: 64 for d == 2, else 40 d (d+1).
+double stretch_bound(int dim);
+
+// Section 2: non-empty, and every consecutive pair adjacent in the mesh.
+bool validate_path_in_mesh(const Mesh& mesh, const Path& path);
+
+// The path starts at s and ends at t.
+bool validate_path_endpoints(const Path& path, NodeId s, NodeId t);
+
+// Segment-form twin of validate_path_in_mesh: endpoints on the mesh and
+// every run stays on it (wrap-aware).
+bool validate_segment_path(const Mesh& mesh, const SegmentPath& sp);
+
+// The segment path starts at s and ends at t.
+bool validate_segment_path_endpoints(const SegmentPath& sp, NodeId s,
+                                     NodeId t);
+
+// Lossless-conversion invariant: replaying the runs lands on sp.dest and
+// re-deriving segments from the replayed node list reproduces sp exactly.
+bool validate_segment_path_lossless(const Mesh& mesh, const SegmentPath& sp);
+
+// Bitonic access-graph chain (Sections 3.2, 4.1): chain[0..up_count] is
+// the ascent (each region contains its predecessor, the last being the
+// bridge), chain[up_count..] the descent (each region contains its
+// successor). This is exactly the containment connect_chain needs for
+// every leg to stay inside its enclosing submesh.
+bool validate_bitonic_chain(const Mesh& mesh, const std::vector<Region>& chain,
+                            std::size_t up_count);
+
+// stretch(p) <= stretch_bound(dim). Zero-length paths pass (stretch 1).
+bool validate_stretch_bound(const Mesh& mesh, const Path& path, int dim);
+bool validate_stretch_bound(const Mesh& mesh, const SegmentPath& sp, int dim);
+
+}  // namespace oblivious::contracts

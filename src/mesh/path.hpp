@@ -33,6 +33,7 @@ bool is_valid_path(const Mesh& mesh, const Path& path);
 bool is_simple_path(const Path& path);
 
 // stretch(p) = |p| / dist(s,t); returns 1.0 for zero-length s == t paths.
+// \pre the path is non-empty.
 double path_stretch(const Mesh& mesh, const Path& path);
 
 // Loop erasure: removes all cycles, preserving source and destination and

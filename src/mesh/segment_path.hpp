@@ -69,6 +69,8 @@ struct SegmentPath {
 // Lossless converters. segments_from_path derives each hop's dimension
 // and direction and merges maximal runs; path_from_segments replays the
 // runs into the full node sequence (wrap-aware on the torus).
+// \pre the input path / segment path is non-empty, every hop is a mesh
+// edge, and replayed runs stay on the mesh.
 SegmentPath segments_from_path(const Mesh& mesh, const Path& path);
 Path path_from_segments(const Mesh& mesh, const SegmentPath& sp);
 
@@ -77,6 +79,7 @@ Path path_from_segments(const Mesh& mesh, const SegmentPath& sp);
 bool is_valid_segment_path(const Mesh& mesh, const SegmentPath& sp);
 
 // stretch = length / dist(source, dest); 1.0 for zero-length paths.
+// \pre the segment path is non-empty.
 double segment_path_stretch(const Mesh& mesh, const SegmentPath& sp);
 
 }  // namespace oblivious

@@ -125,6 +125,7 @@ struct HistogramSnapshot {
 
   double mean() const;
   // Upper bound of the bucket where the cumulative mass crosses q.
+  // \pre q is in [0, 1].
   double quantile(double q) const;
 };
 

@@ -36,6 +36,7 @@ struct OfflineResult {
   std::int64_t total_switches = 0;
 };
 
+// \pre options.max_rounds >= 1 and options.candidates_per_packet >= 1.
 // Routes `problem` offline. All paths are shortest paths (stretch 1);
 // the returned congestion is an upper bound on C* and usually very close
 // to the boundary lower bound.

@@ -6,16 +6,19 @@
 namespace oblivious {
 
 Path DimensionOrderRouter::route(NodeId s, NodeId t, Rng& /*rng*/) const {
+  expects_route_args(s, t);
   Path path;
   path.nodes.push_back(s);
   const auto order = identity_order(mesh_->dim());
   append_dim_order_path(*mesh_, mesh_->coord(s), mesh_->coord(t),
                         std::span<const int>(order.data(), order.size()), path);
+  ensures_route_result(s, t, path);
   return path;
 }
 
 SegmentPath DimensionOrderRouter::route_segments(NodeId s, NodeId t,
                                                  Rng& /*rng*/) const {
+  expects_route_args(s, t);
   SegmentPath sp;
   sp.source = s;
   sp.dest = t;
@@ -23,20 +26,24 @@ SegmentPath DimensionOrderRouter::route_segments(NodeId s, NodeId t,
   append_dim_order_segments(*mesh_, mesh_->coord(s), mesh_->coord(t),
                             std::span<const int>(order.data(), order.size()),
                             sp);
+  ensures_route_result(s, t, sp);
   return sp;
 }
 
 Path RandomDimOrderRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  expects_route_args(s, t);
   Path path;
   path.nodes.push_back(s);
   const auto order = rng.random_permutation(mesh_->dim());
   append_dim_order_path(*mesh_, mesh_->coord(s), mesh_->coord(t),
                         std::span<const int>(order.data(), order.size()), path);
+  ensures_route_result(s, t, path);
   return path;
 }
 
 SegmentPath RandomDimOrderRouter::route_segments(NodeId s, NodeId t,
                                                  Rng& rng) const {
+  expects_route_args(s, t);
   SegmentPath sp;
   sp.source = s;
   sp.dest = t;
@@ -44,10 +51,12 @@ SegmentPath RandomDimOrderRouter::route_segments(NodeId s, NodeId t,
   append_dim_order_segments(*mesh_, mesh_->coord(s), mesh_->coord(t),
                             std::span<const int>(order.data(), order.size()),
                             sp);
+  ensures_route_result(s, t, sp);
   return sp;
 }
 
 Path ValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  expects_route_args(s, t);
   if (s == t) return Path{{s}};
   Path path;
   path.nodes.push_back(s);
@@ -61,10 +70,12 @@ Path ValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
   const auto order2 = rng.random_permutation(mesh_->dim());
   append_dim_order_path(*mesh_, mid, ct,
                         std::span<const int>(order2.data(), order2.size()), path);
+  ensures_route_result(s, t, path);
   return path;
 }
 
 SegmentPath ValiantRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
+  expects_route_args(s, t);
   SegmentPath sp;
   sp.source = s;
   sp.dest = t;
@@ -81,6 +92,7 @@ SegmentPath ValiantRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
   append_dim_order_segments(*mesh_, mid, ct,
                             std::span<const int>(order2.data(), order2.size()),
                             sp);
+  ensures_route_result(s, t, sp);
   return sp;
 }
 

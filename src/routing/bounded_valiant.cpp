@@ -52,6 +52,7 @@ Region BoundedValiantRouter::box_for(NodeId s, NodeId t) const {
 }
 
 Path BoundedValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  expects_route_args(s, t);
   if (s == t) return Path{{s}};
   const Coord cs = mesh_->coord(s);
   const Coord ct = mesh_->coord(t);
@@ -66,11 +67,13 @@ Path BoundedValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
   const auto order2 = rng.random_permutation(mesh_->dim());
   append_path_in_region(*mesh_, box, mid, ct,
                         std::span<const int>(order2.data(), order2.size()), path);
+  ensures_route_result(s, t, path);
   return path;
 }
 
 SegmentPath BoundedValiantRouter::route_segments(NodeId s, NodeId t,
                                                  Rng& rng) const {
+  expects_route_args(s, t);
   SegmentPath sp;
   sp.source = s;
   sp.dest = t;
@@ -88,6 +91,7 @@ SegmentPath BoundedValiantRouter::route_segments(NodeId s, NodeId t,
   append_segments_in_region(*mesh_, box, mid, ct,
                             std::span<const int>(order2.data(), order2.size()),
                             sp);
+  ensures_route_result(s, t, sp);
   return sp;
 }
 

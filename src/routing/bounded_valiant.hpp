@@ -19,6 +19,7 @@ class BoundedValiantRouter final : public Router {
  public:
   // `margin` inflates the bounding box by margin * dist(s, t) nodes per
   // side (clipped to the mesh): 0 is the pure bounding box.
+  // \pre margin >= 0.
   explicit BoundedValiantRouter(const Mesh& mesh, double margin = 0.0);
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;

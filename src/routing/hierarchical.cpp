@@ -4,9 +4,11 @@
 #include <type_traits>
 #include <vector>
 
+#include "mesh/contracts.hpp"
 #include "routing/one_bend.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
@@ -38,6 +40,9 @@ PathT connect_chain(const Mesh& mesh, const std::vector<Region>& chain,
                     NodeId s, NodeId t, const WaypointFn& waypoint,
                     const OrderFn& order_for) {
   OBLV_CHECK(!chain.empty(), "bitonic chain cannot be empty");
+  OBLV_EXPECTS(contracts::validate_bitonic_chain(mesh, chain, up_count),
+               "Sections 3.2/4.1: chain regions must grow to the bridge and "
+               "shrink after it, each containing its smaller neighbour");
   PathT path;
   if constexpr (std::is_same_v<PathT, Path>) {
     (void)t;
@@ -125,11 +130,23 @@ PathT AncestorRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
 }
 
 Path AncestorRouter::route(NodeId s, NodeId t, Rng& rng) const {
-  return route_impl<Path>(s, t, rng);
+  expects_route_args(s, t);
+  Path p = route_impl<Path>(s, t, rng);
+  ensures_route_result(s, t, p);
+  OBLV_ENSURES(hierarchy_ != Hierarchy::kAccessGraph || mesh_->dim() != 2 ||
+                   contracts::validate_stretch_bound(*mesh_, p, 2),
+               "Theorem 3.4: 2D access-graph stretch must be <= 64");
+  return p;
 }
 
 SegmentPath AncestorRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
-  return route_impl<SegmentPath>(s, t, rng);
+  expects_route_args(s, t);
+  SegmentPath sp = route_impl<SegmentPath>(s, t, rng);
+  ensures_route_result(s, t, sp);
+  OBLV_ENSURES(hierarchy_ != Hierarchy::kAccessGraph || mesh_->dim() != 2 ||
+                   contracts::validate_stretch_bound(*mesh_, sp, 2),
+               "Theorem 3.4: 2D access-graph stretch must be <= 64");
+  return sp;
 }
 
 // ---------------------------------------------------------------------------
@@ -259,11 +276,23 @@ PathT NdRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
 }
 
 Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
-  return route_impl<Path>(s, t, rng);
+  expects_route_args(s, t);
+  Path p = route_impl<Path>(s, t, rng);
+  ensures_route_result(s, t, p);
+  OBLV_ENSURES(bridge_mode_ != BridgeHeightMode::kPrescribed ||
+                   contracts::validate_stretch_bound(*mesh_, p, mesh_->dim()),
+               "Theorem 4.2: stretch must be <= 40 d (d+1)");
+  return p;
 }
 
 SegmentPath NdRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
-  return route_impl<SegmentPath>(s, t, rng);
+  expects_route_args(s, t);
+  SegmentPath sp = route_impl<SegmentPath>(s, t, rng);
+  ensures_route_result(s, t, sp);
+  OBLV_ENSURES(bridge_mode_ != BridgeHeightMode::kPrescribed ||
+                   contracts::validate_stretch_bound(*mesh_, sp, mesh_->dim()),
+               "Theorem 4.2: stretch must be <= 40 d (d+1)");
+  return sp;
 }
 
 }  // namespace oblivious

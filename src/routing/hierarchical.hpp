@@ -88,6 +88,7 @@ class NdRouter final : public Router {
   const Decomposition& decomposition() const { return decomp_; }
 
   // Heights used for the pair: (h', bridge height), Section 4.1 notation.
+  // \pre s != t (heights are defined for distinct nodes).
   std::pair<int, int> heights_for(NodeId s, NodeId t) const;
   // The bridge submesh selected for the pair.
   RegularSubmesh bridge_for(NodeId s, NodeId t) const;

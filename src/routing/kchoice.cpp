@@ -41,16 +41,22 @@ Path KChoiceRouter::alternative(NodeId s, NodeId t, int index) const {
 }
 
 Path KChoiceRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  expects_route_args(s, t);
   const int index =
       static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(kappa_)));
-  return alternative(s, t, index);
+  Path p = alternative(s, t, index);
+  ensures_route_result(s, t, p);
+  return p;
 }
 
 SegmentPath KChoiceRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
+  expects_route_args(s, t);
   const int index =
       static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(kappa_)));
   Rng inner_rng(pair_seed(s, t, index));
-  return inner_->route_segments(s, t, inner_rng);
+  SegmentPath sp = inner_->route_segments(s, t, inner_rng);
+  ensures_route_result(s, t, sp);
+  return sp;
 }
 
 std::string KChoiceRouter::name() const {

@@ -25,9 +25,9 @@ namespace oblivious {
 
 class KChoiceRouter final : public Router {
  public:
-  // `kappa` >= 1; `table_seed` fixes the alternative table (two routers
-  // with the same inner algorithm, kappa, and table_seed offer identical
-  // alternatives).
+  // `table_seed` fixes the alternative table (two routers with the same
+  // inner algorithm, kappa, and table_seed offer identical alternatives).
+  // \pre inner != nullptr and kappa >= 1.
   KChoiceRouter(std::unique_ptr<Router> inner, int kappa,
                 std::uint64_t table_seed = 0x5eedUL);
 
@@ -40,6 +40,7 @@ class KChoiceRouter final : public Router {
   const Router& inner() const { return *inner_; }
 
   // The i-th fixed alternative for the pair (exposed for analysis).
+  // \pre 0 <= index < kappa().
   Path alternative(NodeId s, NodeId t, int index) const;
 
  private:

@@ -4,6 +4,7 @@
 
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
@@ -17,8 +18,8 @@ void walk(const Mesh& mesh, Coord& cur, int d, int dir, std::int64_t steps,
   for (std::int64_t i = 0; i < steps; ++i) {
     cur[dd] += dir;
     if (mesh.torus()) cur[dd] = pos_mod(cur[dd], mesh.side(d));
-    OBLV_CHECK(cur[dd] >= 0 && cur[dd] < mesh.side(d),
-               "dimension-order walk left the mesh");
+    OBLV_DCHECK(cur[dd] >= 0 && cur[dd] < mesh.side(d),
+                "dimension-order walk left the mesh");
     path.nodes.push_back(mesh.node_id(cur));
   }
 }

@@ -16,10 +16,12 @@
 #include <string>
 #include <vector>
 
+#include "mesh/contracts.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/path.hpp"
 #include "mesh/segment_path.hpp"
 #include "rng/rng.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
@@ -33,6 +35,8 @@ class Router {
   // Selects a path from s to t. The same (s, t, rng state) always yields
   // the same path; randomized routers draw all their randomness from `rng`
   // so that attaching a BitMeter measures their per-packet bit consumption.
+  // \pre s and t are node ids of this router's mesh.
+  // \post the returned path is a valid mesh path from s to t.
   virtual Path route(NodeId s, NodeId t, Rng& rng) const = 0;
 
   // Same path, compact form, without materializing the node list. The
@@ -49,6 +53,25 @@ class Router {
   virtual bool deterministic() const { return false; }
 
  protected:
+  // Shared contracts for every route/route_segments implementation; all
+  // compile out with the contract macros (default Release: zero cost).
+  void expects_route_args(NodeId s, NodeId t) const {
+    OBLV_EXPECTS(s >= 0 && s < mesh_->num_nodes(), "source off the mesh");
+    OBLV_EXPECTS(t >= 0 && t < mesh_->num_nodes(), "destination off the mesh");
+  }
+  void ensures_route_result(NodeId s, NodeId t, const Path& p) const {
+    OBLV_ENSURES(contracts::validate_path_endpoints(p, s, t),
+                 "route must connect exactly (s, t)");
+    OBLV_ENSURES(contracts::validate_path_in_mesh(*mesh_, p),
+                 "route must follow mesh edges");
+  }
+  void ensures_route_result(NodeId s, NodeId t, const SegmentPath& sp) const {
+    OBLV_ENSURES(contracts::validate_segment_path_endpoints(sp, s, t),
+                 "route_segments must connect exactly (s, t)");
+    OBLV_ENSURES(contracts::validate_segment_path(*mesh_, sp),
+                 "route_segments must stay on the mesh");
+  }
+
   const Mesh* mesh_;
 };
 

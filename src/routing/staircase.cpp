@@ -4,10 +4,12 @@
 
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
 Path RandomStaircaseRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  expects_route_args(s, t);
   Path path;
   path.nodes.push_back(s);
   Coord cur = mesh_->coord(s);
@@ -41,18 +43,20 @@ Path RandomStaircaseRouter::route(NodeId s, NodeId t, Rng& rng) const {
     const int dir = remaining[dd] > 0 ? 1 : -1;
     cur[dd] += dir;
     if (mesh_->torus()) cur[dd] = pos_mod(cur[dd], mesh_->side(dim));
-    OBLV_CHECK(cur[dd] >= 0 && cur[dd] < mesh_->side(dim),
-               "staircase walk left the mesh");
+    OBLV_DCHECK(cur[dd] >= 0 && cur[dd] < mesh_->side(dim),
+                "staircase walk left the mesh");
     path.nodes.push_back(mesh_->node_id(cur));
     remaining[dd] -= dir;
     --total;
   }
   OBLV_CHECK(path.nodes.back() == t, "staircase walk missed the target");
+  ensures_route_result(s, t, path);
   return path;
 }
 
 SegmentPath RandomStaircaseRouter::route_segments(NodeId s, NodeId t,
                                                   Rng& rng) const {
+  expects_route_args(s, t);
   // The staircase draws a dimension per hop, so the run structure follows
   // the draws; consecutive same-dimension hops still merge into one run.
   SegmentPath sp;
@@ -88,6 +92,7 @@ SegmentPath RandomStaircaseRouter::route_segments(NodeId s, NodeId t,
     remaining[dd] -= dir;
     --total;
   }
+  ensures_route_result(s, t, sp);
   return sp;
 }
 

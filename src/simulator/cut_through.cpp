@@ -4,8 +4,10 @@
 #include <unordered_map>
 
 #include "analysis/congestion.hpp"
+#include "mesh/contracts.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
@@ -32,6 +34,8 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const Path& p = paths[i];
     OBLV_REQUIRE(!p.nodes.empty(), "simulation requires non-empty paths");
+    OBLV_EXPECTS(contracts::validate_path_in_mesh(mesh, p),
+                 "cut-through simulation needs paths that follow mesh edges");
     loads.add_path(p);
     keys[i].reserve(static_cast<std::size_t>(p.length()));
     for (std::size_t j = 0; j + 1 < p.nodes.size(); ++j) {

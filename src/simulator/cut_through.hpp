@@ -46,6 +46,8 @@ struct CutThroughResult {
   double optimality_ratio() const;
 };
 
+// \pre options.flits_per_packet >= 1 and every path is a non-empty
+// valid path of `mesh`.
 CutThroughResult simulate_cut_through(const Mesh& mesh,
                                       const std::vector<Path>& paths,
                                       const CutThroughOptions& options = {});

@@ -6,6 +6,7 @@
 
 #include "util/bits.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
@@ -81,6 +82,11 @@ OnlineWorkload bernoulli_arrivals(const Mesh& mesh, double rate,
 OnlineResult simulate_online(const Mesh& mesh, const Router& router,
                              const OnlineWorkload& workload,
                              const OnlineOptions& options) {
+  for (const TimedDemand& td : workload.packets) {
+    OBLV_EXPECTS(td.src >= 0 && td.src < mesh.num_nodes() && td.dst >= 0 &&
+                     td.dst < mesh.num_nodes(),
+                 "online workload endpoints must be mesh nodes");
+  }
   OnlineResult result;
   result.horizon = workload.horizon;
   result.injected = static_cast<std::int64_t>(workload.packets.size());

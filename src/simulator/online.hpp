@@ -41,6 +41,7 @@ enum class TrafficPattern {
 // Bernoulli arrivals: at every step in [0, horizon), every node injects a
 // packet with probability `rate` toward a pattern-drawn destination.
 // `rate` in [0, 1] is the offered load in packets per node per step.
+// \pre 0 <= rate <= 1 and horizon >= 0.
 OnlineWorkload bernoulli_arrivals(const Mesh& mesh, double rate,
                                   std::int64_t horizon, TrafficPattern pattern,
                                   Rng& rng, std::int64_t local_distance = 4);
@@ -69,6 +70,7 @@ struct OnlineOptions {
 };
 
 // Injects, routes obliviously at arrival, and delivers.
+// \pre every workload packet's endpoints are node ids of `mesh`.
 OnlineResult simulate_online(const Mesh& mesh, const Router& router,
                              const OnlineWorkload& workload,
                              const OnlineOptions& options = {});

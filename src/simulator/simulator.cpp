@@ -5,8 +5,10 @@
 
 #include "analysis/congestion.hpp"
 #include "obs/metrics.hpp"
+#include "mesh/contracts.hpp"
 #include "rng/rng.hpp"
 #include "util/check.hpp"
+#include "util/contracts.hpp"
 
 namespace oblivious {
 
@@ -51,6 +53,8 @@ SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const Path& p = paths[i];
     OBLV_REQUIRE(!p.nodes.empty(), "simulation requires non-empty paths");
+    OBLV_EXPECTS(contracts::validate_path_in_mesh(mesh, p),
+                 "simulate needs paths that follow mesh edges");
     loads.add_path(p);
     edges[i].reserve(static_cast<std::size_t>(p.length()));
     for (std::size_t j = 0; j + 1 < p.nodes.size(); ++j) {

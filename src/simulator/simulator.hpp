@@ -47,6 +47,7 @@ struct SimulationResult {
   double optimality_ratio() const;
 };
 
+// \pre every path is a non-empty valid path of `mesh`.
 SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
                           const SimulationOptions& options = {});
 

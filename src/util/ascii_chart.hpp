@@ -16,8 +16,10 @@ struct ChartSeries {
 class AsciiChart {
  public:
   // `x_labels` supplies the tick labels of the shared x positions.
+  // \pre x_labels is non-empty and height >= 2.
   AsciiChart(std::vector<std::string> x_labels, int height = 12);
 
+  // \pre series.ys has one value per x label.
   void add_series(ChartSeries series);
 
   // Renders all series on a shared y axis (linear scale; NaNs skipped).

@@ -1,0 +1,104 @@
+// Tiered contract macros layered on top of check.hpp.
+//
+// Tier table (see DESIGN.md section 7):
+//   OBLV_REQUIRE      - caller errors on cold API paths; always on
+//                       (check.hpp) -> std::invalid_argument
+//   OBLV_CHECK        - internal invariants on cold paths; always on
+//                       (check.hpp) -> std::logic_error
+//   OBLV_EXPECTS      - API preconditions, may be O(input); compiled in
+//                       for Debug builds or -DOBLV_CONTRACTS=ON Release
+//                       builds, compiled out otherwise -> ContractViolation
+//   OBLV_ENSURES      - API postconditions, same gating as OBLV_EXPECTS
+//   OBLV_DCHECK       - hot-loop asserts; Debug (NDEBUG undefined) only
+//
+// When compiled out, the checked expression is parsed (sizeof in an
+// unevaluated context, so bitrot is still a compile error) but never
+// evaluated: a default Release build pays zero cycles.
+//
+// Gating: CMake defines OBLV_CONTRACTS_ENABLED globally. A translation
+// unit may override the build-wide setting by defining
+// OBLV_CONTRACTS_FORCE to 0 or 1 before including this header (used by
+// contracts_test to prove both behaviours in one binary).
+#pragma once
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+// Thrown on OBLV_EXPECTS / OBLV_ENSURES violations. Distinct from the
+// check.hpp exceptions so tests (and callers that want to survive a
+// contract-checked Release build) can catch contract failures precisely.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_contract(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace oblivious
+
+#if defined(OBLV_CONTRACTS_FORCE)
+#define OBLV_CONTRACTS_ACTIVE OBLV_CONTRACTS_FORCE
+#elif defined(OBLV_CONTRACTS_ENABLED)
+#define OBLV_CONTRACTS_ACTIVE OBLV_CONTRACTS_ENABLED
+#elif !defined(NDEBUG)
+#define OBLV_CONTRACTS_ACTIVE 1
+#else
+#define OBLV_CONTRACTS_ACTIVE 0
+#endif
+
+// Parses but never evaluates `expr`; keeps variables referenced only by
+// contracts "used" so compiled-out builds stay warning-clean.
+#define OBLV_CONTRACT_UNUSED(expr) \
+  do {                             \
+    (void)sizeof((expr) ? 1 : 0); \
+  } while (0)
+
+#if OBLV_CONTRACTS_ACTIVE
+
+#define OBLV_EXPECTS(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::oblivious::detail::throw_contract("precondition", #expr, __FILE__, \
+                                          __LINE__, (msg));                \
+  } while (0)
+
+#define OBLV_ENSURES(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::oblivious::detail::throw_contract("postcondition", #expr, __FILE__, \
+                                          __LINE__, (msg));                 \
+  } while (0)
+
+#else
+
+#define OBLV_EXPECTS(expr, msg) OBLV_CONTRACT_UNUSED(expr)
+#define OBLV_ENSURES(expr, msg) OBLV_CONTRACT_UNUSED(expr)
+
+#endif  // OBLV_CONTRACTS_ACTIVE
+
+// Hot-loop debug assert: follows NDEBUG like assert(), not the contracts
+// switch, so -DOBLV_CONTRACTS=ON Release builds keep their inner loops
+// branch-free.
+#if !defined(NDEBUG)
+#define OBLV_DCHECK(expr, msg)                                           \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::oblivious::detail::throw_contract("debug invariant", #expr,      \
+                                          __FILE__, __LINE__, (msg));    \
+  } while (0)
+#else
+#define OBLV_DCHECK(expr, msg) OBLV_CONTRACT_UNUSED(expr)
+#endif

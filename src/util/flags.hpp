@@ -16,12 +16,14 @@ class Flags {
  public:
   // Parses argv; throws std::invalid_argument on malformed input or, when
   // `known` is non-empty, on flags outside `known`.
+  // \pre every --name argument appears in `known`; rejects unknown flags.
   static Flags parse(int argc, const char* const* argv,
                      const std::vector<std::string>& known = {});
 
   bool has(const std::string& name) const;
   // Value accessors; `fallback` is returned when the flag is absent.
   std::string get(const std::string& name, const std::string& fallback) const;
+  // \pre when present, the flag's value parses as the requested type.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;

@@ -11,9 +11,11 @@ namespace oblivious {
 
 class Table {
  public:
+  // \pre headers is non-empty.
   explicit Table(std::vector<std::string> headers);
 
   // Starts a new row; subsequent add() calls fill it left to right.
+  // \pre add() is only called after row(), at most once per column.
   Table& row();
   Table& add(const std::string& cell);
   Table& add(const char* cell);

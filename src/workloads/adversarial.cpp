@@ -45,10 +45,17 @@ AdversarialInstance build_pi_a(const Mesh& mesh, const Router& algorithm,
       if (inserted) it->second.second = std::move(p);
       ++it->second.first;
     }
-    const auto best = std::max_element(
-        buckets.begin(), buckets.end(), [](const auto& a, const auto& b) {
-          return a.second.first < b.second.first;
-        });
+    // A count-only argmax would let bucket order pick among tied modal
+    // paths; ties go to the smallest fingerprint instead.
+    // oblv-lint: allow(D002) modal-path argmax tie-broken on fingerprint
+    const std::pair<const std::uint64_t, std::pair<int, Path>>* best = nullptr;
+    for (const auto& bucket : buckets) {
+      if (best == nullptr || bucket.second.first > best->second.first ||
+          (bucket.second.first == best->second.first &&
+           bucket.first < best->first)) {
+        best = &bucket;
+      }
+    }
     modal_paths.push_back(best->second.second);
   }
 
@@ -62,6 +69,7 @@ AdversarialInstance build_pi_a(const Mesh& mesh, const Router& algorithm,
   OBLV_CHECK(!load.empty(), "block-exchange packets cannot all be trivial");
   EdgeId worst = kInvalidEdge;
   std::int64_t worst_load = -1;
+  // oblv-lint: allow(D002) worst-edge argmax tie-broken on the edge id
   for (const auto& [edge, count] : load) {
     if (count > worst_load || (count == worst_load && edge < worst)) {
       worst = edge;

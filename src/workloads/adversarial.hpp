@@ -30,6 +30,8 @@ struct AdversarialInstance {
 // Builds Pi_A against `algorithm` with packet distance l (a power of two,
 // side % 2l == 0). `samples_per_packet` > 1 estimates modal paths for
 // randomized algorithms; 1 is exact for deterministic ones.
+// \pre samples_per_packet >= 1 and l satisfies the block_exchange
+// preconditions for dimension 0.
 AdversarialInstance build_pi_a(const Mesh& mesh, const Router& algorithm,
                                std::int64_t l, Rng& rng,
                                int samples_per_packet = 1);

@@ -21,10 +21,11 @@ RoutingProblem random_permutation(const Mesh& mesh, Rng& rng);
 
 // (x, y, ...) -> (y, x, ...): the classic transpose permutation that
 // overloads deterministic dimension-order routing along the diagonal.
-// Requires a square mesh with dim >= 2 (swaps dimensions 0 and 1).
+// \pre mesh.dim() >= 2 and side(0) == side(1) (swaps dimensions 0 and 1).
 RoutingProblem transpose(const Mesh& mesh);
 
-// Every coordinate's bits reversed (requires power-of-two sides).
+// Every coordinate's bits reversed.
+// \pre every mesh side is a power of two.
 RoutingProblem bit_reversal(const Mesh& mesh);
 
 // Tornado: shift by side/2 - 1 along dimension 0 (classic torus adversary;
@@ -32,6 +33,7 @@ RoutingProblem bit_reversal(const Mesh& mesh);
 RoutingProblem tornado(const Mesh& mesh);
 
 // `num_sources` distinct random sources all sending to one random sink.
+// \pre num_sources <= mesh.num_nodes().
 RoutingProblem hotspot(const Mesh& mesh, Rng& rng, std::size_t num_sources);
 
 // Every node sends to a uniformly random neighbor.
@@ -39,13 +41,14 @@ RoutingProblem nearest_neighbor(const Mesh& mesh, Rng& rng);
 
 // `count` random source/destination pairs at exactly distance `dist`
 // (sources may repeat).
+// \pre 0 <= dist <= mesh.diameter().
 RoutingProblem random_pairs_at_distance(const Mesh& mesh, Rng& rng,
                                         std::size_t count, std::int64_t dist);
 
 // The Section 5.1 construction: partition the mesh into slabs of thickness
 // l along `dim` and exchange adjacent slabs node-for-node. A permutation
-// in which every packet travels exactly distance l. Requires side(dim)
-// divisible by 2l.
+// in which every packet travels exactly distance l.
+// \pre 0 <= dim < mesh.dim(), l >= 1 and side(dim) % (2 l) == 0.
 RoutingProblem block_exchange(const Mesh& mesh, std::int64_t l, int dim = 0);
 
 // Adjacent pairs straddling the top-level bisector of dimension `dim`:

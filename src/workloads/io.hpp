@@ -22,8 +22,9 @@ std::string problem_to_text(const Mesh& mesh, const RoutingProblem& problem);
 void write_problem(std::ostream& os, const Mesh& mesh,
                    const RoutingProblem& problem);
 
-// Parses a problem; throws std::invalid_argument on malformed input
-// (unknown record, demand before mesh, node ids out of range).
+// Parses a problem; throws std::invalid_argument on malformed input.
+// \pre the stream holds one mesh record followed by demand records whose
+// node ids are on that mesh (unknown records and out-of-range ids throw).
 std::pair<Mesh, RoutingProblem> read_problem(std::istream& is);
 std::pair<Mesh, RoutingProblem> problem_from_text(const std::string& text);
 

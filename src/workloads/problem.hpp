@@ -30,6 +30,7 @@ struct RoutingProblem {
   // True when sources and destinations each form a permutation of a subset
   // of nodes (each node is the source of at most one packet and the
   // destination of at most one packet).
+  // \pre every demand's endpoints are node ids of `mesh`.
   bool is_partial_permutation(const Mesh& mesh) const;
 };
 

@@ -1,0 +1,21 @@
+// Cross-TU probes for the OBLV_CONTRACTS_FORCE override. Each function is
+// defined in a translation unit that pins the contract switch to ON
+// (contracts_macro_on.cpp) or OFF (contracts_macro_off.cpp) before
+// including util/contracts.hpp, so one test binary proves both the
+// checking and the compiled-out behaviour regardless of build type.
+#pragma once
+
+namespace oblivious::testing {
+
+// TU compiled with OBLV_CONTRACTS_FORCE 1.
+bool forced_on_expects_throws();        // OBLV_EXPECTS(false) -> throws?
+bool forced_on_ensures_throws();        // OBLV_ENSURES(false) -> throws?
+int forced_on_evaluation_count();       // times a passing EXPECTS ran its expr
+
+// TU compiled with OBLV_CONTRACTS_FORCE 0.
+bool forced_off_expects_throws();       // OBLV_EXPECTS(false) -> throws?
+bool forced_off_ensures_throws();       // OBLV_ENSURES(false) -> throws?
+int forced_off_evaluation_count();      // must be 0: expr never evaluated
+int forced_off_dcheck_is_active();      // 1 iff OBLV_DCHECK evaluates here
+
+}  // namespace oblivious::testing

@@ -1,0 +1,44 @@
+// Pins the contract switch OFF for this TU regardless of build type:
+// OBLV_EXPECTS / OBLV_ENSURES must parse their expression but never
+// evaluate it (the -DOBLV_CONTRACTS=OFF Release behaviour).
+#define OBLV_CONTRACTS_FORCE 0
+#include "util/contracts.hpp"
+
+#include "contracts_macro_modes.hpp"
+
+namespace oblivious::testing {
+
+bool forced_off_expects_throws() {
+  try {
+    OBLV_EXPECTS(false, "compiled out: must not throw");
+  } catch (const ContractViolation&) {
+    return true;
+  }
+  return false;
+}
+
+bool forced_off_ensures_throws() {
+  try {
+    OBLV_ENSURES(false, "compiled out: must not throw");
+  } catch (const ContractViolation&) {
+    return true;
+  }
+  return false;
+}
+
+int forced_off_evaluation_count() {
+  int evaluations = 0;
+  OBLV_EXPECTS((++evaluations, true), "must stay unevaluated");
+  OBLV_ENSURES((++evaluations, false), "must stay unevaluated");
+  return evaluations;
+}
+
+int forced_off_dcheck_is_active() {
+  // OBLV_DCHECK follows NDEBUG (like assert), not the contracts switch;
+  // report what this build does so the test can assert consistency.
+  int evaluations = 0;
+  OBLV_DCHECK((++evaluations, true), "probe");
+  return evaluations;
+}
+
+}  // namespace oblivious::testing

@@ -1,0 +1,33 @@
+// Pins the contract switch ON for this TU regardless of build type.
+#define OBLV_CONTRACTS_FORCE 1
+#include "util/contracts.hpp"
+
+#include "contracts_macro_modes.hpp"
+
+namespace oblivious::testing {
+
+bool forced_on_expects_throws() {
+  try {
+    OBLV_EXPECTS(false, "forced-on precondition");
+  } catch (const ContractViolation&) {
+    return true;
+  }
+  return false;
+}
+
+bool forced_on_ensures_throws() {
+  try {
+    OBLV_ENSURES(false, "forced-on postcondition");
+  } catch (const ContractViolation&) {
+    return true;
+  }
+  return false;
+}
+
+int forced_on_evaluation_count() {
+  int evaluations = 0;
+  OBLV_EXPECTS((++evaluations, true), "passing check evaluates exactly once");
+  return evaluations;
+}
+
+}  // namespace oblivious::testing

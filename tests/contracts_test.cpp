@@ -1,0 +1,242 @@
+// Tests for the tiered contract macros (util/contracts.hpp) and the
+// paper-invariant validators (mesh/contracts.hpp, analysis/congestion.hpp).
+//
+// The macro tier tests use two extra translation units pinned to
+// OBLV_CONTRACTS_FORCE 1 and 0 (contracts_macro_on.cpp / _off.cpp), so a
+// single binary proves both the throwing and the compiled-out behaviour
+// in every build configuration.
+#include <gtest/gtest.h>
+
+#include "analysis/congestion.hpp"
+#include "contracts_macro_modes.hpp"
+#include "mesh/contracts.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "mesh/region.hpp"
+#include "mesh/segment_path.hpp"
+#include "routing/baselines.hpp"
+#include "routing/hierarchical.hpp"
+#include "util/contracts.hpp"
+
+namespace oblivious {
+namespace {
+
+Path make_path(std::initializer_list<NodeId> nodes) {
+  Path p;
+  p.nodes.assign(nodes);
+  return p;
+}
+
+// ------------------------------------------------------- macro tiers --
+
+TEST(ContractMacros, ForcedOnExpectsAndEnsuresThrowContractViolation) {
+  EXPECT_TRUE(testing::forced_on_expects_throws());
+  EXPECT_TRUE(testing::forced_on_ensures_throws());
+}
+
+TEST(ContractMacros, ForcedOnEvaluatesPassingExpressionExactlyOnce) {
+  EXPECT_EQ(testing::forced_on_evaluation_count(), 1);
+}
+
+TEST(ContractMacros, ForcedOffCompilesOutCompletely) {
+  EXPECT_FALSE(testing::forced_off_expects_throws());
+  EXPECT_FALSE(testing::forced_off_ensures_throws());
+  // The expressions must never be evaluated, only parsed.
+  EXPECT_EQ(testing::forced_off_evaluation_count(), 0);
+}
+
+TEST(ContractMacros, DcheckFollowsNdebugNotTheContractsSwitch) {
+#if defined(NDEBUG)
+  EXPECT_EQ(testing::forced_off_dcheck_is_active(), 0);
+#else
+  EXPECT_EQ(testing::forced_off_dcheck_is_active(), 1);
+#endif
+}
+
+TEST(ContractMacros, ViolationIsDistinctFromCheckExceptions) {
+  // Catchable separately from OBLV_REQUIRE's std::invalid_argument.
+  static_assert(std::is_base_of_v<std::logic_error, ContractViolation>);
+  static_assert(!std::is_base_of_v<std::invalid_argument, ContractViolation>);
+}
+
+// -------------------------------------------------- stretch ceilings --
+
+TEST(StretchBound, MatchesTheoremConstants) {
+  EXPECT_DOUBLE_EQ(contracts::stretch_bound(2), 64.0);        // Theorem 3.4
+  EXPECT_DOUBLE_EQ(contracts::stretch_bound(3), 40.0 * 3 * 4);  // Theorem 4.2
+  EXPECT_DOUBLE_EQ(contracts::stretch_bound(4), 40.0 * 4 * 5);
+}
+
+TEST(StretchBound, ShortPathPassesLongPathFails) {
+  const Mesh m({8, 8});
+  EXPECT_TRUE(contracts::validate_stretch_bound(m, make_path({0, 1}), 2));
+
+  // dist(0, 1) = 1, so 65 zig-zag hops give stretch 65 > 64.
+  Path zigzag;
+  for (int hop = 0; hop <= 65; ++hop) zigzag.nodes.push_back(hop % 2);
+  ASSERT_TRUE(is_valid_path(m, zigzag));
+  ASSERT_EQ(zigzag.length(), 65);
+  EXPECT_FALSE(contracts::validate_stretch_bound(m, zigzag, 2));
+
+  // The segment-path overload agrees.
+  EXPECT_FALSE(contracts::validate_stretch_bound(
+      m, segments_from_path(m, zigzag), 2));
+  EXPECT_TRUE(contracts::validate_stretch_bound(
+      m, segments_from_path(m, make_path({0, 1})), 2));
+}
+
+// ------------------------------------------------------- path checks --
+
+TEST(PathValidators, InMeshAndEndpoints) {
+  const Mesh m({4, 4});
+  const Path good = make_path({0, 1, 2, 6});
+  EXPECT_TRUE(contracts::validate_path_in_mesh(m, good));
+  EXPECT_TRUE(contracts::validate_path_endpoints(good, 0, 6));
+  EXPECT_FALSE(contracts::validate_path_endpoints(good, 0, 2));
+
+  EXPECT_FALSE(contracts::validate_path_in_mesh(m, make_path({0, 2})));
+  EXPECT_FALSE(contracts::validate_path_in_mesh(m, Path{}));
+}
+
+TEST(SegmentPathValidators, LosslessRoundTripDetectsLossyInputs) {
+  const Mesh m({8, 8});
+  const Path path = make_path({0, 1, 2, 10, 18, 17});
+  const SegmentPath sp = segments_from_path(m, path);
+  EXPECT_TRUE(contracts::validate_segment_path(m, sp));
+  EXPECT_TRUE(contracts::validate_segment_path_endpoints(sp, 0, 17));
+  EXPECT_TRUE(contracts::validate_segment_path_lossless(m, sp));
+
+  // Non-maximal runs replay fine but re-derive differently: lossy.
+  // (Dimension 1 is the unit-stride dimension: 0 -> 1 -> 2.)
+  SegmentPath split;
+  split.source = 0;
+  split.dest = 2;
+  split.segments.push_back(Segment{1, 1});
+  split.segments.push_back(Segment{1, 1});
+  EXPECT_TRUE(contracts::validate_segment_path(m, split));
+  EXPECT_FALSE(contracts::validate_segment_path_lossless(m, split));
+
+  // Runs that walk off the mesh are invalid outright.
+  SegmentPath off;
+  off.source = 0;
+  off.dest = 0;
+  off.segments.push_back(Segment{0, -1});
+  EXPECT_FALSE(contracts::validate_segment_path(m, off));
+  EXPECT_FALSE(contracts::validate_segment_path_lossless(m, off));
+
+  // A recorded destination that disagrees with the replayed runs.
+  SegmentPath wrong_dest = sp;
+  wrong_dest.dest = 0;
+  EXPECT_FALSE(contracts::validate_segment_path(m, wrong_dest));
+}
+
+// ---------------------------------------------------- bitonic chains --
+
+TEST(BitonicChain, AcceptsAscentThenDescent) {
+  const Mesh m({8, 8});
+  const std::vector<Region> chain = {
+      Region(Coord{0, 0}, Coord{1, 1}),
+      Region(Coord{0, 0}, Coord{2, 2}),
+      Region(Coord{0, 0}, Coord{4, 4}),  // bridge
+      Region(Coord{2, 2}, Coord{2, 2}),
+      Region(Coord{3, 3}, Coord{1, 1}),
+  };
+  EXPECT_TRUE(contracts::validate_bitonic_chain(m, chain, 2));
+}
+
+TEST(BitonicChain, RejectsBrokenContainment) {
+  const Mesh m({8, 8});
+  // Descent leg escapes the bridge: [4,6) x [4,6) is not inside [0,4)^2.
+  const std::vector<Region> broken = {
+      Region(Coord{0, 0}, Coord{1, 1}),
+      Region(Coord{0, 0}, Coord{4, 4}),  // bridge
+      Region(Coord{4, 4}, Coord{2, 2}),
+  };
+  EXPECT_FALSE(contracts::validate_bitonic_chain(m, broken, 1));
+
+  // Ascent that does not grow is equally invalid.
+  const std::vector<Region> shrunk = {
+      Region(Coord{0, 0}, Coord{4, 4}),
+      Region(Coord{0, 0}, Coord{2, 2}),  // "ascends" into a smaller region
+      Region(Coord{0, 0}, Coord{1, 1}),
+  };
+  EXPECT_FALSE(contracts::validate_bitonic_chain(m, shrunk, 1));
+}
+
+TEST(BitonicChain, RejectsDegenerateShapes) {
+  const Mesh m({8, 8});
+  EXPECT_FALSE(contracts::validate_bitonic_chain(m, {}, 0));
+  const std::vector<Region> chain = {Region(Coord{0, 0}, Coord{1, 1})};
+  EXPECT_FALSE(contracts::validate_bitonic_chain(m, chain, 1));  // up >= size
+}
+
+// --------------------------------------------- load-map consistency --
+
+TEST(LoadMapConsistency, HoldsAcrossBothIngestionPathsAndMerge) {
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  EXPECT_TRUE(contracts::validate_load_map_consistency(loads));
+
+  loads.add_path(make_path({0, 1, 2, 6}));
+  EXPECT_EQ(loads.total_edge_charges(), 3U);
+  EXPECT_TRUE(contracts::validate_load_map_consistency(loads));
+
+  loads.add_segments(segments_from_path(m, make_path({5, 6, 7})));
+  EXPECT_EQ(loads.total_edge_charges(), 5U);
+  EXPECT_TRUE(contracts::validate_load_map_consistency(loads));
+
+  EdgeLoadMap other(m);
+  other.add_path(make_path({0, 4, 8}));
+  loads.merge(other);
+  EXPECT_EQ(loads.total_edge_charges(), 7U);
+  EXPECT_TRUE(contracts::validate_load_map_consistency(loads));
+
+  loads.clear();
+  EXPECT_EQ(loads.total_edge_charges(), 0U);
+  EXPECT_TRUE(contracts::validate_load_map_consistency(loads));
+}
+
+TEST(LoadMapConsistency, TorusLapsChargeEveryCrossedEdge) {
+  const Mesh t({8, 8}, /*torus=*/true);
+  EdgeLoadMap loads(t);
+  SegmentPath lap;
+  lap.source = 0;
+  lap.dest = 0;
+  lap.segments.push_back(Segment{0, 8});  // a full lap of dimension 0
+  loads.add_segments(lap);
+  EXPECT_EQ(loads.total_edge_charges(), 8U);
+  EXPECT_TRUE(contracts::validate_load_map_consistency(loads));
+}
+
+// ------------------------------------- contracts at the API boundary --
+
+#if OBLV_CONTRACTS_ACTIVE
+TEST(RouterContracts, OffMeshEndpointsViolateThePrecondition) {
+  const Mesh m({8, 8});
+  const DimensionOrderRouter router(m);
+  Rng rng(1);
+  EXPECT_THROW(router.route(-1, 0, rng), ContractViolation);
+  EXPECT_THROW(router.route(0, m.num_nodes(), rng), ContractViolation);
+  EXPECT_THROW(router.route_segments(-1, 0, rng), ContractViolation);
+}
+#endif
+
+TEST(RouterContracts, HierarchicalRoutesSatisfyEveryPostcondition) {
+  // Routing exercises ensures_route_result + the Theorem 3.4 stretch
+  // ENSURES inside AncestorRouter in contract-checked builds; in default
+  // Release this is a plain smoke test of the same invariants.
+  const Mesh m({16, 16});
+  const AncestorRouter router(m, AncestorRouter::Hierarchy::kAccessGraph);
+  Rng rng(7);
+  for (NodeId s = 0; s < m.num_nodes(); s += 37) {
+    for (NodeId t = 0; t < m.num_nodes(); t += 41) {
+      const Path p = router.route(s, t, rng);
+      EXPECT_TRUE(contracts::validate_path_endpoints(p, s, t));
+      EXPECT_TRUE(contracts::validate_path_in_mesh(m, p));
+      EXPECT_TRUE(contracts::validate_stretch_bound(m, p, 2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oblivious

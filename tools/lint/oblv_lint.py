@@ -1,0 +1,387 @@
+#!/usr/bin/env python3
+"""Project determinism + contract linter.
+
+Rules (all scoped to the paper-reproduction discipline in DESIGN.md §7):
+
+  D001  No ambient nondeterminism outside src/workloads/: bans
+        std::random_device, rand()/srand(), and time-seeded rngs. Every
+        random stream must derive from an explicit seed so runs replay
+        bit-for-bit.
+  D002  No iteration over std::unordered_map / std::unordered_set whose
+        result can leak into output, accumulation, or rng state: bucket
+        order is implementation-defined. Lookups are fine; range-for and
+        .begin() traversal are flagged unless allowlisted with a
+        justification.
+  D003  No std::function on routing hot paths (src/routing/, src/mesh/):
+        type-erased calls defeat inlining in the per-packet loops that
+        bench_p1_throughput gates.
+  C001  A .cpp that asserts preconditions (OBLV_REQUIRE / OBLV_EXPECTS)
+        must document them in its paired header: at least one `\\pre`
+        (or `Precondition:`) comment or an inline OBLV_EXPECTS.
+
+Suppression: `// oblv-lint: allow(RULE) <justification>` on the flagged
+line or within the three lines above it. The justification is mandatory.
+
+The linter is pure-stdlib regex over comment-stripped sources so it runs
+anywhere the repo builds. When python libclang bindings are importable
+(`pip install libclang`, not required) D002 additionally resolves typedef
+aliases of unordered containers; without them the regex engine alone is
+authoritative and fully supported.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+try:  # optional refinement only; the regex engine is self-sufficient
+    import clang.cindex  # type: ignore  # noqa: F401
+
+    HAVE_LIBCLANG = True
+except Exception:  # pragma: no cover - environment dependent
+    HAVE_LIBCLANG = False
+
+ALLOW_RE = re.compile(r"//\s*oblv-lint:\s*allow\((?P<rules>[A-Z0-9, ]+)\)(?P<why>.*)")
+# How far above a flagged line an allow comment may sit.
+ALLOW_REACH = 3
+
+RULE_DOCS = {
+    "D001": "ambient nondeterminism (random_device / rand / time seed)",
+    "D002": "iteration over an unordered container (bucket order leaks)",
+    "D003": "std::function on a routing hot path",
+    "C001": "undocumented preconditions in paired header",
+    "A001": "allowlist comment without justification",
+}
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self, root: Path) -> dict:
+        try:
+            rel = str(self.path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            rel = str(self.path)
+        return {"rule": self.rule, "file": rel, "line": self.line,
+                "message": self.message}
+
+
+def collect_allowlist(lines: list[str]) -> dict[int, set[str]]:
+    """Maps 1-based line numbers to the set of rules allowed there."""
+    allowed: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        if not m.group("why").strip():
+            # An allow without justification is itself a finding; encode it
+            # as a pseudo-rule the caller turns into a report.
+            allowed.setdefault(i, set()).add("!nojustification")
+            continue
+        rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        allowed.setdefault(i, set()).update(rules)
+    return allowed
+
+
+def is_allowed(allowed: dict[int, set[str]], line: int, rule: str) -> bool:
+    for probe in range(max(1, line - ALLOW_REACH), line + 1):
+        if rule in allowed.get(probe, set()):
+            return True
+    return False
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+# ---------------------------------------------------------------- D001 --
+
+D001_PATTERNS = [
+    (re.compile(r"std\s*::\s*random_device|\brandom_device\b"),
+     "std::random_device is nondeterministic; derive Rng streams from an "
+     "explicit seed"),
+    (re.compile(r"(?<![\w:])srand\s*\("),
+     "srand() seeds global C rand state; use the project Rng"),
+    (re.compile(r"(?<![\w:.])rand\s*\(\s*\)"),
+     "rand() draws from hidden global state; use the project Rng"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "wall-clock seeding breaks replay; thread an explicit seed through"),
+]
+D001_CLOCK_RE = re.compile(
+    r"(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+D001_SEED_HINT_RE = re.compile(r"\bseed\b|\bRng\b|\brng\b", re.IGNORECASE)
+
+
+def check_d001(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if rel.startswith("src/workloads/") or "/workloads/" in rel:
+        return []
+    findings = []
+    for pattern, why in D001_PATTERNS:
+        for m in pattern.finditer(code):
+            ln = line_of(code, m.start())
+            if not is_allowed(allowed, ln, "D001"):
+                findings.append(Finding("D001", path, ln, why))
+    # clock::now() is fine for timing; it is a D001 only when it feeds a
+    # seed or rng on the same line.
+    for m in D001_CLOCK_RE.finditer(code):
+        ln = line_of(code, m.start())
+        line_text = code.splitlines()[ln - 1] if ln <= code.count("\n") + 1 else ""
+        if D001_SEED_HINT_RE.search(line_text) and not is_allowed(allowed, ln, "D001"):
+            findings.append(Finding(
+                "D001", path, ln,
+                "clock-derived seed breaks replay; thread an explicit seed"))
+    return findings
+
+
+# ---------------------------------------------------------------- D002 --
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def unordered_variables(code: str) -> set[str]:
+    """Names of variables declared with an unordered container type."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(code):
+        # Walk the template argument list to its matching '>'.
+        i = m.end() - 1  # at '<'
+        depth = 0
+        n = len(code)
+        while i < n:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= n:
+            continue
+        rest = code[i + 1:]
+        im = IDENT_RE.match(rest.lstrip())
+        if not im:
+            continue
+        tail = rest.lstrip()[im.end():].lstrip()
+        # A declaration, not a nested template parameter or return type.
+        if tail[:1] in {";", "(", "{", "=", ","}:
+            names.add(im.group(0))
+    return names
+
+
+def check_d002(path: Path, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    names = unordered_variables(code)
+    if not names:
+        return []
+    findings = []
+    alternation = "|".join(re.escape(n) for n in sorted(names))
+    range_for = re.compile(
+        r"for\s*\([^;()]*?:\s*(?:\*?\s*)?(?P<name>" + alternation + r")\s*\)")
+    iter_call = re.compile(
+        r"\b(?P<name>" + alternation + r")\s*\.\s*c?begin\s*\(")
+    for pattern, what in ((range_for, "range-for over"),
+                          (iter_call, "iterator traversal of")):
+        for m in pattern.finditer(code):
+            ln = line_of(code, m.start())
+            if is_allowed(allowed, ln, "D002"):
+                continue
+            findings.append(Finding(
+                "D002", path, ln,
+                f"{what} unordered container '{m.group('name')}': bucket "
+                "order is implementation-defined; iterate a sorted view or "
+                "justify with // oblv-lint: allow(D002)"))
+    return findings
+
+
+# ---------------------------------------------------------------- D003 --
+
+D003_RE = re.compile(r"std\s*::\s*function\s*<")
+
+
+def check_d003(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if not ("src/routing/" in rel or rel.startswith("src/routing/")
+            or "src/mesh/" in rel or rel.startswith("src/mesh/")):
+        return []
+    findings = []
+    for m in D003_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if not is_allowed(allowed, ln, "D003"):
+            findings.append(Finding(
+                "D003", path, ln,
+                "std::function on a routing hot path defeats inlining; use "
+                "a template parameter or function_ref-style callable"))
+    return findings
+
+
+# ---------------------------------------------------------------- C001 --
+
+C001_ASSERT_RE = re.compile(r"\bOBLV_(?:REQUIRE|EXPECTS)\s*\(")
+C001_DOC_RE = re.compile(r"\\pre\b|\bPrecondition:|\bOBLV_EXPECTS\s*\(")
+
+
+def check_c001(path: Path, raw_text: str) -> list[Finding]:
+    if path.suffix != ".cpp":
+        return []
+    code = strip_comments_and_strings(raw_text)
+    if not C001_ASSERT_RE.search(code):
+        return []
+    header = path.with_suffix(".hpp")
+    if not header.exists():
+        return []
+    header_text = header.read_text(encoding="utf-8", errors="replace")
+    if C001_DOC_RE.search(header_text):
+        return []
+    return [Finding(
+        "C001", header, 1,
+        f"{path.name} asserts preconditions but this header documents none; "
+        "add a \\pre comment (or OBLV_EXPECTS) to the declarations")]
+
+
+# ----------------------------------------------------------------- main --
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    allowed = collect_allowlist(raw_lines)
+    code = strip_comments_and_strings(raw)
+    try:
+        rel = str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        rel = str(path)
+    rel = rel.replace("\\", "/")
+
+    findings: list[Finding] = []
+    for ln, rules in allowed.items():
+        if "!nojustification" in rules:
+            findings.append(Finding(
+                "A001", path, ln,
+                "oblv-lint allow() needs a justification after the rule list"))
+    findings += check_d001(path, rel, code, allowed)
+    findings += check_d002(path, code, allowed)
+    findings += check_d003(path, rel, code, allowed)
+    findings += check_c001(path, raw)
+    return findings
+
+
+def default_files(root: Path) -> list[Path]:
+    src = root / "src"
+    return sorted(p for p in src.rglob("*") if p.suffix in (".hpp", ".cpp"))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="files to lint (default: all of <root>/src)")
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repository root for scoping and display")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    files = args.files or default_files(args.root)
+    if not files:
+        print("oblv_lint: no input files", file=sys.stderr)
+        return 2
+    if args.verbose:
+        engine = "libclang+regex" if HAVE_LIBCLANG else "regex"
+        print(f"oblv_lint: {engine} engine, {len(files)} files")
+
+    findings: list[Finding] = []
+    for path in files:
+        if not path.exists():
+            print(f"oblv_lint: no such file: {path}", file=sys.stderr)
+            return 2
+        findings += lint_file(path, args.root)
+
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    if args.json:
+        print(json.dumps([f.as_json(args.root) for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render(args.root))
+        if findings:
+            print(f"oblv_lint: {len(findings)} finding(s)")
+        elif args.verbose:
+            print("oblv_lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""clang-tidy gate with a per-file suppression baseline.
+
+Runs clang-tidy (checks from the repo's .clang-tidy) over every src/
+translation unit in the compilation database and compares the warning
+counts against tools/lint/tidy_baseline.json, keyed
+
+    { "<repo-relative file>": { "<check-name>": <count>, ... }, ... }
+
+The gate is *zero new warnings*: any (file, check) pair whose count
+exceeds the baseline fails the run. Counts below the baseline are
+reported so the baseline can be ratcheted down with update_baseline.py.
+
+Results are cached per translation unit under --cache-dir, keyed on a
+hash of (clang-tidy version, .clang-tidy config, compile command, file
+contents). Header edits are *not* part of the key, so CI keys the cache
+directory on a hash of all sources; locally, delete the cache after
+header-heavy changes.
+
+clang-tidy is not part of the repo's build prerequisites: without
+--require a missing binary is a clean skip (exit 0) so `cmake --build
+build --target tidy` stays usable on build-only machines; CI passes
+--require to turn that into a failure.
+
+Exit status: 0 gate passed (or tool skipped), 1 new warnings, 2 usage
+error, 3 clang-tidy missing with --require.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+WARNING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[\w.,-]+)\]\s*$")
+
+TIDY_CANDIDATES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(22, 13, -1)]
+
+
+def find_clang_tidy() -> str | None:
+    override = os.environ.get("CLANG_TIDY")
+    if override:
+        return override if shutil.which(override) else None
+    for name in TIDY_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_compile_db(build_dir: Path) -> list[dict]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        raise SystemExit(
+            f"run_tidy: {db_path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default here)")
+    return json.loads(db_path.read_text())
+
+
+def gate_entries(db: list[dict], root: Path) -> list[dict]:
+    """The translation units the gate covers: first-party src/ only."""
+    src = (root / "src").resolve()
+    seen = set()
+    out = []
+    for entry in db:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        if src not in path.parents:
+            continue
+        if path in seen:
+            continue
+        seen.add(path)
+        entry = dict(entry)
+        entry["file"] = str(path)
+        out.append(entry)
+    return sorted(out, key=lambda e: e["file"])
+
+
+def entry_command(entry: dict) -> list[str]:
+    if "arguments" in entry:
+        return list(entry["arguments"])
+    return shlex.split(entry["command"])
+
+
+def cache_key(tidy_version: str, config: str, entry: dict) -> str:
+    h = hashlib.sha256()
+    h.update(tidy_version.encode())
+    h.update(config.encode())
+    h.update("\0".join(entry_command(entry)).encode())
+    h.update(Path(entry["file"]).read_bytes())
+    return h.hexdigest()
+
+
+def run_one(tidy: str, entry: dict, build_dir: Path, root: Path,
+            cache_dir: Path | None, tidy_version: str,
+            config: str) -> tuple[str, dict[str, int], str]:
+    """Returns (repo-relative file, {check: count}, raw output)."""
+    path = Path(entry["file"])
+    try:
+        rel = str(path.relative_to(root.resolve()))
+    except ValueError:
+        rel = str(path)
+
+    cache_file = None
+    if cache_dir is not None:
+        cache_file = cache_dir / f"{cache_key(tidy_version, config, entry)}.json"
+        if cache_file.exists():
+            cached = json.loads(cache_file.read_text())
+            return rel, cached["counts"], cached.get("output", "")
+
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet", str(path)],
+        capture_output=True, text=True)
+    counts: dict[str, int] = {}
+    kept_lines = []
+    for line in proc.stdout.splitlines():
+        m = WARNING_RE.match(line)
+        if not m:
+            continue
+        # Attribute every diagnostic to the TU that surfaced it, so the
+        # baseline stays keyed by things the gate actually re-runs.
+        for check in m.group("check").split(","):
+            counts[check] = counts.get(check, 0) + 1
+        kept_lines.append(line)
+    output = "\n".join(kept_lines)
+    if cache_file is not None:
+        cache_file.write_text(json.dumps({"counts": counts, "output": output}))
+    return rel, counts, output
+
+
+def collect(build_dir: Path, root: Path, cache_dir: Path | None,
+            jobs: int, require: bool) -> dict[str, dict[str, int]] | None:
+    """Warning counts per file, or None when clang-tidy is unavailable."""
+    tidy = find_clang_tidy()
+    if tidy is None:
+        if require:
+            print("run_tidy: clang-tidy not found and --require given",
+                  file=sys.stderr)
+            sys.exit(3)
+        print("run_tidy: clang-tidy not found; skipping (install clang-tidy "
+              "or set CLANG_TIDY to run the gate locally)")
+        return None
+
+    tidy_version = subprocess.run([tidy, "--version"], capture_output=True,
+                                  text=True).stdout.strip()
+    config_path = root / ".clang-tidy"
+    config = config_path.read_text() if config_path.exists() else ""
+    if cache_dir is not None:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+
+    entries = gate_entries(load_compile_db(build_dir), root)
+    if not entries:
+        raise SystemExit("run_tidy: no src/ entries in the compilation database")
+    print(f"run_tidy: {tidy} over {len(entries)} translation units")
+
+    results: dict[str, dict[str, int]] = {}
+    outputs: list[str] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(run_one, tidy, e, build_dir, root, cache_dir,
+                        tidy_version, config)
+            for e in entries
+        ]
+        for fut in concurrent.futures.as_completed(futures):
+            rel, counts, output = fut.result()
+            if counts:
+                results[rel] = counts
+            if output:
+                outputs.append(output)
+    for chunk in sorted(outputs):
+        print(chunk)
+    return results
+
+
+def compare(current: dict[str, dict[str, int]],
+            baseline: dict[str, dict[str, int]]) -> tuple[list[str], list[str]]:
+    """Returns (regressions, improvements) as printable lines."""
+    regressions = []
+    improvements = []
+    for rel in sorted(set(current) | set(baseline)):
+        cur = current.get(rel, {})
+        base = baseline.get(rel, {})
+        for check in sorted(set(cur) | set(base)):
+            c, b = cur.get(check, 0), base.get(check, 0)
+            if c > b:
+                regressions.append(f"{rel}: {check}: {c} (baseline {b})")
+            elif c < b:
+                improvements.append(f"{rel}: {check}: {c} (baseline {b})")
+    return regressions, improvements
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, default=Path("build"))
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parents[2])
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent / "tidy_baseline.json")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="cache per-TU results here (keyed on content hash)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 3) when clang-tidy is missing")
+    args = parser.parse_args(argv)
+
+    current = collect(args.build_dir, args.root.resolve(), args.cache_dir,
+                      args.jobs, args.require)
+    if current is None:
+        return 0
+
+    baseline: dict[str, dict[str, int]] = {}
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+
+    regressions, improvements = compare(current, baseline)
+    for line in improvements:
+        print(f"run_tidy: below baseline (ratchet down): {line}")
+    if improvements:
+        print("run_tidy: run tools/lint/update_baseline.py to lock in the wins")
+    if regressions:
+        print(f"run_tidy: {len(regressions)} new warning count(s) over baseline:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("run_tidy: gate passed (zero new warnings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,30 @@
+// Fixture: every D001 pattern, plus suppression and non-matches.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int ambient_entropy() {
+  std::random_device rd;  // line 7: fires D001
+  return static_cast<int>(rd());
+}
+
+void seed_globals() {
+  srand(42);                        // line 12: fires D001
+  int x = rand();                   // line 13: fires D001
+  long t = time(nullptr);           // line 14: fires D001
+  (void)x;
+  (void)t;
+}
+
+int justified_entropy() {
+  // oblv-lint: allow(D001) fixture demonstrating a justified suppression
+  std::random_device rd;  // suppressed by the allow above
+  return static_cast<int>(rd());
+}
+
+// A comment mentioning std::random_device and rand() must not fire.
+int not_actually_random() {
+  int operand = 1;   // identifier containing "rand" must not fire
+  int strand = 2;    // same
+  return operand + strand;
+}

@@ -1,0 +1,59 @@
+// Fixture: D002 unordered-container iteration detection.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::int64_t sum_loads() {
+  std::unordered_map<int, std::int64_t> load;
+  load[3] = 7;
+  std::int64_t total = 0;
+  for (const auto& [edge, count] : load) {  // line 11: fires D002
+    total += count;
+  }
+  return total;
+}
+
+int first_bucket() {
+  std::unordered_set<int> seen;
+  seen.insert(1);
+  return *seen.begin();  // line 20: fires D002
+}
+
+std::int64_t justified_sum() {
+  std::unordered_map<int, std::int64_t> load;
+  load[3] = 7;
+  std::int64_t total = 0;
+  // Addition commutes, so bucket order cannot change the total.
+  // oblv-lint: allow(D002) commutative accumulation
+  for (const auto& [edge, count] : load) {  // suppressed
+    total += count;
+  }
+  return total;
+}
+
+bool lookups_are_fine(int key) {
+  std::unordered_map<int, int> index;
+  index[1] = 2;
+  const auto it = index.find(key);  // lookup: no finding
+  return it != index.end() && index.count(key) > 0;
+}
+
+std::int64_t ordered_is_fine(const std::vector<int>& xs) {
+  std::int64_t total = 0;
+  for (const int x : xs) total += x;  // ordered container: no finding
+  return total;
+}
+
+// A declaration spanning lines must still register the variable name.
+std::int64_t multiline_decl() {
+  std::unordered_map<std::int64_t,
+                     std::pair<int, std::int64_t>>
+      crossings;
+  crossings[0] = {1, 2};
+  std::int64_t total = 0;
+  for (const auto& [key, entry] : crossings) {  // line 55: fires D002
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,6 @@
+// Fixture: std::function outside routing/mesh is not a D003.
+#include <functional>
+
+using Callback = std::function<void()>;  // analysis/: no finding
+
+void run(const Callback& cb) { cb(); }

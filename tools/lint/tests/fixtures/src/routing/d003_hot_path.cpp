@@ -1,0 +1,18 @@
+// Fixture: D003 std::function on a routing hot path.
+#include <functional>
+
+// A comment mentioning std::function must not fire (the real
+// hierarchical.cpp has exactly such a comment).
+using Visitor = std::function<void(int)>;  // line 6: fires D003
+
+void visit_all(const Visitor& visit) { visit(0); }
+
+// oblv-lint: allow(D003) cold path: test-only enumeration helper
+void visit_allowlisted(const std::function<void(int)>& visit) {  // suppressed
+  visit(1);
+}
+
+template <typename Fn>
+void visit_fast(Fn&& visit) {  // template callable: no finding
+  visit(2);
+}

@@ -1,0 +1,11 @@
+// Fixture: an allowlist comment without a justification is itself flagged.
+#include <unordered_map>
+
+int no_reason_given() {
+  std::unordered_map<int, int> m;
+  m[1] = 2;
+  int total = 0;
+  // oblv-lint: allow(D002)
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}

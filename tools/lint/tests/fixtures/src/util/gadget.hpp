@@ -1,0 +1,5 @@
+// Fixture header WITH precondition documentation: C001 stays quiet.
+#pragma once
+
+// \pre level >= 0.
+int gadget_frob(int level);

