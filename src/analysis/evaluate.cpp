@@ -5,20 +5,13 @@
 
 #include "analysis/congestion.hpp"
 #include "obs/metrics.hpp"
+#include "parallel/route_batch.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious {
-
-// Path-length histograms sample every 16th packet and weight each sample
-// by the stride: the one-bend hot loop is ~100ns/packet and an exhaustive
-// per-packet histogram bump (~10ns) would blow the <2% observability
-// budget enforced by bench_p5_obs_overhead. The stride is a power of two
-// and keyed on the packet index, so the sample set is deterministic and
-// identical for the serial and parallel entry points.
-constexpr std::size_t kLengthSampleStride = 16;
 
 std::vector<Path> route_all(const Mesh& mesh, const Router& router,
                             const RoutingProblem& problem,
@@ -30,26 +23,25 @@ std::vector<Path> route_all(const Mesh& mesh, const Router& router,
   const bool obs_on = obs::metrics_enabled();
   WallTimer timer;
   IntHistogram path_lengths;
-  std::vector<Path> paths;
-  paths.reserve(problem.size());
+  RouteScratch scratch;
+  std::vector<Path> paths(problem.size());
   for (std::size_t i = 0; i < problem.demands.size(); ++i) {
     const Demand& demand = problem.demands[i];
     OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
                      demand.dst >= 0 && demand.dst < mesh.num_nodes(),
                  "demand endpoints must be mesh nodes");
     const std::uint64_t bits_before = meter.bits;
-    Path path = router.route(demand.src, demand.dst, rng);
-    OBLV_CHECK(!path.nodes.empty() && path.source() == demand.src &&
-                   path.destination() == demand.dst,
+    router.route_into(demand.src, demand.dst, rng, scratch, paths[i]);
+    OBLV_CHECK(!paths[i].nodes.empty() && paths[i].source() == demand.src &&
+                   paths[i].destination() == demand.dst,
                "router returned a path with wrong endpoints");
-    if (options.erase_cycles) path = remove_cycles(std::move(path));
+    if (options.erase_cycles) paths[i] = remove_cycles(std::move(paths[i]));
     if (bits_per_packet != nullptr && options.meter_bits) {
       bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
     }
-    if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
-      path_lengths.add(path.length(), kLengthSampleStride);
+    if (obs_on && (i & (kPathLengthSampleStride - 1)) == 0) {
+      path_lengths.add(paths[i].length(), kPathLengthSampleStride);
     }
-    paths.push_back(std::move(path));
   }
   if (obs_on) {
     OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
@@ -61,6 +53,52 @@ std::vector<Path> route_all(const Mesh& mesh, const Router& router,
     }
   }
   return paths;
+}
+
+void route_all_segments_into(const Mesh& mesh, const Router& router,
+                             const RoutingProblem& problem,
+                             const RouteAllOptions& options,
+                             RouteScratch& scratch,
+                             std::vector<SegmentPath>& paths,
+                             RunningStats* bits_per_packet) {
+  Rng rng(options.seed);
+  BitMeter meter;
+  if (options.meter_bits) rng.attach_meter(&meter);
+  const bool obs_on = obs::metrics_enabled();
+  WallTimer timer;
+  IntHistogram path_lengths;
+  paths.resize(problem.size());
+  for (std::size_t i = 0; i < problem.demands.size(); ++i) {
+    const Demand& demand = problem.demands[i];
+    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
+                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
+                 "demand endpoints must be mesh nodes");
+    const std::uint64_t bits_before = meter.bits;
+    router.route_segments_into(demand.src, demand.dst, rng, scratch, paths[i]);
+    OBLV_CHECK(paths[i].source == demand.src &&
+                   paths[i].destination() == demand.dst,
+               "router returned a path with wrong endpoints");
+    if (options.erase_cycles) {
+      // Loop erasure needs the node sequence; round-trip through it.
+      paths[i] = segments_from_path(
+          mesh, remove_cycles(path_from_segments(mesh, paths[i])));
+    }
+    if (bits_per_packet != nullptr && options.meter_bits) {
+      bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
+    }
+    if (obs_on && (i & (kPathLengthSampleStride - 1)) == 0) {
+      path_lengths.add(paths[i].length(), kPathLengthSampleStride);
+    }
+  }
+  if (obs_on) {
+    OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
+    OBLV_COUNTER_ADD("routing.packets", problem.size());
+    OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
+    if (options.meter_bits) {
+      OBLV_COUNTER_ADD("routing.rng_bits", meter.bits);
+      OBLV_COUNTER_ADD("routing.rng_draws", meter.draws);
+    }
+  }
 }
 
 std::vector<SegmentPath> route_all_segments(const Mesh& mesh,
@@ -68,118 +106,34 @@ std::vector<SegmentPath> route_all_segments(const Mesh& mesh,
                                             const RoutingProblem& problem,
                                             const RouteAllOptions& options,
                                             RunningStats* bits_per_packet) {
-  Rng rng(options.seed);
-  BitMeter meter;
-  if (options.meter_bits) rng.attach_meter(&meter);
-  const bool obs_on = obs::metrics_enabled();
-  WallTimer timer;
-  IntHistogram path_lengths;
+  RouteScratch scratch;
   std::vector<SegmentPath> paths;
-  paths.reserve(problem.size());
-  for (std::size_t i = 0; i < problem.demands.size(); ++i) {
-    const Demand& demand = problem.demands[i];
-    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
-                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
-                 "demand endpoints must be mesh nodes");
-    const std::uint64_t bits_before = meter.bits;
-    SegmentPath sp = router.route_segments(demand.src, demand.dst, rng);
-    OBLV_CHECK(sp.source == demand.src && sp.destination() == demand.dst,
-               "router returned a path with wrong endpoints");
-    if (options.erase_cycles) {
-      // Loop erasure needs the node sequence; round-trip through it.
-      sp = segments_from_path(
-          mesh, remove_cycles(path_from_segments(mesh, sp)));
-    }
-    if (bits_per_packet != nullptr && options.meter_bits) {
-      bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
-    }
-    if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
-      path_lengths.add(sp.length(), kLengthSampleStride);
-    }
-    paths.push_back(std::move(sp));
-  }
-  if (obs_on) {
-    OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
-    OBLV_COUNTER_ADD("routing.packets", problem.size());
-    OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
-    if (options.meter_bits) {
-      OBLV_COUNTER_ADD("routing.rng_bits", meter.bits);
-      OBLV_COUNTER_ADD("routing.rng_draws", meter.draws);
-    }
-  }
+  route_all_segments_into(mesh, router, problem, options, scratch, paths,
+                          bits_per_packet);
   return paths;
-}
-
-// Per-packet RNG stream shared by every parallel routing entry point: the
-// stream depends only on (seed, packet index), never on threading.
-static Rng packet_rng(std::uint64_t seed, std::size_t i) {
-  return Rng(splitmix64(seed ^ splitmix64(static_cast<std::uint64_t>(i))));
 }
 
 std::vector<Path> route_all_parallel(const Mesh& mesh, const Router& router,
                                      const RoutingProblem& problem,
                                      ThreadPool& pool, std::uint64_t seed) {
-  for (const Demand& demand : problem.demands) {
-    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
-                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
-                 "demand endpoints must be mesh nodes");
-  }
-  WallTimer timer;
-  std::vector<Path> paths(problem.size());
-  parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
-    const bool obs_on = obs::metrics_enabled();
-    IntHistogram path_lengths;
-    for (std::size_t i = begin; i < end; ++i) {
-      const Demand& demand = problem.demands[i];
-      Rng rng = packet_rng(seed, i);
-      paths[i] = router.route(demand.src, demand.dst, rng);
-      OBLV_CHECK(!paths[i].nodes.empty() && paths[i].source() == demand.src &&
-                     paths[i].destination() == demand.dst,
-                 "router returned a path with wrong endpoints");
-      if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
-        path_lengths.add(paths[i].length(), kLengthSampleStride);
-      }
-    }
-    if (obs_on) {
-      // Per-chunk flush into this worker's thread-local shard.
-      OBLV_COUNTER_ADD("routing.packets", end - begin);
-      OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
-    }
-  });
-  OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
+  OBLV_REQUIRE(&mesh == &router.mesh(), "problem mesh must be the router's");
+  RouteBatchOptions options;
+  options.seed = seed;
+  std::vector<Path> paths;
+  route_batch_paths(router, std::span<const Demand>(problem.demands), pool,
+                    options, paths);
   return paths;
 }
 
 std::vector<SegmentPath> route_all_segments_parallel(
     const Mesh& mesh, const Router& router, const RoutingProblem& problem,
     ThreadPool& pool, std::uint64_t seed) {
-  for (const Demand& demand : problem.demands) {
-    OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
-                     demand.dst >= 0 && demand.dst < mesh.num_nodes(),
-                 "demand endpoints must be mesh nodes");
-  }
-  WallTimer timer;
-  std::vector<SegmentPath> paths(problem.size());
-  parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
-    const bool obs_on = obs::metrics_enabled();
-    IntHistogram path_lengths;
-    for (std::size_t i = begin; i < end; ++i) {
-      const Demand& demand = problem.demands[i];
-      Rng rng = packet_rng(seed, i);
-      paths[i] = router.route_segments(demand.src, demand.dst, rng);
-      OBLV_CHECK(paths[i].source == demand.src &&
-                     paths[i].destination() == demand.dst,
-                 "router returned a path with wrong endpoints");
-      if (obs_on && (i & (kLengthSampleStride - 1)) == 0) {
-        path_lengths.add(paths[i].length(), kLengthSampleStride);
-      }
-    }
-    if (obs_on) {
-      OBLV_COUNTER_ADD("routing.packets", end - begin);
-      OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
-    }
-  });
-  OBLV_STAT_RECORD("routing.route_seconds", timer.elapsed_seconds());
+  OBLV_REQUIRE(&mesh == &router.mesh(), "problem mesh must be the router's");
+  RouteBatchOptions options;
+  options.seed = seed;
+  std::vector<SegmentPath> paths;
+  route_batch(router, std::span<const Demand>(problem.demands), pool, options,
+              paths);
   return paths;
 }
 
@@ -285,10 +239,12 @@ RouteSetMetrics route_and_measure_parallel(
     const bool obs_on = obs::metrics_enabled();
     IntHistogram path_lengths;
     EdgeLoadMap shard(mesh);
+    RouteScratch scratch;
     for (std::size_t i = begin; i < end; ++i) {
       const Demand& demand = problem.demands[i];
       Rng rng = packet_rng(seed, i);
-      paths[i] = router.route_segments(demand.src, demand.dst, rng);
+      router.route_segments_into(demand.src, demand.dst, rng, scratch,
+                                 paths[i]);
       OBLV_CHECK(paths[i].source == demand.src &&
                      paths[i].destination() == demand.dst,
                  "router returned a path with wrong endpoints");

@@ -56,6 +56,18 @@ std::vector<SegmentPath> route_all_segments(const Mesh& mesh,
                                             const RouteAllOptions& options,
                                             RunningStats* bits_per_packet = nullptr);
 
+// Buffer-reusing core of route_all_segments: routes into `paths` (resized
+// to the problem; surviving entries keep their heap capacity) and threads
+// `scratch` through every packet, so a caller looping over many problems
+// or trials pays no steady-state allocation. Same seed handling and draw
+// order as route_all_segments -- the results are byte-identical.
+void route_all_segments_into(const Mesh& mesh, const Router& router,
+                             const RoutingProblem& problem,
+                             const RouteAllOptions& options,
+                             RouteScratch& scratch,
+                             std::vector<SegmentPath>& paths,
+                             RunningStats* bits_per_packet = nullptr);
+
 // Parallel batch routing: demands are routed concurrently on the pool.
 // Because path selection is oblivious, parallelism is trivially safe; the
 // per-packet rng is derived deterministically from (seed, packet index),

@@ -27,18 +27,21 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
     const bool obs_on = obs::metrics_enabled();
     RunningStats trial_seconds;
     IntHistogram congestion_hist;
-    // Both accumulators live across the whole trial range: the load map is
-    // cleared (not reallocated) between trials.
+    // Every buffer lives across the whole trial range: the load map is
+    // cleared (not reallocated) between trials, and the path vector plus
+    // routing scratch keep their capacity, so trial t>begin routes with
+    // zero steady-state allocation.
     std::vector<double> local_sums(static_cast<std::size_t>(mesh.num_edges()),
                                    0.0);
     EdgeLoadMap loads(mesh);
+    RouteScratch scratch;
+    std::vector<SegmentPath> paths;
     for (std::size_t t = begin; t < end; ++t) {
       WallTimer trial_timer;
       RouteAllOptions options;
       options.seed = base_seed + t;
       options.meter_bits = false;
-      const std::vector<SegmentPath> paths =
-          route_all_segments(mesh, router, problem, options);
+      route_all_segments_into(mesh, router, problem, options, scratch, paths);
       loads.clear();
       loads.add_segment_paths(paths);
       local.congestion.add(static_cast<double>(loads.max_load()));

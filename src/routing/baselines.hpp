@@ -23,6 +23,10 @@ class DimensionOrderRouter final : public Router {
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
   SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
+  void route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                  Path& out) const override;
+  void route_segments_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                           SegmentPath& out) const override;
   std::string name() const override { return "ecube"; }
   bool deterministic() const override { return true; }
 };
@@ -33,6 +37,10 @@ class RandomDimOrderRouter final : public Router {
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
   SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
+  void route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                  Path& out) const override;
+  void route_segments_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                           SegmentPath& out) const override;
   std::string name() const override { return "random-dim-order"; }
 };
 
@@ -42,6 +50,10 @@ class ValiantRouter final : public Router {
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
   SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
+  void route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                  Path& out) const override;
+  void route_segments_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                           SegmentPath& out) const override;
   std::string name() const override { return "valiant"; }
 };
 

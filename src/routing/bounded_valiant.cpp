@@ -51,33 +51,37 @@ Region BoundedValiantRouter::box_for(NodeId s, NodeId t) const {
   return Region(std::move(anchor), std::move(extent));
 }
 
-Path BoundedValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
+void BoundedValiantRouter::route_into(NodeId s, NodeId t, Rng& rng,
+                                      RouteScratch& /*scratch*/,
+                                      Path& out) const {
   expects_route_args(s, t);
-  if (s == t) return Path{{s}};
+  out.nodes.clear();
+  out.nodes.push_back(s);
+  if (s == t) return;
   const Coord cs = mesh_->coord(s);
   const Coord ct = mesh_->coord(t);
   const Region box = box_for(s, t);
   const Coord mid = box.random_coord(*mesh_, rng);
 
-  Path path;
-  path.nodes.push_back(s);
   const auto order1 = rng.random_permutation(mesh_->dim());
   append_path_in_region(*mesh_, box, cs, mid,
-                        std::span<const int>(order1.data(), order1.size()), path);
+                        std::span<const int>(order1.data(), order1.size()),
+                        out);
   const auto order2 = rng.random_permutation(mesh_->dim());
   append_path_in_region(*mesh_, box, mid, ct,
-                        std::span<const int>(order2.data(), order2.size()), path);
-  ensures_route_result(s, t, path);
-  return path;
+                        std::span<const int>(order2.data(), order2.size()),
+                        out);
+  ensures_route_result(s, t, out);
 }
 
-SegmentPath BoundedValiantRouter::route_segments(NodeId s, NodeId t,
-                                                 Rng& rng) const {
+void BoundedValiantRouter::route_segments_into(NodeId s, NodeId t, Rng& rng,
+                                               RouteScratch& /*scratch*/,
+                                               SegmentPath& out) const {
   expects_route_args(s, t);
-  SegmentPath sp;
-  sp.source = s;
-  sp.dest = t;
-  if (s == t) return sp;
+  out.segments.clear();
+  out.source = s;
+  out.dest = t;
+  if (s == t) return;
   const Coord cs = mesh_->coord(s);
   const Coord ct = mesh_->coord(t);
   const Region box = box_for(s, t);
@@ -86,12 +90,26 @@ SegmentPath BoundedValiantRouter::route_segments(NodeId s, NodeId t,
   const auto order1 = rng.random_permutation(mesh_->dim());
   append_segments_in_region(*mesh_, box, cs, mid,
                             std::span<const int>(order1.data(), order1.size()),
-                            sp);
+                            out);
   const auto order2 = rng.random_permutation(mesh_->dim());
   append_segments_in_region(*mesh_, box, mid, ct,
                             std::span<const int>(order2.data(), order2.size()),
-                            sp);
-  ensures_route_result(s, t, sp);
+                            out);
+  ensures_route_result(s, t, out);
+}
+
+Path BoundedValiantRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  RouteScratch scratch;
+  Path path;
+  route_into(s, t, rng, scratch, path);
+  return path;
+}
+
+SegmentPath BoundedValiantRouter::route_segments(NodeId s, NodeId t,
+                                                 Rng& rng) const {
+  RouteScratch scratch;
+  SegmentPath sp;
+  route_segments_into(s, t, rng, scratch, sp);
   return sp;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mesh/contracts.hpp"
+#include "obs/metrics.hpp"
 #include "routing/one_bend.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
@@ -26,55 +27,66 @@ inline void append_leg(const Mesh& mesh, const Region& region,
   append_segments_in_region(mesh, region, from, to, order, out);
 }
 
-// Connects the waypoints of a bitonic chain. `chain` holds the regions of
-// the bitonic access-graph path (ascent over s, bridge, descent over t) and
-// `up_count` how many of them belong to the ascent; waypoint i is drawn in
-// chain[i] and the subpath to it stays inside the *enclosing* region --
-// chain[i] while ascending (it contains the previous, smaller region) and
-// chain[i-1] while descending. The final leg runs to t inside the last
-// chain region. Templated on the waypoint/order callbacks (no per-waypoint
-// std::function allocations) and on the output representation.
+// Resets a caller-owned output to the empty path at s (capacity retained).
+inline void reset_path(NodeId s, NodeId /*t*/, Path& out) {
+  out.nodes.clear();
+  out.nodes.push_back(s);
+}
+inline void reset_path(NodeId s, NodeId t, SegmentPath& out) {
+  out.segments.clear();
+  out.source = s;
+  out.dest = t;
+}
+
+// Connects the waypoints of a bitonic chain into `out`. `chain` holds the
+// regions of the bitonic access-graph path (ascent over s, bridge, descent
+// over t) and `up_count` how many of them belong to the ascent; waypoint i
+// is drawn in chain[i] and the subpath to it stays inside the *enclosing*
+// region -- chain[i] while ascending (it contains the previous, smaller
+// region) and chain[i-1] while descending. The final leg runs to t inside
+// the last chain region. Templated on the waypoint/order callbacks (no
+// per-waypoint std::function allocations) and on the output
+// representation; `out` is cleared first, so with retained capacity the
+// whole emission is allocation-free.
 template <typename PathT, typename WaypointFn, typename OrderFn>
-PathT connect_chain(const Mesh& mesh, const std::vector<Region>& chain,
-                    std::size_t up_count, const Coord& cs, const Coord& ct,
-                    NodeId s, NodeId t, const WaypointFn& waypoint,
-                    const OrderFn& order_for) {
+void connect_chain_into(const Mesh& mesh, const std::vector<Region>& chain,
+                        std::size_t up_count, const Coord& cs, const Coord& ct,
+                        NodeId s, NodeId t, const WaypointFn& waypoint,
+                        const OrderFn& order_for, PathT& out) {
   OBLV_CHECK(!chain.empty(), "bitonic chain cannot be empty");
   OBLV_EXPECTS(contracts::validate_bitonic_chain(mesh, chain, up_count),
                "Sections 3.2/4.1: chain regions must grow to the bridge and "
                "shrink after it, each containing its smaller neighbour");
-  PathT path;
-  if constexpr (std::is_same_v<PathT, Path>) {
-    (void)t;
-    path.nodes.push_back(s);
-  } else {
-    path.source = s;
-    path.dest = t;
-  }
+  reset_path(s, t, out);
   Coord cur = cs;
   for (std::size_t i = 0; i < chain.size(); ++i) {
     const Coord nxt = waypoint(chain[i], i);
     const Region& enclosing = (i <= up_count) ? chain[i] : chain[i - 1];
     const auto order = order_for(i);
     append_leg(mesh, enclosing, cur, nxt,
-               std::span<const int>(order.data(), order.size()), path);
+               std::span<const int>(order.data(), order.size()), out);
     cur = nxt;
   }
   const auto order = order_for(chain.size());
   append_leg(mesh, chain.back(), cur, ct,
-             std::span<const int>(order.data(), order.size()), path);
-  return path;
+             std::span<const int>(order.data(), order.size()), out);
 }
 
-template <typename PathT>
-PathT trivial_path(NodeId s) {
-  if constexpr (std::is_same_v<PathT, Path>) {
-    return Path{{s}};
+inline void trivial_path_into(NodeId s, Path& out) {
+  out.nodes.clear();
+  out.nodes.push_back(s);
+}
+inline void trivial_path_into(NodeId s, SegmentPath& out) {
+  out.segments.clear();
+  out.source = s;
+  out.dest = s;
+}
+
+inline void count_plan_cache(bool hit) {
+  if (hit) {
+    OBLV_COUNTER_ADD("routing.plan_cache.hits", 1);
   } else {
-    SegmentPath sp;
-    sp.source = s;
-    sp.dest = s;
-    return sp;
+    OBLV_COUNTER_ADD("routing.plan_cache.misses", 1);
   }
 }
 
@@ -84,68 +96,107 @@ PathT trivial_path(NodeId s) {
 // AncestorRouter (Section 3)
 // ---------------------------------------------------------------------------
 
-AncestorRouter::AncestorRouter(const Mesh& mesh, Hierarchy hierarchy)
+AncestorRouter::AncestorRouter(const Mesh& mesh, Hierarchy hierarchy,
+                               std::size_t plan_cache_capacity)
     : Router(mesh),
       decomp_(mesh, DecompositionConfig::section3()),
-      hierarchy_(hierarchy) {}
+      hierarchy_(hierarchy),
+      plan_cache_(plan_cache_capacity) {}
 
 std::string AncestorRouter::name() const {
   return hierarchy_ == Hierarchy::kAccessTree ? "access-tree" : "hierarchical-2d";
 }
 
-RegularSubmesh AncestorRouter::bridge_for(NodeId s, NodeId t) const {
-  return decomp_.deepest_common(mesh_->coord(s), mesh_->coord(t),
-                                hierarchy_ == Hierarchy::kAccessGraph);
+RegularSubmesh AncestorRouter::bridge_at(const Coord& cs,
+                                         const Coord& ct) const {
+  return decomp_.deepest_common(cs, ct, hierarchy_ == Hierarchy::kAccessGraph);
 }
 
-template <typename PathT>
-PathT AncestorRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
-  if (s == t) return trivial_path<PathT>(s);
-  const Coord cs = mesh_->coord(s);
-  const Coord ct = mesh_->coord(t);
+RegularSubmesh AncestorRouter::bridge_for(NodeId s, NodeId t) const {
+  return bridge_at(mesh_->coord(s), mesh_->coord(t));
+}
+
+void AncestorRouter::build_chain(const Coord& cs, const Coord& ct,
+                                 std::vector<Region>& chain,
+                                 std::size_t& up_count) const {
   const int k = decomp_.leaf_level();
-  const RegularSubmesh bridge =
-      decomp_.deepest_common(cs, ct, hierarchy_ == Hierarchy::kAccessGraph);
+  const RegularSubmesh bridge = bridge_at(cs, ct);
   OBLV_CHECK(bridge.level < k, "distinct nodes cannot share a leaf submesh");
 
   // Bitonic chain: type-1 ancestors of s at levels k-1 .. bridge.level+1,
   // the bridge, then type-1 ancestors of t back down.
-  std::vector<Region> chain;
+  chain.clear();
   chain.reserve(static_cast<std::size_t>(2 * (k - bridge.level)) + 1);
   for (int level = k - 1; level > bridge.level; --level) {
     chain.push_back(decomp_.type1_at(cs, level).region);
   }
-  const std::size_t up_count = chain.size();
+  up_count = chain.size();
   chain.push_back(bridge.region);
   for (int level = bridge.level + 1; level <= k - 1; ++level) {
     chain.push_back(decomp_.type1_at(ct, level).region);
   }
+}
 
-  return connect_chain<PathT>(
-      *mesh_, chain, up_count, cs, ct, s, t,
+template <typename PathT>
+void AncestorRouter::route_into_impl(NodeId s, NodeId t, Rng& rng,
+                                     RouteScratch& scratch, PathT& out) const {
+  if (s == t) {
+    trivial_path_into(s, out);
+    return;
+  }
+  const Coord cs = mesh_->coord(s);
+  const Coord ct = mesh_->coord(t);
+  std::size_t up_count = 0;
+  int bridge_level = 0;
+  const bool hit = plan_cache_.lookup(s, t, mesh_->dim(), scratch.chain,
+                                      up_count, bridge_level);
+  if (!hit) {
+    build_chain(cs, ct, scratch.chain, up_count);
+    plan_cache_.insert(s, t, mesh_->dim(), scratch.chain, up_count,
+                       /*bridge_level=*/0);
+  }
+  count_plan_cache(hit);
+
+  connect_chain_into<PathT>(
+      *mesh_, scratch.chain, up_count, cs, ct, s, t,
       [&](const Region& region, std::size_t) {
         return region.random_coord(*mesh_, rng);
       },
-      [&](std::size_t) { return rng.random_permutation(mesh_->dim()); });
+      [&](std::size_t) { return rng.random_permutation(mesh_->dim()); }, out);
+}
+
+void AncestorRouter::route_into(NodeId s, NodeId t, Rng& rng,
+                                RouteScratch& scratch, Path& out) const {
+  expects_route_args(s, t);
+  route_into_impl(s, t, rng, scratch, out);
+  ensures_route_result(s, t, out);
+  OBLV_ENSURES(hierarchy_ != Hierarchy::kAccessGraph || mesh_->dim() != 2 ||
+                   contracts::validate_stretch_bound(*mesh_, out, 2),
+               "Theorem 3.4: 2D access-graph stretch must be <= 64");
+}
+
+void AncestorRouter::route_segments_into(NodeId s, NodeId t, Rng& rng,
+                                         RouteScratch& scratch,
+                                         SegmentPath& out) const {
+  expects_route_args(s, t);
+  route_into_impl(s, t, rng, scratch, out);
+  ensures_route_result(s, t, out);
+  OBLV_ENSURES(hierarchy_ != Hierarchy::kAccessGraph || mesh_->dim() != 2 ||
+                   contracts::validate_stretch_bound(*mesh_, out, 2),
+               "Theorem 3.4: 2D access-graph stretch must be <= 64");
 }
 
 Path AncestorRouter::route(NodeId s, NodeId t, Rng& rng) const {
-  expects_route_args(s, t);
-  Path p = route_impl<Path>(s, t, rng);
-  ensures_route_result(s, t, p);
-  OBLV_ENSURES(hierarchy_ != Hierarchy::kAccessGraph || mesh_->dim() != 2 ||
-                   contracts::validate_stretch_bound(*mesh_, p, 2),
-               "Theorem 3.4: 2D access-graph stretch must be <= 64");
+  RouteScratch scratch;
+  Path p;
+  route_into(s, t, rng, scratch, p);
   return p;
 }
 
 SegmentPath AncestorRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
-  expects_route_args(s, t);
-  SegmentPath sp = route_impl<SegmentPath>(s, t, rng);
-  ensures_route_result(s, t, sp);
-  OBLV_ENSURES(hierarchy_ != Hierarchy::kAccessGraph || mesh_->dim() != 2 ||
-                   contracts::validate_stretch_bound(*mesh_, sp, 2),
-               "Theorem 3.4: 2D access-graph stretch must be <= 64");
+  RouteScratch scratch;
+  SegmentPath sp;
+  route_segments_into(s, t, rng, scratch, sp);
   return sp;
 }
 
@@ -154,11 +205,13 @@ SegmentPath AncestorRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
 // ---------------------------------------------------------------------------
 
 NdRouter::NdRouter(const Mesh& mesh, RandomnessMode mode,
-                   BridgeHeightMode bridge_mode)
+                   BridgeHeightMode bridge_mode,
+                   std::size_t plan_cache_capacity)
     : Router(mesh),
       decomp_(Decomposition::section4(mesh)),
       mode_(mode),
-      bridge_mode_(bridge_mode) {}
+      bridge_mode_(bridge_mode),
+      plan_cache_(plan_cache_capacity) {}
 
 std::string NdRouter::name() const {
   return mode_ == RandomnessMode::kNaive ? "hierarchical-nd"
@@ -181,10 +234,9 @@ std::pair<int, int> NdRouter::heights_for(NodeId s, NodeId t) const {
   return {std::max(m1_height, 0), bridge_height};
 }
 
-RegularSubmesh NdRouter::find_bridge(const Coord& cs, const Coord& ct,
-                                     int m1_level, int bridge_level) const {
-  const RegularSubmesh m1 = decomp_.type1_at(cs, m1_level);
-  const RegularSubmesh m3 = decomp_.type1_at(ct, m1_level);
+RegularSubmesh NdRouter::find_bridge(const Coord& cs, const RegularSubmesh& m1,
+                                     const RegularSubmesh& m3,
+                                     int bridge_level) const {
   // Lemma 4.1: at the prescribed level one of the shifted families
   // contains the bounding box of s and t (and, by grid alignment, the
   // whole of M1 and M3). Near the boundary of a non-torus mesh truncation
@@ -206,42 +258,68 @@ RegularSubmesh NdRouter::find_bridge(const Coord& cs, const Coord& ct,
 RegularSubmesh NdRouter::bridge_for(NodeId s, NodeId t) const {
   const auto [m1_height, bridge_height] = heights_for(s, t);
   const int k = decomp_.leaf_level();
-  return find_bridge(mesh_->coord(s), mesh_->coord(t), k - m1_height,
-                     k - bridge_height);
+  const Coord cs = mesh_->coord(s);
+  const RegularSubmesh m1 = decomp_.type1_at(cs, k - m1_height);
+  const RegularSubmesh m3 = decomp_.type1_at(mesh_->coord(t), k - m1_height);
+  return find_bridge(cs, m1, m3, k - bridge_height);
 }
 
-template <typename PathT>
-PathT NdRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
-  if (s == t) return trivial_path<PathT>(s);
-  const Coord cs = mesh_->coord(s);
-  const Coord ct = mesh_->coord(t);
+void NdRouter::build_chain(NodeId s, NodeId t, const Coord& cs,
+                           const Coord& ct, std::vector<Region>& chain,
+                           std::size_t& up_count, int& bridge_level) const {
   const int k = decomp_.leaf_level();
-  const int d = mesh_->dim();
   const auto [m1_height, bridge_height] = heights_for(s, t);
-
-  const RegularSubmesh bridge =
-      find_bridge(cs, ct, k - m1_height, k - bridge_height);
+  // One type1_at per endpoint: M1 and M3 anchor both the chain ends and
+  // the bridge search (find_bridge reuses them instead of recomputing).
+  const RegularSubmesh m1 = decomp_.type1_at(cs, k - m1_height);
+  const RegularSubmesh m3 = decomp_.type1_at(ct, k - m1_height);
+  const RegularSubmesh bridge = find_bridge(cs, m1, m3, k - bridge_height);
 
   // Chain: ascent over s at heights 1..m1_height, the bridge, descent over
   // t at heights m1_height..1.
-  std::vector<Region> chain;
+  chain.clear();
   chain.reserve(static_cast<std::size_t>(2 * m1_height) + 1);
-  for (int height = 1; height <= m1_height; ++height) {
+  for (int height = 1; height < m1_height; ++height) {
     chain.push_back(decomp_.type1_at(cs, k - height).region);
   }
-  const std::size_t up_count = chain.size();
+  if (m1_height >= 1) chain.push_back(m1.region);
+  up_count = chain.size();
   chain.push_back(bridge.region);
-  for (int height = m1_height; height >= 1; --height) {
+  if (m1_height >= 1) chain.push_back(m3.region);
+  for (int height = m1_height - 1; height >= 1; --height) {
     chain.push_back(decomp_.type1_at(ct, k - height).region);
   }
+  bridge_level = bridge.level;
+}
+
+template <typename PathT>
+void NdRouter::route_into_impl(NodeId s, NodeId t, Rng& rng,
+                               RouteScratch& scratch, PathT& out) const {
+  if (s == t) {
+    trivial_path_into(s, out);
+    return;
+  }
+  const Coord cs = mesh_->coord(s);
+  const Coord ct = mesh_->coord(t);
+  const int d = mesh_->dim();
+  std::size_t up_count = 0;
+  int bridge_level = 0;
+  const bool hit =
+      plan_cache_.lookup(s, t, d, scratch.chain, up_count, bridge_level);
+  if (!hit) {
+    build_chain(s, t, cs, ct, scratch.chain, up_count, bridge_level);
+    plan_cache_.insert(s, t, d, scratch.chain, up_count, bridge_level);
+  }
+  count_plan_cache(hit);
 
   if (mode_ == RandomnessMode::kNaive) {
-    return connect_chain<PathT>(
-        *mesh_, chain, up_count, cs, ct, s, t,
+    connect_chain_into<PathT>(
+        *mesh_, scratch.chain, up_count, cs, ct, s, t,
         [&](const Region& region, std::size_t) {
           return region.random_coord(*mesh_, rng);
         },
-        [&](std::size_t) { return rng.random_permutation(d); });
+        [&](std::size_t) { return rng.random_permutation(d); }, out);
+    return;
   }
 
   // Frugal mode (Section 5.3): one dimension order for the whole path and
@@ -249,7 +327,7 @@ PathT NdRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
   // smaller submeshes reuse their low-order bits, alternating between v1
   // and v2 so that the two endpoints of every subpath stay independent.
   const auto order = rng.random_permutation(d);
-  const int bh = decomp_.height_of(bridge.level);
+  const int bh = decomp_.height_of(bridge_level);
   Coord v1;
   Coord v2;
   v1.resize(static_cast<std::size_t>(d));
@@ -258,8 +336,8 @@ PathT NdRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
     v1[dd] = static_cast<std::int64_t>(rng.bits(bh));
     v2[dd] = static_cast<std::int64_t>(rng.bits(bh));
   }
-  return connect_chain<PathT>(
-      *mesh_, chain, up_count, cs, ct, s, t,
+  connect_chain_into<PathT>(
+      *mesh_, scratch.chain, up_count, cs, ct, s, t,
       [&](const Region& region, std::size_t i) {
         const Coord& v = (i % 2 == 0) ? v1 : v2;
         Coord off;
@@ -272,26 +350,41 @@ PathT NdRouter::route_impl(NodeId s, NodeId t, Rng& rng) const {
         }
         return region.coord_at(*mesh_, off);
       },
-      [&](std::size_t) { return order; });
+      [&](std::size_t) { return order; }, out);
+}
+
+void NdRouter::route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                          Path& out) const {
+  expects_route_args(s, t);
+  route_into_impl(s, t, rng, scratch, out);
+  ensures_route_result(s, t, out);
+  OBLV_ENSURES(bridge_mode_ != BridgeHeightMode::kPrescribed ||
+                   contracts::validate_stretch_bound(*mesh_, out, mesh_->dim()),
+               "Theorem 4.2: stretch must be <= 40 d (d+1)");
+}
+
+void NdRouter::route_segments_into(NodeId s, NodeId t, Rng& rng,
+                                   RouteScratch& scratch,
+                                   SegmentPath& out) const {
+  expects_route_args(s, t);
+  route_into_impl(s, t, rng, scratch, out);
+  ensures_route_result(s, t, out);
+  OBLV_ENSURES(bridge_mode_ != BridgeHeightMode::kPrescribed ||
+                   contracts::validate_stretch_bound(*mesh_, out, mesh_->dim()),
+               "Theorem 4.2: stretch must be <= 40 d (d+1)");
 }
 
 Path NdRouter::route(NodeId s, NodeId t, Rng& rng) const {
-  expects_route_args(s, t);
-  Path p = route_impl<Path>(s, t, rng);
-  ensures_route_result(s, t, p);
-  OBLV_ENSURES(bridge_mode_ != BridgeHeightMode::kPrescribed ||
-                   contracts::validate_stretch_bound(*mesh_, p, mesh_->dim()),
-               "Theorem 4.2: stretch must be <= 40 d (d+1)");
+  RouteScratch scratch;
+  Path p;
+  route_into(s, t, rng, scratch, p);
   return p;
 }
 
 SegmentPath NdRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
-  expects_route_args(s, t);
-  SegmentPath sp = route_impl<SegmentPath>(s, t, rng);
-  ensures_route_result(s, t, sp);
-  OBLV_ENSURES(bridge_mode_ != BridgeHeightMode::kPrescribed ||
-                   contracts::validate_stretch_bound(*mesh_, sp, mesh_->dim()),
-               "Theorem 4.2: stretch must be <= 40 d (d+1)");
+  RouteScratch scratch;
+  SegmentPath sp;
+  route_segments_into(s, t, rng, scratch, sp);
   return sp;
 }
 

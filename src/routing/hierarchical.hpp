@@ -27,9 +27,14 @@
 // in the bridge-sized box whose coordinate bits are reused (alternating)
 // for all smaller submeshes -- O(d log(D d)) random bits per packet
 // instead of the naive O(d log^2(D d)).
+// Both hierarchical routers memoize their bitonic chains in a PlanCache:
+// the chain depends only on the (s, t) pair, never on the packet's random
+// bits, so a cache hit consumes the same draws and produces byte-identical
+// paths (rng transparency; see DESIGN.md section 8).
 #pragma once
 
 #include "decomposition/decomposition.hpp"
+#include "routing/plan_cache.hpp"
 #include "routing/router.hpp"
 
 namespace oblivious {
@@ -41,10 +46,17 @@ class AncestorRouter final : public Router {
     kAccessGraph,  // type-1 + shifted bridge submeshes (the paper)
   };
 
-  AncestorRouter(const Mesh& mesh, Hierarchy hierarchy);
+  // `plan_cache_capacity` bounds the per-router chain memo (entries, not
+  // bytes); small capacities just evict more, they never change paths.
+  AncestorRouter(const Mesh& mesh, Hierarchy hierarchy,
+                 std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity);
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
   SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
+  void route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                  Path& out) const override;
+  void route_segments_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                           SegmentPath& out) const override;
   std::string name() const override;
 
   const Decomposition& decomposition() const { return decomp_; }
@@ -53,12 +65,22 @@ class AncestorRouter final : public Router {
   // analysis and the Lemma 3.3 experiments).
   RegularSubmesh bridge_for(NodeId s, NodeId t) const;
 
+  // Plan-cache introspection (tests/bench). The cache is rng-transparent
+  // memoization, so clearing it is logically const.
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  void clear_plan_cache() const { plan_cache_.clear(); }
+
  private:
+  RegularSubmesh bridge_at(const Coord& cs, const Coord& ct) const;
+  void build_chain(const Coord& cs, const Coord& ct,
+                   std::vector<Region>& chain, std::size_t& up_count) const;
   template <typename PathT>
-  PathT route_impl(NodeId s, NodeId t, Rng& rng) const;
+  void route_into_impl(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                       PathT& out) const;
 
   Decomposition decomp_;
   Hierarchy hierarchy_;
+  mutable PlanCache plan_cache_;
 };
 
 class NdRouter final : public Router {
@@ -79,10 +101,15 @@ class NdRouter final : public Router {
 
   explicit NdRouter(const Mesh& mesh,
                     RandomnessMode mode = RandomnessMode::kNaive,
-                    BridgeHeightMode bridge_mode = BridgeHeightMode::kPrescribed);
+                    BridgeHeightMode bridge_mode = BridgeHeightMode::kPrescribed,
+                    std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity);
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
   SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
+  void route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                  Path& out) const override;
+  void route_segments_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                           SegmentPath& out) const override;
   std::string name() const override;
 
   const Decomposition& decomposition() const { return decomp_; }
@@ -93,15 +120,27 @@ class NdRouter final : public Router {
   // The bridge submesh selected for the pair.
   RegularSubmesh bridge_for(NodeId s, NodeId t) const;
 
+  // Plan-cache introspection (tests/bench); see AncestorRouter.
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  void clear_plan_cache() const { plan_cache_.clear(); }
+
  private:
-  RegularSubmesh find_bridge(const Coord& cs, const Coord& ct, int m1_level,
-                             int bridge_level) const;
+  // `m1` / `m3` are the already-computed type-1 ancestors of s and t at
+  // the m1 level; passing them in keeps each packet to one type1_at lookup
+  // per endpoint (they are reused for the chain as well).
+  RegularSubmesh find_bridge(const Coord& cs, const RegularSubmesh& m1,
+                             const RegularSubmesh& m3, int bridge_level) const;
+  void build_chain(NodeId s, NodeId t, const Coord& cs, const Coord& ct,
+                   std::vector<Region>& chain, std::size_t& up_count,
+                   int& bridge_level) const;
   template <typename PathT>
-  PathT route_impl(NodeId s, NodeId t, Rng& rng) const;
+  void route_into_impl(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                       PathT& out) const;
 
   Decomposition decomp_;
   RandomnessMode mode_;
   BridgeHeightMode bridge_mode_;
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace oblivious

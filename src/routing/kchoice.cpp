@@ -59,6 +59,29 @@ SegmentPath KChoiceRouter::route_segments(NodeId s, NodeId t, Rng& rng) const {
   return sp;
 }
 
+void KChoiceRouter::route_into(NodeId s, NodeId t, Rng& rng,
+                               RouteScratch& scratch, Path& out) const {
+  expects_route_args(s, t);
+  // Same draw order as `route`: one index choice from the packet's rng;
+  // the inner router then runs on the fixed per-(pair, index) seed.
+  const int index =
+      static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(kappa_)));
+  Rng inner_rng(pair_seed(s, t, index));
+  inner_->route_into(s, t, inner_rng, scratch, out);
+  ensures_route_result(s, t, out);
+}
+
+void KChoiceRouter::route_segments_into(NodeId s, NodeId t, Rng& rng,
+                                        RouteScratch& scratch,
+                                        SegmentPath& out) const {
+  expects_route_args(s, t);
+  const int index =
+      static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(kappa_)));
+  Rng inner_rng(pair_seed(s, t, index));
+  inner_->route_segments_into(s, t, inner_rng, scratch, out);
+  ensures_route_result(s, t, out);
+}
+
 std::string KChoiceRouter::name() const {
   return inner_->name() + "-k" + std::to_string(kappa_);
 }

@@ -33,6 +33,10 @@ class KChoiceRouter final : public Router {
 
   Path route(NodeId s, NodeId t, Rng& rng) const override;
   SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const override;
+  void route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                  Path& out) const override;
+  void route_segments_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                           SegmentPath& out) const override;
   std::string name() const override;
   bool deterministic() const override { return kappa_ == 1; }
 

@@ -10,6 +10,12 @@
 // (source + maximal axis-aligned runs). The two draw randomness in the
 // same order, so with equal rng state they describe the same path; the
 // measurement pipeline consumes segments, the simulator consumes nodes.
+//
+// Each mode additionally has a zero-allocation twin -- `route_into` /
+// `route_segments_into` -- that fills a caller-owned output (capacity
+// retained across packets) and threads a RouteScratch for intermediate
+// buffers. The twins are draw-for-draw identical to the allocating APIs:
+// same rng consumption, byte-identical result (DESIGN.md section 8).
 #pragma once
 
 #include <memory>
@@ -21,6 +27,7 @@
 #include "mesh/path.hpp"
 #include "mesh/segment_path.hpp"
 #include "rng/rng.hpp"
+#include "routing/route_scratch.hpp"
 #include "util/contracts.hpp"
 
 namespace oblivious {
@@ -44,6 +51,28 @@ class Router {
   // segments natively (O(#segments) instead of O(path length)).
   virtual SegmentPath route_segments(NodeId s, NodeId t, Rng& rng) const {
     return segments_from_path(*mesh_, route(s, t, rng));
+  }
+
+  // Zero-allocation twin of `route`: fills `out` in place (clearing its
+  // previous content but keeping its heap capacity), using `scratch` for
+  // intermediate state. Must consume the identical rng stream and produce
+  // the identical path as `route`. The default delegates to the
+  // allocating API; every in-tree router overrides it natively and turns
+  // `route` into a thin wrapper over this.
+  // \pre s and t are node ids of this router's mesh.
+  virtual void route_into(NodeId s, NodeId t, Rng& rng, RouteScratch& scratch,
+                          Path& out) const {
+    (void)scratch;
+    out = route(s, t, rng);
+  }
+
+  // Zero-allocation twin of `route_segments`; same contract as route_into.
+  // \pre s and t are node ids of this router's mesh.
+  virtual void route_segments_into(NodeId s, NodeId t, Rng& rng,
+                                   RouteScratch& scratch,
+                                   SegmentPath& out) const {
+    (void)scratch;
+    out = route_segments(s, t, rng);
   }
 
   virtual std::string name() const = 0;

@@ -8,10 +8,12 @@
 
 namespace oblivious {
 
-Path RandomStaircaseRouter::route(NodeId s, NodeId t, Rng& rng) const {
+void RandomStaircaseRouter::route_into(NodeId s, NodeId t, Rng& rng,
+                                       RouteScratch& /*scratch*/,
+                                       Path& out) const {
   expects_route_args(s, t);
-  Path path;
-  path.nodes.push_back(s);
+  out.nodes.clear();
+  out.nodes.push_back(s);
   Coord cur = mesh_->coord(s);
   const Coord target = mesh_->coord(t);
 
@@ -45,23 +47,23 @@ Path RandomStaircaseRouter::route(NodeId s, NodeId t, Rng& rng) const {
     if (mesh_->torus()) cur[dd] = pos_mod(cur[dd], mesh_->side(dim));
     OBLV_DCHECK(cur[dd] >= 0 && cur[dd] < mesh_->side(dim),
                 "staircase walk left the mesh");
-    path.nodes.push_back(mesh_->node_id(cur));
+    out.nodes.push_back(mesh_->node_id(cur));
     remaining[dd] -= dir;
     --total;
   }
-  OBLV_CHECK(path.nodes.back() == t, "staircase walk missed the target");
-  ensures_route_result(s, t, path);
-  return path;
+  OBLV_CHECK(out.nodes.back() == t, "staircase walk missed the target");
+  ensures_route_result(s, t, out);
 }
 
-SegmentPath RandomStaircaseRouter::route_segments(NodeId s, NodeId t,
-                                                  Rng& rng) const {
+void RandomStaircaseRouter::route_segments_into(NodeId s, NodeId t, Rng& rng,
+                                                RouteScratch& /*scratch*/,
+                                                SegmentPath& out) const {
   expects_route_args(s, t);
   // The staircase draws a dimension per hop, so the run structure follows
   // the draws; consecutive same-dimension hops still merge into one run.
-  SegmentPath sp;
-  sp.source = s;
-  sp.dest = t;
+  out.segments.clear();
+  out.source = s;
+  out.dest = t;
   Coord cur = mesh_->coord(s);
   const Coord target = mesh_->coord(t);
 
@@ -88,11 +90,25 @@ SegmentPath RandomStaircaseRouter::route_segments(NodeId s, NodeId t,
     }
     const std::size_t dd = static_cast<std::size_t>(dim);
     const int dir = remaining[dd] > 0 ? 1 : -1;
-    sp.append(dim, dir);
+    out.append(dim, dir);
     remaining[dd] -= dir;
     --total;
   }
-  ensures_route_result(s, t, sp);
+  ensures_route_result(s, t, out);
+}
+
+Path RandomStaircaseRouter::route(NodeId s, NodeId t, Rng& rng) const {
+  RouteScratch scratch;
+  Path path;
+  route_into(s, t, rng, scratch, path);
+  return path;
+}
+
+SegmentPath RandomStaircaseRouter::route_segments(NodeId s, NodeId t,
+                                                  Rng& rng) const {
+  RouteScratch scratch;
+  SegmentPath sp;
+  route_segments_into(s, t, rng, scratch, sp);
   return sp;
 }
 

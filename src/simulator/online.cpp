@@ -104,6 +104,10 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
   };
 
   Rng rng(options.seed);
+  // One scratch for the whole simulation: path selection in the injection
+  // loop reuses its buffers, so steady-state injections allocate only the
+  // flight's own edge list.
+  RouteScratch scratch;
   std::vector<Flight> flights;
   flights.reserve(workload.packets.size());
   std::vector<std::size_t> active;
@@ -144,7 +148,8 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
            workload.packets[next_packet].inject_step <= step) {
       const TimedDemand& demand = workload.packets[next_packet];
       Flight flight;
-      const Path path = router.route(demand.src, demand.dst, rng);
+      router.route_into(demand.src, demand.dst, rng, scratch, scratch.path);
+      const Path& path = scratch.path;
       flight.edges.reserve(static_cast<std::size_t>(path.length()));
       for (std::size_t j = 0; j + 1 < path.nodes.size(); ++j) {
         flight.edges.push_back(mesh.edge_between(path.nodes[j], path.nodes[j + 1]));

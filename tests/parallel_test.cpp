@@ -4,7 +4,11 @@
 #include <numeric>
 #include <vector>
 
+#include "mesh/mesh.hpp"
+#include "parallel/route_batch.hpp"
 #include "parallel/thread_pool.hpp"
+#include "routing/registry.hpp"
+#include "workloads/generators.hpp"
 
 namespace oblivious {
 namespace {
@@ -76,6 +80,88 @@ TEST(ParallelFor, ZeroCountIsNoop) {
   bool called = false;
   parallel_for_chunks(pool, 0, [&](std::size_t, std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// The batch driver claims chunks through an atomic cursor, so the claim
+// order is racy by design -- but the per-packet rng streams depend only on
+// (seed, index), so the output must be bit-identical for every thread
+// count and chunk size, and identical to a plain sequential loop.
+TEST(ParallelRouteBatch, BitIdenticalAcrossThreadCountsAndChunks) {
+  const Mesh mesh = Mesh::cube(2, 16);
+  Rng wl_rng(3);
+  const RoutingProblem problem = random_permutation(mesh, wl_rng);
+  const auto router = make_router(Algorithm::kHierarchical2d, mesh);
+  RouteBatchOptions options;
+  options.seed = 21;
+
+  // Sequential reference with the same counter-derived streams.
+  std::vector<SegmentPath> reference(problem.size());
+  RouteScratch scratch;
+  for (std::size_t i = 0; i < problem.size(); ++i) {
+    Rng rng = packet_rng(options.seed, i);
+    router->route_segments_into(problem.demands[i].src, problem.demands[i].dst,
+                                rng, scratch, reference[i]);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<SegmentPath> out;
+    route_batch(*router, std::span<const Demand>(problem.demands), pool,
+                options, out);
+    EXPECT_EQ(out, reference) << threads << " threads";
+  }
+  // Pathological chunk sizes: one packet per claim, and one giant chunk.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{100000}}) {
+    ThreadPool pool(4);
+    RouteBatchOptions opts = options;
+    opts.chunk_size = chunk;
+    std::vector<SegmentPath> out;
+    route_batch(*router, std::span<const Demand>(problem.demands), pool, opts,
+                out);
+    EXPECT_EQ(out, reference) << "chunk " << chunk;
+  }
+}
+
+TEST(ParallelRouteBatch, PathsTwinMatchesSegmentForm) {
+  const Mesh mesh = Mesh::cube(3, 8);
+  const RoutingProblem problem = transpose(mesh);
+  const auto router = make_router(Algorithm::kHierarchicalNd, mesh);
+  ThreadPool pool(4);
+  RouteBatchOptions options;
+  options.seed = 77;
+  std::vector<Path> node_paths;
+  std::vector<SegmentPath> seg_paths;
+  route_batch_paths(*router, std::span<const Demand>(problem.demands), pool,
+                    options, node_paths);
+  route_batch(*router, std::span<const Demand>(problem.demands), pool, options,
+              seg_paths);
+  ASSERT_EQ(node_paths.size(), seg_paths.size());
+  for (std::size_t i = 0; i < node_paths.size(); ++i) {
+    EXPECT_EQ(path_from_segments(mesh, seg_paths[i]).nodes,
+              node_paths[i].nodes);
+  }
+}
+
+TEST(ParallelRouteBatch, EmptyBatchAndOutputReuse) {
+  const Mesh mesh = Mesh::cube(2, 8);
+  const auto router = make_router(Algorithm::kRandomDimOrder, mesh);
+  ThreadPool pool(2);
+  RouteBatchOptions options;
+  std::vector<SegmentPath> out;
+  route_batch(*router, std::span<const Demand>(), pool, options, out);
+  EXPECT_TRUE(out.empty());
+  // Reusing the same output vector across differently-sized batches
+  // resizes it to match, old contents notwithstanding.
+  const RoutingProblem big = transpose(mesh);
+  route_batch(*router, std::span<const Demand>(big.demands), pool, options,
+              out);
+  EXPECT_EQ(out.size(), big.size());
+  const std::vector<Demand> one{big.demands.front()};
+  route_batch(*router, std::span<const Demand>(one), pool, options, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.front().source, one.front().src);
+  EXPECT_EQ(out.front().destination(), one.front().dst);
 }
 
 TEST(ParallelFor, SumMatchesSerial) {

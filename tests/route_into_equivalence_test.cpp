@@ -1,0 +1,204 @@
+// Draw-for-draw equivalence of the zero-allocation routing entry points:
+// for every registered algorithm, route_into / route_segments_into must
+// select byte-identical paths AND consume exactly the same rng stream as
+// the allocating route / route_segments twins -- the rng-stream
+// compatibility invariant of DESIGN.md section 8. Also pins plan-cache
+// correctness: warm hits and evicted-and-rebuilt plans never change paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "mesh/segment_path.hpp"
+#include "rng/rng.hpp"
+#include "routing/hierarchical.hpp"
+#include "routing/registry.hpp"
+#include "routing/route_scratch.hpp"
+#include "test_support.hpp"
+
+namespace oblivious {
+namespace {
+
+struct MeshCase {
+  int dim;
+  std::int64_t side;
+  bool torus;
+};
+
+std::vector<MeshCase> mesh_cases() {
+  return {{2, 16, false}, {2, 16, true}, {3, 8, false}, {3, 8, true}};
+}
+
+// After each pair of calls the two rng copies must have consumed the same
+// number of draws; drawing once more from each proves stream alignment
+// (identical internal state), not just identical output.
+void expect_same_stream(Rng& a, Rng& b, const std::string& context) {
+  EXPECT_EQ(a.next_u64(), b.next_u64()) << context << ": rng streams diverged";
+}
+
+TEST(RouteIntoEquivalence, PathsAndStreamsMatchAllocatingApi) {
+  for (const MeshCase& mc : mesh_cases()) {
+    const Mesh mesh = Mesh::cube(mc.dim, mc.side, mc.torus);
+    const auto pairs = testing::sample_pairs(mesh, 64, 7);
+    for (const Algorithm algo : algorithms_for(mesh)) {
+      const auto router = make_router(algo, mesh);
+      RouteScratch scratch;
+      Rng rng_alloc(11);
+      Rng rng_into(11);
+      Path into_path;
+      for (const auto& [s, t] : pairs) {
+        const Path ref = router->route(s, t, rng_alloc);
+        router->route_into(s, t, rng_into, scratch, into_path);
+        EXPECT_EQ(ref.nodes, into_path.nodes) << router->name();
+        expect_same_stream(rng_alloc, rng_into, router->name());
+      }
+    }
+  }
+}
+
+TEST(RouteIntoEquivalence, SegmentsAndStreamsMatchAllocatingApi) {
+  for (const MeshCase& mc : mesh_cases()) {
+    const Mesh mesh = Mesh::cube(mc.dim, mc.side, mc.torus);
+    const auto pairs = testing::sample_pairs(mesh, 64, 19);
+    for (const Algorithm algo : algorithms_for(mesh)) {
+      const auto router = make_router(algo, mesh);
+      RouteScratch scratch;
+      Rng rng_alloc(23);
+      Rng rng_into(23);
+      SegmentPath into_sp;
+      for (const auto& [s, t] : pairs) {
+        const SegmentPath ref = router->route_segments(s, t, rng_alloc);
+        router->route_segments_into(s, t, rng_into, scratch, into_sp);
+        EXPECT_EQ(ref, into_sp) << router->name();
+        expect_same_stream(rng_alloc, rng_into, router->name());
+      }
+    }
+  }
+}
+
+// Degenerate s == t demands must also agree (and consume no randomness in
+// routers that early-return).
+TEST(RouteIntoEquivalence, SelfDemandsMatch) {
+  const Mesh mesh = Mesh::cube(2, 16);
+  for (const Algorithm algo : algorithms_for(mesh)) {
+    const auto router = make_router(algo, mesh);
+    RouteScratch scratch;
+    Rng rng_alloc(3);
+    Rng rng_into(3);
+    Path into_path;
+    SegmentPath into_sp;
+    const NodeId n = mesh.num_nodes() / 2;
+    EXPECT_EQ(router->route(n, n, rng_alloc).nodes,
+              (router->route_into(n, n, rng_into, scratch, into_path),
+               into_path.nodes))
+        << router->name();
+    EXPECT_EQ(router->route_segments(n, n, rng_alloc),
+              (router->route_segments_into(n, n, rng_into, scratch, into_sp),
+               into_sp))
+        << router->name();
+    expect_same_stream(rng_alloc, rng_into, router->name());
+  }
+}
+
+// A scratch that has been through many differently-shaped routes (stale
+// chain, longer previous paths) must not leak state into later results.
+TEST(RouteIntoEquivalence, DirtyScratchIsHarmless) {
+  const Mesh mesh = Mesh::cube(3, 8, /*torus=*/true);
+  const auto pairs = testing::sample_pairs(mesh, 96, 31);
+  for (const Algorithm algo : algorithms_for(mesh)) {
+    const auto router = make_router(algo, mesh);
+    RouteScratch reused;
+    SegmentPath reused_out;
+    for (const auto& [s, t] : pairs) {
+      Rng rng_a(101);
+      Rng rng_b(101);
+      // Fresh scratch + fresh output vs. the battle-scarred pair.
+      RouteScratch fresh;
+      SegmentPath fresh_out;
+      router->route_segments_into(s, t, rng_a, fresh, fresh_out);
+      router->route_segments_into(s, t, rng_b, reused, reused_out);
+      EXPECT_EQ(fresh_out, reused_out) << router->name();
+    }
+  }
+}
+
+// Plan-cache hits must reproduce the cold-path routes exactly: route every
+// pair twice (second pass is warm) and against a cache-cleared router.
+TEST(RouteIntoEquivalence, WarmPlanCacheMatchesCold) {
+  for (const MeshCase& mc : std::vector<MeshCase>{{2, 16, false}, {3, 8, false}}) {
+    const Mesh mesh = Mesh::cube(mc.dim, mc.side, mc.torus);
+    const auto pairs = testing::sample_pairs(mesh, 48, 43);
+    for (const Algorithm algo :
+         {Algorithm::kAccessTree, Algorithm::kHierarchical2d,
+          Algorithm::kHierarchicalNd, Algorithm::kHierarchicalNdFrugal}) {
+      const auto router = make_router(algo, mesh);
+      RouteScratch scratch;
+      SegmentPath cold, warm;
+      std::vector<SegmentPath> cold_results;
+      for (const auto& [s, t] : pairs) {
+        Rng rng(57);
+        router->route_segments_into(s, t, rng, scratch, cold);
+        cold_results.push_back(cold);
+      }
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        Rng rng(57);
+        router->route_segments_into(pairs[i].first, pairs[i].second, rng,
+                                    scratch, warm);
+        EXPECT_EQ(cold_results[i], warm) << router->name();
+      }
+    }
+  }
+}
+
+TEST(RouteIntoEquivalence, PlanCacheCountersAdvance) {
+  const Mesh mesh = Mesh::cube(2, 16);
+  const AncestorRouter router(mesh, AncestorRouter::Hierarchy::kAccessGraph);
+  RouteScratch scratch;
+  SegmentPath out;
+  Rng rng(5);
+  router.route_segments_into(1, 200, rng, scratch, out);
+  EXPECT_EQ(router.plan_cache().stats().misses, 1u);
+  EXPECT_EQ(router.plan_cache().stats().hits, 0u);
+  router.route_segments_into(1, 200, rng, scratch, out);
+  EXPECT_EQ(router.plan_cache().stats().misses, 1u);
+  EXPECT_EQ(router.plan_cache().stats().hits, 1u);
+  router.clear_plan_cache();
+  router.route_segments_into(1, 200, rng, scratch, out);
+  EXPECT_EQ(router.plan_cache().stats().misses, 2u);
+}
+
+// A pathologically small cache forces constant eviction; rebuilt plans
+// must be identical to the ones a big-cache router produces.
+TEST(RouteIntoEquivalence, EvictionNeverChangesPaths) {
+  const Mesh mesh = Mesh::cube(2, 16);
+  const auto pairs = testing::sample_pairs(mesh, 128, 61);
+  const AncestorRouter tiny(mesh, AncestorRouter::Hierarchy::kAccessGraph,
+                            /*plan_cache_capacity=*/4);
+  const AncestorRouter big(mesh, AncestorRouter::Hierarchy::kAccessGraph);
+  const NdRouter tiny_nd(mesh, NdRouter::RandomnessMode::kFrugal,
+                         NdRouter::BridgeHeightMode::kPrescribed,
+                         /*plan_cache_capacity=*/4);
+  const NdRouter big_nd(mesh, NdRouter::RandomnessMode::kFrugal);
+  RouteScratch scratch;
+  SegmentPath a, b;
+  for (int round = 0; round < 3; ++round) {  // revisit evicted pairs
+    for (const auto& [s, t] : pairs) {
+      Rng rng_a(71), rng_b(71);
+      tiny.route_segments_into(s, t, rng_a, scratch, a);
+      big.route_segments_into(s, t, rng_b, scratch, b);
+      EXPECT_EQ(a, b);
+      Rng rng_c(73), rng_d(73);
+      tiny_nd.route_segments_into(s, t, rng_c, scratch, a);
+      big_nd.route_segments_into(s, t, rng_d, scratch, b);
+      EXPECT_EQ(a, b);
+    }
+  }
+  EXPECT_GT(tiny.plan_cache().stats().evictions, 0u);
+  EXPECT_GT(tiny.plan_cache().stats().hits, 0u);  // tiny still hits on rounds
+}
+
+}  // namespace
+}  // namespace oblivious

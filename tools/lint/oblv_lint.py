@@ -18,6 +18,10 @@ Rules (all scoped to the paper-reproduction discipline in DESIGN.md §7):
   C001  A .cpp that asserts preconditions (OBLV_REQUIRE / OBLV_EXPECTS)
         must document them in its paired header: at least one `\\pre`
         (or `Precondition:`) comment or an inline OBLV_EXPECTS.
+  D004  No per-call container allocation inside route*_into bodies
+        (src/routing/): a by-value std::vector local (or push_back onto
+        one) defeats the zero-allocation contract of the scratch-threaded
+        entry points -- route through RouteScratch buffers instead.
 
 Suppression: `// oblv-lint: allow(RULE) <justification>` on the flagged
 line or within the three lines above it. The justification is mandatory.
@@ -55,6 +59,7 @@ RULE_DOCS = {
     "D002": "iteration over an unordered container (bucket order leaks)",
     "D003": "std::function on a routing hot path",
     "C001": "undocumented preconditions in paired header",
+    "D004": "per-call container allocation in a route*_into hot path",
     "A001": "allowlist comment without justification",
 }
 
@@ -289,6 +294,98 @@ def check_d003(path: Path, rel: str, code: str,
     return findings
 
 
+# ---------------------------------------------------------------- D004 --
+
+D004_FUNC_RE = re.compile(r"\b(?P<name>route\w*_into\w*)\s*\(")
+D004_VECTOR_RE = re.compile(r"std\s*::\s*vector\s*<")
+D004_QUALIFIER_RE = re.compile(r"\s*(?:const|noexcept|override|final)\b")
+
+
+def _matching(code: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Index just past the delimiter matching code[start] (which must be
+    open_ch), or -1 when unbalanced."""
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def route_into_bodies(code: str) -> list[tuple[int, int]]:
+    """(start, end) spans of every route*_into function DEFINITION body.
+
+    Call sites and declarations are skipped: a definition's parameter list
+    is followed (after cv/noexcept/override qualifiers) by '{'.
+    """
+    bodies = []
+    for m in D004_FUNC_RE.finditer(code):
+        after_params = _matching(code, m.end() - 1, "(", ")")
+        if after_params < 0:
+            continue
+        i = after_params
+        while True:
+            q = D004_QUALIFIER_RE.match(code, i)
+            if not q:
+                break
+            i = q.end()
+        while i < len(code) and code[i].isspace():
+            i += 1
+        if i >= len(code) or code[i] != "{":
+            continue  # declaration or call site
+        end = _matching(code, i, "{", "}")
+        if end > 0:
+            bodies.append((i, end))
+    return bodies
+
+
+def check_d004(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if not ("src/routing/" in rel or rel.startswith("src/routing/")):
+        return []
+    findings = []
+    for start, end in route_into_bodies(code):
+        body = code[start:end]
+        fresh: set[str] = set()
+        for m in D004_VECTOR_RE.finditer(body):
+            close = _matching(body, m.end() - 1, "<", ">")
+            if close < 0:
+                continue
+            rest = body[close:].lstrip()
+            if rest.startswith("&") or rest.startswith("*"):
+                continue  # reference/pointer binding: no allocation here
+            im = IDENT_RE.match(rest)
+            if not im:
+                continue
+            tail = rest[im.end():].lstrip()
+            if tail[:1] not in {";", "(", "{", "="}:
+                continue  # nested template arg, cast, or return type
+            fresh.add(im.group(0))
+            ln = line_of(code, start + m.start())
+            if not is_allowed(allowed, ln, "D004"):
+                findings.append(Finding(
+                    "D004", path, ln,
+                    f"by-value std::vector local '{im.group(0)}' in a "
+                    "route*_into body allocates per call; reuse a "
+                    "RouteScratch buffer instead"))
+        if fresh:
+            grow = re.compile(
+                r"\b(?P<name>" + "|".join(re.escape(n) for n in sorted(fresh))
+                + r")\s*\.\s*(?:push_back|emplace_back)\s*\(")
+            for m in grow.finditer(body):
+                ln = line_of(code, start + m.start())
+                if not is_allowed(allowed, ln, "D004"):
+                    findings.append(Finding(
+                        "D004", path, ln,
+                        f"growing fresh vector '{m.group('name')}' inside a "
+                        "route*_into body allocates per call; route through "
+                        "RouteScratch"))
+    return findings
+
+
 # ---------------------------------------------------------------- C001 --
 
 C001_ASSERT_RE = re.compile(r"\bOBLV_(?:REQUIRE|EXPECTS)\s*\(")
@@ -335,6 +432,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_d001(path, rel, code, allowed)
     findings += check_d002(path, code, allowed)
     findings += check_d003(path, rel, code, allowed)
+    findings += check_d004(path, rel, code, allowed)
     findings += check_c001(path, raw)
     return findings
 

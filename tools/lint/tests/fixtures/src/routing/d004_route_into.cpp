@@ -1,0 +1,45 @@
+// D004 fixture: per-call container allocation inside route*_into bodies.
+#include <vector>
+
+namespace fixture {
+
+struct Region {};
+struct Scratch {
+  std::vector<Region> chain;
+};
+
+// Definition with a by-value vector local AND growth onto it: two findings.
+void route_into(int s, int t, Scratch& scratch) {
+  std::vector<Region> chain;  // line 13: fresh local
+  chain.push_back(Region{});  // line 14: growth on the fresh local
+  (void)s;
+  (void)t;
+  (void)scratch;
+}
+
+// Scratch-threaded twin: reference binding + reuse, no findings.
+void route_segments_into(int s, int t, Scratch& scratch) {
+  std::vector<Region>& chain = scratch.chain;
+  chain.push_back(Region{});
+  (void)s;
+  (void)t;
+}
+
+// Justified allocation is allowed through the escape hatch.
+void route_into_impl(int s, int t) {
+  // oblv-lint: allow(D004) cold path, only reached on cache rebuild
+  std::vector<Region> rebuilt;
+  rebuilt.push_back(Region{});
+  (void)s;
+  (void)t;
+}
+
+// Call sites and declarations must not be treated as definitions.
+void route_into(int s, int t, Scratch& scratch);
+void caller(Scratch& scratch) {
+  std::vector<Region> outside;  // not a route*_into body: fine
+  route_into(1, 2, scratch);
+  outside.push_back(Region{});
+}
+
+}  // namespace fixture

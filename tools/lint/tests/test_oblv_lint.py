@@ -85,6 +85,25 @@ class TestC001(unittest.TestCase):
         self.assertEqual(lint("src/util/gadget.cpp"), [])
 
 
+class TestD004(unittest.TestCase):
+    def test_fresh_vector_and_growth_fire(self):
+        found = rules_and_lines(lint("src/routing/d004_route_into.cpp"))
+        self.assertIn(("D004", 13), found)  # by-value local
+        self.assertIn(("D004", 14), found)  # push_back on it
+
+    def test_scratch_reuse_allow_and_call_sites_do_not_fire(self):
+        findings = lint("src/routing/d004_route_into.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {13, 14},
+                         [f.render(FIXTURES) for f in findings])
+
+    def test_scoped_to_routing(self):
+        # The same patterns outside src/routing/ are not D004's business.
+        self.assertEqual(
+            [f for f in lint("src/analysis/d003_scoped_out.cpp")
+             if f.rule == "D004"], [])
+
+
 class TestA001(unittest.TestCase):
     def test_allow_without_justification_flagged_and_ineffective(self):
         found = rules_and_lines(lint("src/util/bad_allow.cpp"))
