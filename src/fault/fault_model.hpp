@@ -1,0 +1,108 @@
+// Deterministic, seeded fault injection for the mesh.
+//
+// The paper's selling point (Section 1) is that oblivious path selection
+// is online and local: a packet's path depends only on (source,
+// destination, private random bits). That is exactly what makes recovery
+// cheap -- a packet whose path hits a dead link can re-draw fresh random
+// bits and try again with no global recomputation. FaultModel supplies
+// the broken mesh to recover from: static edge/node masks plus a dynamic
+// fail/repair timeline (Bernoulli per-edge failure with geometric repair,
+// the two-state Markov chain every link-failure study uses).
+//
+// Determinism contract: the entire timeline is derived from
+// (seed, edge id) by the same counter scheme as the per-packet rng
+// streams -- edge e's chain is walked with its own Rng(f(seed, e)), so
+// the schedule is bit-identical no matter how many threads consume it,
+// in what order, or on which platform (integer threshold draws only, no
+// floating-point transcendentals).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "mesh/path.hpp"
+#include "mesh/segment_path.hpp"
+#include "rng/rng.hpp"
+
+namespace oblivious {
+
+struct FaultConfig {
+  // Per-edge per-step failure probability (up -> down transition).
+  double edge_fail_prob = 0.0;
+  // Per-edge per-step repair probability (down -> up transition): downtime
+  // durations are Geometric(edge_repair_prob).
+  double edge_repair_prob = 0.25;
+  // Steps covered by the dynamic schedule; queries at step >= horizon see
+  // only the static masks. With edge_fail_prob > 0, horizon >= 1 lets the
+  // stationary initial state materialize (a horizon-1 model is a static
+  // snapshot drawn from the chain's stationary distribution).
+  std::int64_t horizon = 0;
+  std::uint64_t seed = 1;
+  // Edges/nodes dead at every step. A failed node refuses all traversal:
+  // its incident edges are treated as statically failed.
+  std::vector<EdgeId> failed_edges;
+  std::vector<NodeId> failed_nodes;
+};
+
+// Immutable after construction; safe to share across threads.
+class FaultModel {
+ public:
+  // Materializes the fail/repair timeline for every edge.
+  // \pre probabilities are in [0, 1], horizon >= 0, and every mask id is
+  // an edge/node of `mesh` (out-of-range ids throw).
+  FaultModel(const Mesh& mesh, const FaultConfig& config);
+
+  const Mesh& mesh() const { return *mesh_; }
+  const FaultConfig& config() const { return config_; }
+
+  // True when nothing can ever fail: no masks and zero failure rate (the
+  // fault-aware pipeline short-circuits to the fault-free engine).
+  bool fault_free() const { return fault_free_; }
+
+  bool node_failed(NodeId u) const {
+    return !node_failed_.empty() &&
+           node_failed_[static_cast<std::size_t>(u)] != 0;
+  }
+
+  // True when edge `e` refuses traversal at `step` (static mask, failed
+  // endpoint, or a scheduled down interval covering the step).
+  bool edge_failed(EdgeId e, std::int64_t step = 0) const {
+    if (fault_free_) return false;
+    if (static_edge_failed_[static_cast<std::size_t>(e)] != 0) return true;
+    return dynamic_edge_failed(e, step);
+  }
+
+  // True when any hop of the path crosses a failed edge at `step` (the
+  // whole path is probed against one instant: path selection happens at a
+  // single point in time).
+  bool path_failed(const Path& path, std::int64_t step = 0) const;
+  bool segments_failed(const SegmentPath& sp, std::int64_t step = 0) const;
+
+  // Total fail events: statically masked edges (incident edges of failed
+  // nodes included) plus every scheduled down interval.
+  std::int64_t failures_injected() const { return failures_injected_; }
+  std::int64_t static_failed_edges() const { return static_failed_count_; }
+
+  // Down intervals [start, end) of one edge, in increasing start order
+  // (exposed for tests and the degradation reports).
+  std::vector<std::pair<std::int64_t, std::int64_t>> intervals(EdgeId e) const;
+
+ private:
+  bool dynamic_edge_failed(EdgeId e, std::int64_t step) const;
+
+  const Mesh* mesh_;
+  FaultConfig config_;
+  bool fault_free_ = true;
+  std::int64_t failures_injected_ = 0;
+  std::int64_t static_failed_count_ = 0;
+  std::vector<std::uint8_t> static_edge_failed_;
+  std::vector<std::uint8_t> node_failed_;
+  // CSR layout of the per-edge down intervals: edge e's intervals live in
+  // intervals_[interval_offsets_[e] .. interval_offsets_[e + 1]).
+  std::vector<std::size_t> interval_offsets_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> intervals_;
+};
+
+}  // namespace oblivious

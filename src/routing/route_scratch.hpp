@@ -31,6 +31,10 @@ struct RouteScratch {
   // simulator routes into `path`, converts to edges, and discards it).
   Path path;
   SegmentPath segments;
+
+  // Staging buffer for the fault-aware decorator's greedy detour (kept
+  // separate from `path`, which callers may alias as their output).
+  Path fault_detour;
 };
 
 }  // namespace oblivious

@@ -5,7 +5,9 @@
 
 #include "analysis/congestion.hpp"
 #include "mesh/contracts.hpp"
+#include "obs/metrics.hpp"
 #include "rng/rng.hpp"
+#include "routing/route_scratch.hpp"
 #include "util/check.hpp"
 #include "util/contracts.hpp"
 
@@ -22,10 +24,18 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
                                       const std::vector<Path>& paths,
                                       const CutThroughOptions& options) {
   OBLV_REQUIRE(options.flits_per_packet >= 1, "packets need >= 1 flit");
+  OBLV_REQUIRE(options.faults == nullptr || &options.faults->mesh() == &mesh,
+               "fault model must describe the simulated mesh");
+  OBLV_REQUIRE(options.reroute_router == nullptr ||
+                   &options.reroute_router->mesh() == &mesh,
+               "reroute router must route on the simulated mesh");
   const std::int64_t F = options.flits_per_packet;
 
   CutThroughResult result;
   result.flits = F;
+  result.injected = static_cast<std::int64_t>(paths.size());
+  const bool faulty =
+      options.faults != nullptr && !options.faults->fault_free();
 
   // Edge (and direction) sequences plus path-set metrics.
   std::vector<std::vector<EdgeId>> keys(paths.size());
@@ -52,24 +62,45 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
   }
   result.congestion = static_cast<std::int64_t>(loads.max_load());
 
+  // Under faults the default budget gets slack for backoff waits and
+  // repair intervals; runs that still exceed it report completed = false.
+  const std::int64_t fault_free_budget =
+      F * total_hops + result.dilation + F + 1;
   const std::int64_t max_steps =
       options.max_steps > 0
           ? options.max_steps
-          : F * total_hops + result.dilation + F + 1;
+          : (faulty ? 4 * fault_free_budget + 1024 : fault_free_budget);
 
   struct PacketState {
     std::size_t hop = 0;       // next link index
     std::int64_t ready = 1;    // earliest step the head can cross again
     std::uint64_t rank = 0;
+    int retries = 0;           // fault requeues consumed
+    std::int64_t wait_until = 0;  // backoff: head idles until this step
+  };
+
+  // Mutable node sequences, needed only when a reroute can rewrite a
+  // packet's remaining path.
+  std::vector<std::vector<NodeId>> cur_nodes;
+  if (faulty) {
+    cur_nodes.resize(paths.size());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      cur_nodes[i] = paths[i].nodes;
+    }
+  }
+  const auto edge_of = [&](EdgeId key) {
+    return options.full_duplex ? key / 2 : key;
   };
 
   Rng rng(options.seed);
+  RouteScratch scratch;
   std::vector<PacketState> state(paths.size());
   std::vector<std::size_t> active;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     state[i].rank = rng.next_u64();
     if (keys[i].empty()) {
       result.latency.add(static_cast<double>(F - 1));  // tail drains locally
+      ++result.delivered;
     } else {
       active.push_back(i);
     }
@@ -102,8 +133,10 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
     ++step;
     winner.clear();
     for (const std::size_t i : active) {
-      if (state[i].ready > step) continue;  // head mid-hop
+      if (state[i].ready > step || state[i].wait_until > step) continue;
       const EdgeId key = keys[i][state[i].hop];
+      // A failed link refuses the head flit; the packet requeues below.
+      if (faulty && options.faults->edge_failed(edge_of(key), step)) continue;
       const auto busy = busy_until.find(key);
       if (busy != busy_until.end() && busy->second >= step) continue;
       const auto it = winner.find(key);
@@ -113,8 +146,48 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
     still_active.reserve(active.size());
     for (const std::size_t i : active) {
       const EdgeId key = keys[i][state[i].hop];
+      if (faulty && state[i].ready <= step && state[i].wait_until <= step &&
+          options.faults->edge_failed(edge_of(key), step)) {
+        // Requeue with backoff, or drop once the budget is spent -- the
+        // packet always leaves the network counted.
+        if (state[i].retries >= options.retry.max_attempts) {
+          ++result.dropped;
+          OBLV_COUNTER_ADD("fault.drops", 1);
+          continue;
+        }
+        ++state[i].retries;
+        const std::int64_t backoff = options.retry.backoff_base
+                                     << std::min(state[i].retries - 1, 32);
+        OBLV_COUNTER_ADD("fault.retries", 1);
+        OBLV_COUNTER_ADD("fault.backoff_steps",
+                         static_cast<std::uint64_t>(backoff));
+        state[i].wait_until = step + backoff;
+        if (options.reroute_router != nullptr) {
+          // Fresh random bits from the node the head is stuck at.
+          const NodeId at = cur_nodes[i][state[i].hop];
+          const NodeId dst = cur_nodes[i].back();
+          options.reroute_router->route_into(at, dst, rng, scratch,
+                                             scratch.path);
+          cur_nodes[i] = scratch.path.nodes;
+          keys[i].clear();
+          for (std::size_t j = 0; j + 1 < cur_nodes[i].size(); ++j) {
+            const EdgeId e =
+                mesh.edge_between(cur_nodes[i][j], cur_nodes[i][j + 1]);
+            if (options.full_duplex) {
+              const auto [a, b] = mesh.edge_endpoints(e);
+              keys[i].push_back(2 * e + (cur_nodes[i][j] == a ? 0 : 1));
+            } else {
+              keys[i].push_back(e);
+            }
+          }
+          state[i].hop = 0;
+        }
+        still_active.push_back(i);
+        continue;
+      }
       const auto it = winner.find(key);
-      if (it == winner.end() || it->second != i || state[i].ready > step) {
+      if (it == winner.end() || it->second != i || state[i].ready > step ||
+          state[i].wait_until > step) {
         still_active.push_back(i);
         continue;
       }
@@ -126,6 +199,7 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
         const std::int64_t tail_arrival = step + F - 1;
         result.latency.add(static_cast<double>(tail_arrival));
         result.makespan = std::max(result.makespan, tail_arrival);
+        ++result.delivered;
       } else {
         still_active.push_back(i);
       }
@@ -134,6 +208,11 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
   }
 
   result.completed = active.empty();
+  if (result.completed) {
+    OBLV_CHECK(result.delivered + result.dropped == result.injected,
+               "cut-through fault accounting: every packet must end "
+               "delivered or dropped");
+  }
   return result;
 }
 

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_model.hpp"
+#include "fault/fault_router.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/path.hpp"
 #include "simulator/simulator.hpp"
@@ -33,10 +35,26 @@ struct CutThroughOptions {
   // One flit per direction per link per step when true; per edge when
   // false (the paper's undirected-capacity model).
   bool full_duplex = false;
+  // Fault injection. nullptr (or a fault_free() model) preserves the
+  // exact fault-free dynamics. With live faults a failed link refuses the
+  // head flit; the stuck packet requeues under `retry` (waits out the
+  // exponential backoff, then re-draws a fresh path from its current node
+  // through `reroute_router` when one is supplied, or re-tries the same
+  // link -- dynamic faults repair) and is dropped once the budget is
+  // exhausted. Both pointers must outlive the simulation.
+  const FaultModel* faults = nullptr;
+  RetryPolicy retry;
+  const Router* reroute_router = nullptr;
 };
 
 struct CutThroughResult {
   bool completed = false;
+  std::int64_t injected = 0;    // packets presented
+  std::int64_t delivered = 0;   // tails fully drained
+  // Packets lost to faults after exhausting the retry budget: counted,
+  // never wedged. On a completed run delivered + dropped == injected
+  // (checked by a contract).
+  std::int64_t dropped = 0;
   std::int64_t makespan = 0;    // step of the last tail-flit delivery
   std::int64_t congestion = 0;  // C of the path set (packets per edge)
   std::int64_t dilation = 0;    // D of the path set

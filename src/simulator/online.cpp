@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
 #include "util/contracts.hpp"
@@ -87,6 +88,8 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
                      td.dst < mesh.num_nodes(),
                  "online workload endpoints must be mesh nodes");
   }
+  OBLV_REQUIRE(options.faults == nullptr || &options.faults->mesh() == &mesh,
+               "fault model must describe the simulated mesh");
   OnlineResult result;
   result.horizon = workload.horizon;
   result.injected = static_cast<std::int64_t>(workload.packets.size());
@@ -101,7 +104,12 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
     std::int64_t arrival = 0;   // step it reached its current node
     std::uint64_t rank = 0;
     NodeId at = 0;              // current node (for queue accounting)
+    NodeId dst = 0;             // destination (for fault re-routing)
+    int retries = 0;            // in-flight requeues consumed
+    std::int64_t wait_until = 0;  // backoff: idle until this step
   };
+  const bool faulty =
+      options.faults != nullptr && !options.faults->fault_free();
 
   Rng rng(options.seed);
   // One scratch for the whole simulation: path selection in the injection
@@ -148,7 +156,27 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
            workload.packets[next_packet].inject_step <= step) {
       const TimedDemand& demand = workload.packets[next_packet];
       Flight flight;
-      router.route_into(demand.src, demand.dst, rng, scratch, scratch.path);
+      if (faulty) {
+        // Path selection is probed against the schedule at the injection
+        // step; a packet whose recovery budget is already exhausted at
+        // selection time is a counted loss, not an injection.
+        const FaultAwareRouter fault_router(router, *options.faults,
+                                            options.retry, step);
+        const FaultRouteOutcome outcome = fault_router.route_with_faults(
+            demand.src, demand.dst, rng, scratch, scratch.path);
+        if (!outcome.delivered()) {
+          // oblv-lint: allow(D005) drop already counted into fault.drops
+          // at the router's decision site
+          ++result.dropped;
+          ++next_packet;
+          continue;
+        }
+        // oblv-lint: allow(D005) backoff already counted into
+        // fault.backoff_steps by route_with_faults
+        flight.wait_until = step + outcome.backoff_steps;
+      } else {
+        router.route_into(demand.src, demand.dst, rng, scratch, scratch.path);
+      }
       const Path& path = scratch.path;
       flight.edges.reserve(static_cast<std::size_t>(path.length()));
       for (std::size_t j = 0; j + 1 < path.nodes.size(); ++j) {
@@ -158,6 +186,7 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
       flight.arrival = step;
       flight.rank = rng.next_u64();
       flight.at = demand.src;
+      flight.dst = demand.dst;
       if (flight.edges.empty()) {
         ++result.delivered;
         result.latency.add(0.0);
@@ -173,18 +202,53 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
     occupancy.clear();
     for (const std::size_t i : active) {
       const Flight& f = flights[i];
+      result.max_node_queue = std::max(result.max_node_queue, ++occupancy[f.at]);
+      // Backed-off and blocked-by-fault packets occupy their queue slot
+      // but do not compete for an edge this step.
+      if (f.wait_until > step) continue;
       const EdgeId e = f.edges[f.hop];
+      if (faulty && options.faults->edge_failed(e, step)) continue;
       const auto it = winner.find(e);
       if (it == winner.end() || wins(f, flights[it->second], i, it->second)) {
         winner[e] = i;
       }
-      result.max_node_queue = std::max(result.max_node_queue, ++occupancy[f.at]);
     }
     std::vector<std::size_t> still_active;
     still_active.reserve(active.size());
     for (const std::size_t i : active) {
       Flight& f = flights[i];
+      if (f.wait_until > step) {
+        still_active.push_back(i);
+        continue;
+      }
       const EdgeId e = f.edges[f.hop];
+      if (faulty && options.faults->edge_failed(e, step)) {
+        // The edge ahead died under the packet: requeue with fresh random
+        // bits from the node it is stuck at, or drop once the budget is
+        // spent -- the packet always leaves the network counted.
+        if (f.retries >= options.retry.max_attempts) {
+          ++result.dropped;
+          OBLV_COUNTER_ADD("fault.drops", 1);
+          continue;
+        }
+        ++f.retries;
+        const std::int64_t backoff = options.retry.backoff_base
+                                     << std::min(f.retries - 1, 32);
+        OBLV_COUNTER_ADD("fault.retries", 1);
+        OBLV_COUNTER_ADD("fault.backoff_steps",
+                         static_cast<std::uint64_t>(backoff));
+        f.wait_until = step + backoff;
+        router.route_into(f.at, f.dst, rng, scratch, scratch.path);
+        f.edges.clear();
+        for (std::size_t j = 0; j + 1 < scratch.path.nodes.size(); ++j) {
+          f.edges.push_back(mesh.edge_between(scratch.path.nodes[j],
+                                              scratch.path.nodes[j + 1]));
+        }
+        f.hop = 0;
+        f.arrival = step;
+        still_active.push_back(i);
+        continue;
+      }
       if (winner[e] != i) {
         still_active.push_back(i);
         continue;
@@ -205,6 +269,11 @@ OnlineResult simulate_online(const Mesh& mesh, const Router& router,
   }
 
   result.completed = active.empty() && next_packet == workload.packets.size();
+  if (result.completed) {
+    OBLV_CHECK(result.delivered + result.dropped == result.injected,
+               "online fault accounting: every injected packet must end "
+               "delivered or dropped");
+  }
   return result;
 }
 

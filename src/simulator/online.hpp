@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_model.hpp"
+#include "fault/fault_router.hpp"
 #include "mesh/mesh.hpp"
 #include "routing/router.hpp"
 #include "simulator/simulator.hpp"
@@ -47,9 +49,13 @@ OnlineWorkload bernoulli_arrivals(const Mesh& mesh, double rate,
                                   Rng& rng, std::int64_t local_distance = 4);
 
 struct OnlineResult {
-  bool completed = false;         // everything delivered within max_steps
+  bool completed = false;         // everything delivered or dropped in time
   std::int64_t injected = 0;
   std::int64_t delivered = 0;
+  // Packets lost to faults after exhausting the retry budget: counted,
+  // never wedged. On a completed run delivered + dropped == injected
+  // (checked by a contract).
+  std::int64_t dropped = 0;
   std::int64_t last_delivery = 0;  // step of the final delivery
   RunningStats latency;            // delivery - injection, per packet
   std::int64_t max_node_queue = 0; // worst queue occupancy at any node
@@ -67,6 +73,16 @@ struct OnlineOptions {
   // node are simultaneously in flight (0: disabled). Keeps offered-load
   // sweeps fast in the divergent regime.
   std::int64_t saturation_queue_per_node = 0;
+  // Fault injection. nullptr (or a fault_free() model) preserves the
+  // exact fault-free dynamics and rng stream. With live faults, injection
+  // routes through a FaultAwareRouter probed at the injection step, a
+  // failed edge refuses traversal, and an in-flight packet stuck on a
+  // newly failed edge requeues under `retry`: it waits out the
+  // exponential backoff, re-draws a fresh path from its current node, and
+  // is dropped (counted in `dropped` and fault.drops) once the budget is
+  // exhausted. The model must outlive the simulation.
+  const FaultModel* faults = nullptr;
+  RetryPolicy retry;
 };
 
 // Injects, routes obliviously at arrival, and delivers.

@@ -1,12 +1,21 @@
 #include "workloads/io.hpp"
 
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
-#include "util/check.hpp"
-
 namespace oblivious {
+
+ProblemParseError::ProblemParseError(std::string source, std::size_t line,
+                                     const std::string& reason)
+    : std::invalid_argument(
+          line > 0 ? source + ":" + std::to_string(line) + ": " + reason
+                   : source + ": " + reason),
+      source_(std::move(source)),
+      line_(line) {}
 
 void write_problem(std::ostream& os, const Mesh& mesh,
                    const RoutingProblem& problem) {
@@ -26,11 +35,33 @@ std::string problem_to_text(const Mesh& mesh, const RoutingProblem& problem) {
   return os.str();
 }
 
-std::pair<Mesh, RoutingProblem> read_problem(std::istream& is) {
+namespace {
+
+// Strict int64 token parse: the whole token must be one in-range decimal
+// number. Returns nullopt on junk ("12x", "4.5", ""), bare signs, and
+// values that overflow int64.
+std::optional<std::int64_t> parse_int(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::pair<Mesh, RoutingProblem> read_problem(std::istream& is,
+                                             const std::string& source_name) {
   std::optional<Mesh> mesh;
   RoutingProblem problem;
   std::string line;
   std::size_t line_number = 0;
+  const auto fail = [&](const std::string& reason) {
+    throw ProblemParseError(source_name, line_number, reason);
+  };
   while (std::getline(is, line)) {
     ++line_number;
     const std::size_t hash = line.find('#');
@@ -39,7 +70,7 @@ std::pair<Mesh, RoutingProblem> read_problem(std::istream& is) {
     std::string kind;
     if (!(tokens >> kind)) continue;  // blank line
     if (kind == "mesh") {
-      OBLV_REQUIRE(!mesh.has_value(), "duplicate mesh record");
+      if (mesh.has_value()) fail("duplicate mesh record");
       std::vector<std::int64_t> sides;
       bool torus = false;
       std::string token;
@@ -48,37 +79,66 @@ std::pair<Mesh, RoutingProblem> read_problem(std::istream& is) {
           torus = true;
           continue;
         }
-        char* end = nullptr;
-        const std::int64_t side = std::strtoll(token.c_str(), &end, 10);
-        OBLV_REQUIRE(end != nullptr && *end == '\0' && side >= 1,
-                     "bad mesh side at line " + std::to_string(line_number));
-        sides.push_back(side);
+        if (torus) fail("mesh sides after the torus flag");
+        const std::optional<std::int64_t> side = parse_int(token);
+        if (!side.has_value()) {
+          fail("mesh side '" + token + "' is not a valid integer");
+        }
+        if (*side < 1) {
+          fail("mesh side " + token + " must be >= 1");
+        }
+        sides.push_back(*side);
       }
-      OBLV_REQUIRE(!sides.empty(), "mesh record without sides");
+      if (sides.empty()) fail("mesh record without sides");
       mesh.emplace(std::move(sides), torus);
     } else if (kind == "demand") {
-      OBLV_REQUIRE(mesh.has_value(), "demand before mesh record");
-      NodeId src = 0;
-      NodeId dst = 0;
-      OBLV_REQUIRE(static_cast<bool>(tokens >> src >> dst),
-                   "bad demand at line " + std::to_string(line_number));
-      OBLV_REQUIRE(src >= 0 && src < mesh->num_nodes() && dst >= 0 &&
-                       dst < mesh->num_nodes(),
-                   "demand endpoint off the mesh at line " +
-                       std::to_string(line_number));
-      problem.demands.push_back({src, dst});
+      if (!mesh.has_value()) fail("demand before mesh record");
+      NodeId ids[2] = {0, 0};
+      std::string token;
+      for (auto& id : ids) {
+        if (!(tokens >> token)) {
+          fail("truncated demand record (need '<src> <dst>')");
+        }
+        const std::optional<std::int64_t> value = parse_int(token);
+        if (!value.has_value()) {
+          fail("demand id '" + token + "' is not a valid integer");
+        }
+        if (*value < 0 || *value >= mesh->num_nodes()) {
+          fail("demand id " + token + " is off the mesh (" +
+               std::to_string(mesh->num_nodes()) + " nodes)");
+        }
+        id = *value;
+      }
+      if (tokens >> token) {
+        fail("trailing token '" + token + "' after demand record");
+      }
+      problem.demands.push_back({ids[0], ids[1]});
     } else {
-      OBLV_REQUIRE(false, "unknown record '" + kind + "' at line " +
-                              std::to_string(line_number));
+      fail("unknown record '" + kind + "'");
     }
   }
-  OBLV_REQUIRE(mesh.has_value(), "no mesh record found");
+  if (is.bad()) {
+    line_number = 0;
+    fail("read failure (stream went bad mid-parse)");
+  }
+  if (!mesh.has_value()) {
+    line_number = 0;
+    fail("no mesh record found");
+  }
   return {*std::move(mesh), std::move(problem)};
 }
 
 std::pair<Mesh, RoutingProblem> problem_from_text(const std::string& text) {
   std::istringstream is(text);
   return read_problem(is);
+}
+
+std::pair<Mesh, RoutingProblem> read_problem_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ProblemParseError(path, 0, "cannot open file for reading");
+  }
+  return read_problem(in, path);
 }
 
 }  // namespace oblivious

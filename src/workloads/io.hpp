@@ -7,9 +7,16 @@
 //   demand <src> <dst>
 //   demand <src> <dst>
 //   ...
+//
+// Loaders reject malformed input with ProblemParseError, which carries
+// the source name (file path or "<input>") and 1-based line of the first
+// offense -- a truncated file, a non-numeric or overflowing id, trailing
+// junk on a record, or an id off the declared mesh all name their line.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -18,14 +25,37 @@
 
 namespace oblivious {
 
+// Typed parse failure with source context. Derives from
+// std::invalid_argument so pre-existing catch sites keep working; the
+// what() string is "<source>:<line>: <reason>" (line 0 = whole-stream
+// problems such as a missing mesh record, rendered without a number).
+class ProblemParseError : public std::invalid_argument {
+ public:
+  ProblemParseError(std::string source, std::size_t line, const std::string& reason);
+
+  const std::string& source() const { return source_; }
+  std::size_t line() const { return line_; }
+
+ private:
+  std::string source_;
+  std::size_t line_;
+};
+
 std::string problem_to_text(const Mesh& mesh, const RoutingProblem& problem);
 void write_problem(std::ostream& os, const Mesh& mesh,
                    const RoutingProblem& problem);
 
-// Parses a problem; throws std::invalid_argument on malformed input.
+// Parses a problem; throws ProblemParseError (an std::invalid_argument)
+// on malformed input, naming `source_name` and the offending line.
 // \pre the stream holds one mesh record followed by demand records whose
-// node ids are on that mesh (unknown records and out-of-range ids throw).
-std::pair<Mesh, RoutingProblem> read_problem(std::istream& is);
+// node ids are on that mesh (unknown records, trailing tokens, and
+// out-of-range ids throw).
+std::pair<Mesh, RoutingProblem> read_problem(
+    std::istream& is, const std::string& source_name = "<input>");
 std::pair<Mesh, RoutingProblem> problem_from_text(const std::string& text);
+
+// Opens and parses `path`; an unreadable file or a stream that dies
+// mid-read throws ProblemParseError naming the path.
+std::pair<Mesh, RoutingProblem> read_problem_file(const std::string& path);
 
 }  // namespace oblivious

@@ -4,8 +4,10 @@
 
 #include <vector>
 
+#include "fault/fault_model.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/region.hpp"
+#include "mesh/segment_path.hpp"
 #include "rng/rng.hpp"
 #include "util/small_vec.hpp"
 
@@ -129,6 +131,100 @@ TEST(Fuzz, DistanceMatchesBfsOnSmallMeshes) {
         ASSERT_EQ(mesh.distance(s, t), dist[static_cast<std::size_t>(t)])
             << "s=" << s << " t=" << t << " torus=" << torus;
       }
+    }
+  }
+}
+
+TEST(Fuzz, FaultScheduleInvariantsOnRandomConfigs) {
+  // Random (rate, repair, horizon, seed) configs: the CSR interval store
+  // must agree with the point-query path (two independent code paths into
+  // the same schedule), the intervals must be well-formed, and the
+  // fail-event count must tie out with the static masks.
+  Rng fuzz(0xfa01);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Mesh mesh({static_cast<std::int64_t>(2 + fuzz.uniform_below(5)),
+                     static_cast<std::int64_t>(2 + fuzz.uniform_below(5))});
+    FaultConfig config;
+    config.edge_fail_prob =
+        static_cast<double>(fuzz.uniform_below(300)) / 1000.0;
+    config.edge_repair_prob =
+        static_cast<double>(fuzz.uniform_below(1000)) / 1000.0;
+    config.horizon = static_cast<std::int64_t>(fuzz.uniform_below(50));
+    config.seed = fuzz.bits(64);
+    if (fuzz.coin()) {
+      config.failed_edges.push_back(static_cast<EdgeId>(
+          fuzz.uniform_below(static_cast<std::uint64_t>(mesh.num_edges()))));
+    }
+    const FaultModel model(mesh, config);
+
+    std::int64_t interval_count = 0;
+    for (EdgeId e = 0; e < mesh.num_edges(); ++e) {
+      const auto intervals = model.intervals(e);
+      interval_count += static_cast<std::int64_t>(intervals.size());
+      std::int64_t prev_end = -1;
+      std::vector<bool> down(static_cast<std::size_t>(config.horizon),
+                             false);
+      for (const auto& [start, end] : intervals) {
+        ASSERT_LE(0, start);
+        ASSERT_LT(start, end);
+        ASSERT_LE(end, config.horizon);
+        // Disjoint with a real up-gap: a zero-length gap would mean a
+        // repair and an immediate refail merged into one interval.
+        ASSERT_GT(start, prev_end);
+        prev_end = end;
+        for (std::int64_t s = start; s < end; ++s) {
+          down[static_cast<std::size_t>(s)] = true;
+        }
+      }
+      const bool statically_dead = model.edge_failed(e, config.horizon);
+      for (std::int64_t s = 0; s < config.horizon; ++s) {
+        ASSERT_EQ(model.edge_failed(e, s),
+                  statically_dead || down[static_cast<std::size_t>(s)])
+            << "trial " << trial << " edge " << e << " step " << s;
+      }
+      // Beyond the horizon only the static masks apply.
+      ASSERT_EQ(model.edge_failed(e, config.horizon + 7), statically_dead);
+    }
+    ASSERT_EQ(model.failures_injected(),
+              model.static_failed_edges() + interval_count);
+    // fault_free() is config-driven (a live rate can still produce zero
+    // intervals by luck), so only the forward implication holds.
+    if (model.fault_free()) {
+      ASSERT_EQ(model.failures_injected(), 0);
+    }
+  }
+}
+
+TEST(Fuzz, FaultPathAndSegmentProbesAgree) {
+  // path_failed walks node pairs, segments_failed walks segment runs:
+  // two independent edge enumerations of the same walk must agree at
+  // every probed step.
+  Rng fuzz(0xfa02);
+  for (int trial = 0; trial < 30; ++trial) {
+    const bool torus = fuzz.coin();
+    const Mesh mesh({8, 8}, torus);
+    FaultConfig config;
+    config.edge_fail_prob = 0.05;
+    config.horizon = 16;
+    config.seed = fuzz.bits(64);
+    const FaultModel model(mesh, config);
+    // A random simple-ish walk: repeated random productive steps.
+    Path path;
+    NodeId u = static_cast<NodeId>(
+        fuzz.uniform_below(static_cast<std::uint64_t>(mesh.num_nodes())));
+    path.nodes.push_back(u);
+    for (int hop = 0; hop < 20; ++hop) {
+      const int d = static_cast<int>(fuzz.uniform_below(2));
+      const int dir = fuzz.coin() ? +1 : -1;
+      const NodeId v = mesh.step(u, d, dir);
+      if (v == kInvalidNode) continue;
+      path.nodes.push_back(v);
+      u = v;
+    }
+    const SegmentPath sp = segments_from_path(mesh, path);
+    for (std::int64_t step = 0; step < 18; ++step) {
+      ASSERT_EQ(model.path_failed(path, step), model.segments_failed(sp, step))
+          << "trial " << trial << " step " << step;
     }
   }
 }

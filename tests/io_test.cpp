@@ -63,6 +63,71 @@ TEST(ProblemIo, RejectsMalformedInput) {
   EXPECT_THROW(problem_from_text("# nothing\n"), std::invalid_argument);
 }
 
+TEST(ProblemIo, ParseErrorsCarryFileAndLineContext) {
+  try {
+    std::istringstream is("mesh 4 4\ndemand 0 1\ndemand 0 99\n");
+    read_problem(is, "workload.txt");
+    FAIL() << "expected ProblemParseError";
+  } catch (const ProblemParseError& e) {
+    EXPECT_EQ(e.source(), "workload.txt");
+    EXPECT_EQ(e.line(), 3U);
+    EXPECT_EQ(std::string(e.what()),
+              "workload.txt:3: demand id 99 is off the mesh (16 nodes)");
+  }
+}
+
+TEST(ProblemIo, RejectsNonIntegerAndOverflowingTokens) {
+  EXPECT_THROW(problem_from_text("mesh 4x4\n"), ProblemParseError);
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand 0 1.5\n"),
+               ProblemParseError);
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand zero 1\n"),
+               ProblemParseError);
+  // Overflows int64: must be a parse error, not a wrapped id.
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand 0 99999999999999999999\n"),
+               ProblemParseError);
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand 0 -\n"),
+               ProblemParseError);
+}
+
+TEST(ProblemIo, RejectsTrailingAndMisplacedTokens) {
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand 0 1 2\n"),
+               ProblemParseError);
+  EXPECT_THROW(problem_from_text("mesh 4 torus 4\n"), ProblemParseError);
+  EXPECT_THROW(problem_from_text("mesh 4 4\ndemand -1 1\n"),
+               ProblemParseError);
+}
+
+TEST(ProblemIo, TruncatedDemandReportsItsLine) {
+  try {
+    problem_from_text("mesh 8 8\ndemand 3\n");
+    FAIL() << "expected ProblemParseError";
+  } catch (const ProblemParseError& e) {
+    EXPECT_EQ(e.line(), 2U);
+    EXPECT_NE(std::string(e.what()).find("truncated demand"),
+              std::string::npos);
+  }
+}
+
+TEST(ProblemIo, MissingMeshReportsWholeFile) {
+  try {
+    problem_from_text("# only comments\n");
+    FAIL() << "expected ProblemParseError";
+  } catch (const ProblemParseError& e) {
+    EXPECT_EQ(e.line(), 0U);  // no single line to blame
+    EXPECT_EQ(std::string(e.what()), "<input>: no mesh record found");
+  }
+}
+
+TEST(ProblemIo, UnopenableFileThrowsWithPath) {
+  try {
+    read_problem_file("/nonexistent/dir/problem.txt");
+    FAIL() << "expected ProblemParseError";
+  } catch (const ProblemParseError& e) {
+    EXPECT_EQ(e.source(), "/nonexistent/dir/problem.txt");
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
 TEST(ProblemIo, EmptyProblemIsFine) {
   const auto [mesh, problem] = problem_from_text("mesh 8 8\n");
   EXPECT_EQ(mesh.num_nodes(), 64);

@@ -22,6 +22,12 @@ Rules (all scoped to the paper-reproduction discipline in DESIGN.md §7):
         (src/routing/): a by-value std::vector local (or push_back onto
         one) defeats the zero-allocation contract of the scratch-threaded
         entry points -- route through RouteScratch buffers instead.
+  D005  Every code path that drops or requeues a packet (src/fault/,
+        src/simulator/) must increment a fault.* metric: a drop-tally
+        bump, a kDropped status, or a backoff requeue with no
+        OBLV_COUNTER_ADD("fault. nearby is an uncounted loss -- the
+        graceful-degradation accounting (delivered + dropped == injected)
+        silently lies when one of these sites forgets its counter.
 
 Suppression: `// oblv-lint: allow(RULE) <justification>` on the flagged
 line or within the three lines above it. The justification is mandatory.
@@ -60,6 +66,7 @@ RULE_DOCS = {
     "D003": "std::function on a routing hot path",
     "C001": "undocumented preconditions in paired header",
     "D004": "per-call container allocation in a route*_into hot path",
+    "D005": "packet drop/requeue without a fault.* metric increment",
     "A001": "allowlist comment without justification",
 }
 
@@ -386,6 +393,63 @@ def check_d004(path: Path, rel: str, code: str,
     return findings
 
 
+# ---------------------------------------------------------------- D005 --
+
+# Packet-loss / requeue events. Identifier paths may be member chains
+# (result.dropped, state[i].wait_until).
+D005_EVENTS = [
+    (re.compile(r"\+\+\s*[\w.\[\]>()-]*\bdrop\w*|"
+                r"[\w.\[\]>()-]*\bdrop\w*\s*\+\+"),
+     "drop-tally increment"),
+    (re.compile(r"(?P<lhs>[\w.\[\]>()-]*\bdrop\w*)\s*\+=\s*(?P<rhs>[^;]*)"),
+     "drop-tally accumulation"),
+    (re.compile(r"(?:=\s*|return\s+)FaultRouteStatus\s*::\s*kDropped"),
+     "kDropped outcome"),
+    (re.compile(r"(?:\.|->)\s*wait_until\s*=(?!=)"),
+     "backoff requeue"),
+]
+D005_COUNTER_RE = re.compile(r'OBLV_COUNTER_ADD\(\s*"fault\.')
+# How far (in lines, either direction) the metric bump may sit from the
+# drop/requeue event it accounts for.
+D005_WINDOW = 6
+D005_DROP_IDENT_RE = re.compile(r"\bdrop\w*", re.IGNORECASE)
+
+
+def check_d005(path: Path, rel: str, code: str, raw_lines: list[str],
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if path.suffix != ".cpp":
+        return []
+    if not (rel.startswith("src/fault/") or "/src/fault/" in rel
+            or rel.startswith("src/simulator/")
+            or "/src/simulator/" in rel):
+        return []
+
+    def counted_nearby(ln: int) -> bool:
+        lo = max(0, ln - 1 - D005_WINDOW)
+        hi = min(len(raw_lines), ln + D005_WINDOW)
+        return any(D005_COUNTER_RE.search(raw_lines[i])
+                   for i in range(lo, hi))
+
+    findings = []
+    for pattern, what in D005_EVENTS:
+        for m in pattern.finditer(code):
+            if what == "drop-tally accumulation" and D005_DROP_IDENT_RE.search(
+                    m.group("rhs")):
+                continue  # tally-to-tally merge, not a new drop event
+            ln = line_of(code, m.start())
+            if is_allowed(allowed, ln, "D005"):
+                continue
+            if counted_nearby(ln):
+                continue
+            findings.append(Finding(
+                "D005", path, ln,
+                f"{what} without an OBLV_COUNTER_ADD(\"fault.*\") within "
+                f"{D005_WINDOW} lines: a packet left the network uncounted; "
+                "bump the metric at the decision site or justify with "
+                "// oblv-lint: allow(D005)"))
+    return findings
+
+
 # ---------------------------------------------------------------- C001 --
 
 C001_ASSERT_RE = re.compile(r"\bOBLV_(?:REQUIRE|EXPECTS)\s*\(")
@@ -433,6 +497,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_d002(path, code, allowed)
     findings += check_d003(path, rel, code, allowed)
     findings += check_d004(path, rel, code, allowed)
+    findings += check_d005(path, rel, code, raw_lines, allowed)
     findings += check_c001(path, raw)
     return findings
 

@@ -1,0 +1,5 @@
+// D005 is scoped to src/fault/ and src/simulator/: this analysis-side
+// tally aggregates already-counted router outcomes and must not fire.
+#include <cstdint>
+
+void aggregate(std::int64_t& dropped) { ++dropped; }

@@ -1,0 +1,79 @@
+// D005 fixture: drop/requeue events with and without fault.* counters.
+// Functions are spaced so one site's counter cannot leak into another
+// site's +/-6-line window.
+#include <cstdint>
+
+struct Result {
+  std::int64_t dropped = 0;
+  std::int64_t wait_until = 0;  // declaration: not a requeue event
+};
+
+void uncounted_drop(Result& result) {
+  ++result.dropped;  // line 12: fires, no counter anywhere near
+}
+
+//
+//
+//
+//
+
+void counted_drop(Result& result) {
+  ++result.dropped;
+  OBLV_COUNTER_ADD("fault.drops", 1);  // within the window: clean
+}
+
+//
+//
+//
+//
+
+void allowed_drop(Result& result) {
+  // oblv-lint: allow(D005) router already counted this into fault.drops
+  ++result.dropped;
+}
+
+//
+//
+//
+//
+
+int uncounted_status() {
+  return FaultRouteStatus::kDropped;  // line 41: fires
+}
+
+//
+//
+//
+//
+
+void uncounted_requeue(Result& result) {
+  result.wait_until = 3;  // line 50: fires (requeue, no counter)
+}
+
+//
+//
+//
+//
+
+void counted_requeue(Result& result, std::int64_t step) {
+  OBLV_COUNTER_ADD("fault.backoff_steps", 4);
+  result.wait_until = step + 4;  // counter one line up: clean
+}
+
+//
+//
+//
+//
+
+void merge_tallies(Result& stats, const Result& local) {
+  stats.dropped += local.dropped;  // tally-to-tally merge: clean
+}
+
+//
+//
+//
+//
+
+void postfix_drop(Result& result) {
+  result.dropped++;  // line 78: fires
+}

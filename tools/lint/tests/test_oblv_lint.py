@@ -104,6 +104,24 @@ class TestD004(unittest.TestCase):
              if f.rule == "D004"], [])
 
 
+class TestD005(unittest.TestCase):
+    def test_uncounted_drop_requeue_and_status_fire(self):
+        found = rules_and_lines(lint("src/fault/d005_drop.cpp"))
+        self.assertIn(("D005", 12), found)  # bare tally bump
+        self.assertIn(("D005", 41), found)  # kDropped with no counter
+        self.assertIn(("D005", 50), found)  # requeue with no counter
+        self.assertIn(("D005", 78), found)  # postfix bump
+
+    def test_counted_allowed_merge_and_decl_do_not_fire(self):
+        findings = lint("src/fault/d005_drop.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {12, 41, 50, 78},
+                         [f.render(FIXTURES) for f in findings])
+
+    def test_scoped_to_fault_and_simulator(self):
+        self.assertEqual(lint("src/analysis/d005_scoped_out.cpp"), [])
+
+
 class TestA001(unittest.TestCase):
     def test_allow_without_justification_flagged_and_ineffective(self):
         found = rules_and_lines(lint("src/util/bad_allow.cpp"))

@@ -14,14 +14,18 @@
 //   oblv_route --mesh 64x64 --workload tornado --save problem.txt
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "analysis/evaluate.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/trials.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/fault_router.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "routing/registry.hpp"
+#include "parallel/route_batch.hpp"
 #include "simulator/simulator.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -50,6 +54,11 @@ constexpr const char* kUsage = R"(usage: oblv_route [flags]
   --csv                emit the metrics row as CSV
   --trials N           randomized re-routings for the trial statistics
                        (default 3 with --metrics-json, else 0)
+  --fault-rate P       per-edge failure probability; routes through the
+                       fault-aware retry pipeline (default 0 = off)
+  --fault-seed N       fault-schedule seed (default: --seed)
+  --retry-budget N     max path draws per packet under faults (default 4)
+  --backoff-base N     exponential backoff base in steps (default 1)
   --metrics-json FILE  write an oblv-metrics-v1 JSON report covering the
                        decomposition, routing, accounting, trials and
                        simulation stages (implies --simulate and trials)
@@ -102,12 +111,7 @@ int run(const Flags& flags) {
   Mesh mesh({1});
   RoutingProblem problem;
   if (flags.has("load")) {
-    std::ifstream in(flags.get("load", ""));
-    if (!in) {
-      std::cerr << "cannot open " << flags.get("load", "") << "\n";
-      return 1;
-    }
-    std::tie(mesh, problem) = read_problem(in);
+    std::tie(mesh, problem) = read_problem_file(flags.get("load", ""));
   } else {
     mesh = parse_mesh(flags.get("mesh", "64x64"), flags.get_bool("torus"));
     Rng wrng(seed);
@@ -145,6 +149,31 @@ int run(const Flags& flags) {
   const int trials =
       static_cast<int>(flags.get_int("trials", want_metrics ? 3 : 0));
 
+  // Fault-aware pipeline: at --fault-rate 0 this block is inert and the
+  // tool is draw-for-draw identical to the fault-free engine.
+  const double fault_rate = flags.get_double("fault-rate", 0.0);
+  if (fault_rate < 0.0 || fault_rate > 1.0) {
+    std::cerr << "--fault-rate must be in [0, 1]\n";
+    return 1;
+  }
+  std::optional<FaultModel> faults;
+  RetryPolicy retry;
+  if (fault_rate > 0.0) {
+    FaultConfig config;
+    config.edge_fail_prob = fault_rate;
+    config.horizon = 1;  // stationary static snapshot
+    config.seed = static_cast<std::uint64_t>(
+        flags.get_int("fault-seed", static_cast<std::int64_t>(seed)));
+    faults.emplace(mesh, config);
+    retry.max_attempts =
+        static_cast<int>(flags.get_int("retry-budget", retry.max_attempts));
+    retry.backoff_base = flags.get_int("backoff-base", retry.backoff_base);
+    std::cout << "faults  : rate " << fault_rate << ", "
+              << faults->failures_injected()
+              << " fail events, retry budget " << retry.max_attempts
+              << ", backoff base " << retry.backoff_base << "\n";
+  }
+
   const double lb = best_lower_bound(mesh, problem);
   std::cout << "C* bound: >= " << lb << "\n\n";
   Table table({"algorithm", "C", "C/C*", "D", "max stretch", "mean stretch",
@@ -154,10 +183,41 @@ int run(const Flags& flags) {
     RouteAllOptions options;
     options.seed = seed;
     RunningStats bits;
-    const std::vector<Path> paths =
-        route_all(mesh, *router, problem, options, &bits);
+    std::vector<Path> paths;
+    RoutingProblem measured_problem;
+    if (faults.has_value()) {
+      // Retry-with-rerandomization recovery; quality metrics cover the
+      // delivered traffic (a dropped packet carries no load).
+      const FaultAwareRouter fault_router(*router, *faults, retry, 0);
+      RouteScratch scratch;
+      std::int64_t dropped = 0;
+      std::int64_t retried = 0;
+      std::int64_t detoured = 0;
+      for (std::size_t i = 0; i < problem.demands.size(); ++i) {
+        const Demand& demand = problem.demands[i];
+        Rng rng = packet_rng(seed, i);
+        Path out;
+        const FaultRouteOutcome outcome = fault_router.route_with_faults(
+            demand.src, demand.dst, rng, scratch, out);
+        if (outcome.status == FaultRouteStatus::kRetried) ++retried;
+        if (outcome.status == FaultRouteStatus::kDetoured) ++detoured;
+        if (outcome.delivered()) {
+          paths.push_back(std::move(out));
+          measured_problem.demands.push_back(demand);
+        } else {
+          ++dropped;
+        }
+      }
+      std::cout << router->name() << ": delivered " << paths.size() << "/"
+                << problem.size() << " under faults (" << retried
+                << " retried, " << detoured << " detoured, " << dropped
+                << " dropped)\n";
+    } else {
+      paths = route_all(mesh, *router, problem, options, &bits);
+      measured_problem = problem;
+    }
     const RouteSetMetrics m = [&] {
-      RouteSetMetrics metrics = measure_paths(mesh, problem, paths, lb);
+      RouteSetMetrics metrics = measure_paths(mesh, measured_problem, paths, lb);
       metrics.algorithm = router->name();
       metrics.bits_per_packet = bits;
       return metrics;
@@ -235,7 +295,8 @@ int main(int argc, char** argv) {
         argc, argv,
         {"mesh", "torus", "algorithm", "workload", "l", "seed", "simulate",
          "policy", "heatmap", "csv", "save", "load", "trials", "metrics-json",
-         "metrics-table", "help"}));
+         "metrics-table", "fault-rate", "fault-seed", "retry-budget",
+         "backoff-base", "help"}));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n" << kUsage;
     return 1;
