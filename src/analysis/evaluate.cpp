@@ -39,7 +39,7 @@ std::vector<Path> route_all(const Mesh& mesh, const Router& router,
     if (bits_per_packet != nullptr && options.meter_bits) {
       bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
     }
-    if (obs_on && (i & (kPathLengthSampleStride - 1)) == 0) {
+    if (obs_on && path_length_sampled(i)) {
       path_lengths.add(paths[i].length(), kPathLengthSampleStride);
     }
   }
@@ -86,7 +86,7 @@ void route_all_segments_into(const Mesh& mesh, const Router& router,
     if (bits_per_packet != nullptr && options.meter_bits) {
       bits_per_packet->add(static_cast<double>(meter.bits - bits_before));
     }
-    if (obs_on && (i & (kPathLengthSampleStride - 1)) == 0) {
+    if (obs_on && path_length_sampled(i)) {
       path_lengths.add(paths[i].length(), kPathLengthSampleStride);
     }
   }
@@ -242,6 +242,8 @@ RouteSetMetrics route_and_measure_parallel(
     RouteScratch scratch;
     for (std::size_t i = begin; i < end; ++i) {
       const Demand& demand = problem.demands[i];
+      // oblv-lint: allow(D006) this loop interleaves load accumulation
+      // and metering per packet, which the SoA engine does not model
       Rng rng = packet_rng(seed, i);
       router.route_segments_into(demand.src, demand.dst, rng, scratch,
                                  paths[i]);

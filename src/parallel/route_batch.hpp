@@ -38,6 +38,28 @@ inline Rng packet_rng(std::uint64_t seed, std::size_t i) {
 // and keyed on the packet index, so the sample set is deterministic and
 // identical for the serial and parallel entry points.
 inline constexpr std::size_t kPathLengthSampleStride = 16;
+static_assert((kPathLengthSampleStride & (kPathLengthSampleStride - 1)) == 0 &&
+                  kPathLengthSampleStride != 0,
+              "the sample set is selected with an index mask, which is only "
+              "uniform when the stride is a power of two");
+
+// True when packet i belongs to the deterministic path-length sample set.
+// The single definition shared by every batch driver and the analysis
+// pipeline: the sample set must be identical everywhere or per-engine
+// histograms drift apart.
+inline constexpr bool path_length_sampled(std::size_t i) {
+  return (i & (kPathLengthSampleStride - 1)) == 0;
+}
+
+// Which inner loop route_batch runs. Both engines produce bit-identical
+// segment output for every algorithm, seed, thread count, and chunk size
+// (the determinism contract of DESIGN.md section 10); the choice is
+// purely a throughput decision.
+enum class BatchEngine {
+  kAuto,    // SoA when the router is supported, scalar otherwise
+  kScalar,  // force the per-packet scalar loop
+  kSoa,     // force the SoA engine (scalar for unsupported routers)
+};
 
 struct RouteBatchOptions {
   std::uint64_t seed = 1;
@@ -45,6 +67,11 @@ struct RouteBatchOptions {
   // worker ~8 chunks, small enough to steal tail work, large enough to
   // keep the cursor off the hot path.
   std::size_t chunk_size = 0;
+  // Validate that every demand's endpoints are mesh nodes before routing.
+  // The check is O(n) per call; replaying a pre-validated demand set can
+  // switch it off (the endpoints cannot have changed).
+  bool validate_demands = true;
+  BatchEngine engine = BatchEngine::kAuto;
 };
 
 // Routes demands[i] into out[i] (resizing `out` to match; entry capacity

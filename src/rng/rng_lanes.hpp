@@ -1,0 +1,206 @@
+// Lane-parallel twin of Rng for the SoA batch engine.
+//
+// The batch drivers derive one private stream per packet from a counter:
+// packet_rng(seed, i) seeds an independent xoshiro256++ engine from
+// splitmix64(seed ^ splitmix64(i)). Because the derivation is already
+// counter-based, W packets can be stepped side by side: RngLanes keeps W
+// complete engine states in structure-of-arrays form and advances all of
+// them with one vectorized pass. Lane k never reads another lane's state,
+// so lane k of every next() call emits the EXACT word the scalar
+// packet_rng(seed, indices[k]) stream would emit at the same position --
+// the bit-identity the SoA engine's determinism contract rests on
+// (pinned against scalar golden words in tests/rng_test.cpp).
+//
+// Rejection sampling (uniform_below on a non-power-of-two bound) is the
+// only place lanes diverge: a rejected lane must redraw while the others
+// hold still. next_lane(k) advances exactly one lane for that fix-up,
+// keeping every lane on its own scalar stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/rng.hpp"
+#include "util/simd.hpp"
+
+namespace oblivious {
+
+namespace rng_lanes_detail {
+
+inline std::uint64_t rotl_u64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// One xoshiro256++ step per lane, all lanes in lock step. The body is the
+// scalar Rng::next_u64 verbatim, applied element-wise to the SoA state;
+// compiled twice below (portable + AVX2 target) and runtime-dispatched.
+#define OBLV_RNG_LANES_STEP_BODY(W)                           \
+  for (std::size_t k = 0; k < (W); ++k) {                     \
+    out[k] = rotl_u64(s0[k] + s3[k], 23) + s0[k];             \
+    const std::uint64_t t = s1[k] << 17;                      \
+    s2[k] ^= s0[k];                                           \
+    s3[k] ^= s1[k];                                           \
+    s1[k] ^= s2[k];                                           \
+    s0[k] ^= s3[k];                                           \
+    s2[k] ^= t;                                               \
+    s3[k] = rotl_u64(s3[k], 45);                              \
+  }
+
+template <std::size_t W>
+inline void step_portable(std::uint64_t* s0, std::uint64_t* s1,
+                          std::uint64_t* s2, std::uint64_t* s3,
+                          std::uint64_t* out) {
+  OBLV_PRAGMA_SIMD
+  OBLV_RNG_LANES_STEP_BODY(W)
+}
+
+#if OBLV_SIMD_X86_DISPATCH
+template <std::size_t W>
+__attribute__((target("avx2"))) inline void step_avx2(std::uint64_t* s0,
+                                                      std::uint64_t* s1,
+                                                      std::uint64_t* s2,
+                                                      std::uint64_t* s3,
+                                                      std::uint64_t* out) {
+  OBLV_PRAGMA_SIMD
+  OBLV_RNG_LANES_STEP_BODY(W)
+}
+#endif
+
+#undef OBLV_RNG_LANES_STEP_BODY
+
+// `nops` steps with the state held in locals for the whole sweep -- one
+// load and one store of the SoA state per BLOCK instead of per step.
+#define OBLV_RNG_LANES_BLOCK_BODY(W)                          \
+  std::uint64_t t0[(W)], t1[(W)], t2[(W)], t3[(W)];           \
+  for (std::size_t k = 0; k < (W); ++k) {                     \
+    t0[k] = s0[k];                                            \
+    t1[k] = s1[k];                                            \
+    t2[k] = s2[k];                                            \
+    t3[k] = s3[k];                                            \
+  }                                                           \
+  for (std::size_t o = 0; o < nops; ++o) {                    \
+    std::uint64_t* out = rows + o * (W);                      \
+    OBLV_PRAGMA_SIMD                                          \
+    for (std::size_t k = 0; k < (W); ++k) {                   \
+      out[k] = rotl_u64(t0[k] + t3[k], 23) + t0[k];           \
+      const std::uint64_t t = t1[k] << 17;                    \
+      t2[k] ^= t0[k];                                         \
+      t3[k] ^= t1[k];                                         \
+      t1[k] ^= t2[k];                                         \
+      t0[k] ^= t3[k];                                         \
+      t2[k] ^= t;                                             \
+      t3[k] = rotl_u64(t3[k], 45);                            \
+    }                                                         \
+  }                                                           \
+  for (std::size_t k = 0; k < (W); ++k) {                     \
+    s0[k] = t0[k];                                            \
+    s1[k] = t1[k];                                            \
+    s2[k] = t2[k];                                            \
+    s3[k] = t3[k];                                            \
+  }
+
+template <std::size_t W>
+inline void block_portable(std::uint64_t* s0, std::uint64_t* s1,
+                           std::uint64_t* s2, std::uint64_t* s3,
+                           std::uint64_t* rows, std::size_t nops) {
+  OBLV_RNG_LANES_BLOCK_BODY(W)
+}
+
+#if OBLV_SIMD_X86_DISPATCH
+template <std::size_t W>
+__attribute__((target("avx2"))) inline void block_avx2(
+    std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2,
+    std::uint64_t* s3, std::uint64_t* rows, std::size_t nops) {
+  OBLV_RNG_LANES_BLOCK_BODY(W)
+}
+#endif
+
+#undef OBLV_RNG_LANES_BLOCK_BODY
+
+}  // namespace rng_lanes_detail
+
+class RngLanes {
+ public:
+  // Width of the SoA state: 8 x u64 = two AVX2 registers per state word.
+  static constexpr std::size_t kLanes = 8;
+
+  // Seeds lane k with the stream of packet_rng(seed, indices[k]) for
+  // k < n; n may be smaller than kLanes for a tail group (the remaining
+  // lanes are seeded with indices[n-1] and stepped but never read).
+  // \pre 1 <= n <= kLanes.
+  void seed_packets(std::uint64_t seed, const std::uint64_t* indices,
+                    std::size_t n) {
+    active_ = n;
+    std::uint64_t x[kLanes];
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      x[k] = indices[k < n ? k : n - 1];
+    }
+    // splitmix64 expansion of the per-packet seed, as Rng::reseed --
+    // restructured into row passes so every round runs across all lanes.
+    OBLV_PRAGMA_SIMD
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      x[k] = splitmix64(seed ^ splitmix64(x[k]));
+    }
+    for (std::size_t w = 0; w < 4; ++w) {
+      OBLV_PRAGMA_SIMD
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        x[k] += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x[k];
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        s_[w][k] = z ^ (z >> 31);
+      }
+    }
+  }
+
+  std::size_t active() const { return active_; }
+
+  // Advances every lane one step; out[k] is lane k's next raw word.
+  // \pre out has room for kLanes words.
+  void next(std::uint64_t* out) {
+#if OBLV_SIMD_X86_DISPATCH
+    if (simd_avx2_enabled()) {
+      rng_lanes_detail::step_avx2<kLanes>(s_[0], s_[1], s_[2], s_[3], out);
+      return;
+    }
+#endif
+    rng_lanes_detail::step_portable<kLanes>(s_[0], s_[1], s_[2], s_[3], out);
+  }
+
+  // Advances every lane `nops` steps; step o's words land at
+  // rows[o * kLanes .. o * kLanes + kLanes). Bit-identical to nops calls
+  // of next() -- only the state-memory traffic differs.
+  // \pre rows has room for nops * kLanes words.
+  void next_block(std::uint64_t* rows, std::size_t nops) {
+#if OBLV_SIMD_X86_DISPATCH
+    if (simd_avx2_enabled()) {
+      rng_lanes_detail::block_avx2<kLanes>(s_[0], s_[1], s_[2], s_[3], rows,
+                                           nops);
+      return;
+    }
+#endif
+    rng_lanes_detail::block_portable<kLanes>(s_[0], s_[1], s_[2], s_[3], rows,
+                                             nops);
+  }
+
+  // Advances ONLY lane k (rejection fix-up; the other lanes hold still).
+  std::uint64_t next_lane(std::size_t k) {
+    using rng_lanes_detail::rotl_u64;
+    const std::uint64_t result = rotl_u64(s_[0][k] + s_[3][k], 23) + s_[0][k];
+    const std::uint64_t t = s_[1][k] << 17;
+    s_[2][k] ^= s_[0][k];
+    s_[3][k] ^= s_[1][k];
+    s_[1][k] ^= s_[2][k];
+    s_[0][k] ^= s_[3][k];
+    s_[2][k] ^= t;
+    s_[3][k] = rotl_u64(s_[3][k], 45);
+    return result;
+  }
+
+ private:
+  // s_[w][k]: state word w of lane k (SoA: one cache line per state word).
+  alignas(64) std::uint64_t s_[4][kLanes] = {};
+  std::size_t active_ = 0;
+};
+
+}  // namespace oblivious

@@ -137,6 +137,21 @@ void AncestorRouter::build_chain(const Coord& cs, const Coord& ct,
   }
 }
 
+void AncestorRouter::resolve_plan(NodeId s, NodeId t,
+                                  std::vector<Region>& chain,
+                                  std::size_t& up_count,
+                                  int& bridge_level) const {
+  bridge_level = 0;
+  const bool hit =
+      plan_cache_.lookup(s, t, mesh_->dim(), chain, up_count, bridge_level);
+  if (!hit) {
+    build_chain(mesh_->coord(s), mesh_->coord(t), chain, up_count);
+    plan_cache_.insert(s, t, mesh_->dim(), chain, up_count,
+                       /*bridge_level=*/0);
+  }
+  count_plan_cache(hit);
+}
+
 template <typename PathT>
 void AncestorRouter::route_into_impl(NodeId s, NodeId t, Rng& rng,
                                      RouteScratch& scratch, PathT& out) const {
@@ -148,14 +163,7 @@ void AncestorRouter::route_into_impl(NodeId s, NodeId t, Rng& rng,
   const Coord ct = mesh_->coord(t);
   std::size_t up_count = 0;
   int bridge_level = 0;
-  const bool hit = plan_cache_.lookup(s, t, mesh_->dim(), scratch.chain,
-                                      up_count, bridge_level);
-  if (!hit) {
-    build_chain(cs, ct, scratch.chain, up_count);
-    plan_cache_.insert(s, t, mesh_->dim(), scratch.chain, up_count,
-                       /*bridge_level=*/0);
-  }
-  count_plan_cache(hit);
+  resolve_plan(s, t, scratch.chain, up_count, bridge_level);
 
   connect_chain_into<PathT>(
       *mesh_, scratch.chain, up_count, cs, ct, s, t,
@@ -292,6 +300,19 @@ void NdRouter::build_chain(NodeId s, NodeId t, const Coord& cs,
   bridge_level = bridge.level;
 }
 
+void NdRouter::resolve_plan(NodeId s, NodeId t, std::vector<Region>& chain,
+                            std::size_t& up_count, int& bridge_level) const {
+  bridge_level = 0;
+  const bool hit =
+      plan_cache_.lookup(s, t, mesh_->dim(), chain, up_count, bridge_level);
+  if (!hit) {
+    build_chain(s, t, mesh_->coord(s), mesh_->coord(t), chain, up_count,
+                bridge_level);
+    plan_cache_.insert(s, t, mesh_->dim(), chain, up_count, bridge_level);
+  }
+  count_plan_cache(hit);
+}
+
 template <typename PathT>
 void NdRouter::route_into_impl(NodeId s, NodeId t, Rng& rng,
                                RouteScratch& scratch, PathT& out) const {
@@ -304,13 +325,7 @@ void NdRouter::route_into_impl(NodeId s, NodeId t, Rng& rng,
   const int d = mesh_->dim();
   std::size_t up_count = 0;
   int bridge_level = 0;
-  const bool hit =
-      plan_cache_.lookup(s, t, d, scratch.chain, up_count, bridge_level);
-  if (!hit) {
-    build_chain(s, t, cs, ct, scratch.chain, up_count, bridge_level);
-    plan_cache_.insert(s, t, d, scratch.chain, up_count, bridge_level);
-  }
-  count_plan_cache(hit);
+  resolve_plan(s, t, scratch.chain, up_count, bridge_level);
 
   if (mode_ == RandomnessMode::kNaive) {
     connect_chain_into<PathT>(

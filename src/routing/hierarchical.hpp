@@ -70,6 +70,15 @@ class AncestorRouter final : public Router {
   const PlanCache& plan_cache() const { return plan_cache_; }
   void clear_plan_cache() const { plan_cache_.clear(); }
 
+  // Resolves the memoized bitonic chain for the pair (plan-cache lookup,
+  // build-and-insert on miss). The chain depends only on (s, t), never on
+  // a packet's random bits, so the SoA batch engine resolves each unique
+  // pair once per batch instead of once per packet. `bridge_level` is
+  // always 0 here (only NdRouter's frugal mode consumes it).
+  // \pre s != t, both node ids of this router's mesh.
+  void resolve_plan(NodeId s, NodeId t, std::vector<Region>& chain,
+                    std::size_t& up_count, int& bridge_level) const;
+
  private:
   RegularSubmesh bridge_at(const Coord& cs, const Coord& ct) const;
   void build_chain(const Coord& cs, const Coord& ct,
@@ -123,6 +132,15 @@ class NdRouter final : public Router {
   // Plan-cache introspection (tests/bench); see AncestorRouter.
   const PlanCache& plan_cache() const { return plan_cache_; }
   void clear_plan_cache() const { plan_cache_.clear(); }
+
+  // Memoized chain resolution for the pair; see AncestorRouter. The
+  // frugal draw widths derive from `bridge_level` via
+  // decomposition().height_of.
+  // \pre s != t, both node ids of this router's mesh.
+  void resolve_plan(NodeId s, NodeId t, std::vector<Region>& chain,
+                    std::size_t& up_count, int& bridge_level) const;
+
+  RandomnessMode randomness_mode() const { return mode_; }
 
  private:
   // `m1` / `m3` are the already-computed type-1 ancestors of s and t at

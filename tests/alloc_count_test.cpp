@@ -13,12 +13,15 @@
 #include <vector>
 
 #include "mesh/mesh.hpp"
+#include "mesh/segment_path.hpp"
+#include "parallel/soa_batch.hpp"
 #include "rng/rng.hpp"
 #include "routing/hierarchical.hpp"
 #include "routing/registry.hpp"
 #include "routing/route_scratch.hpp"
 #include "test_support.hpp"
 #include "util/contracts.hpp"
+#include "workloads/problem.hpp"
 
 namespace {
 
@@ -130,6 +133,50 @@ TEST(AllocCount, BaselineRoutersAllocateNothingSteadyState) {
         Algorithm::kValiant, Algorithm::kBoundedValiant}) {
     const auto router = make_router(algo, mesh);
     expect_zero_steady_state(*router, mesh);
+  }
+#endif
+}
+
+// The SoA batch engine's buffers are all capacity-retaining members, so
+// after a warm-up batch (plan cache populated, grouping tables and draw
+// rows grown, output SmallVecs spilled to their final capacity) repeated
+// batches perform ZERO heap allocations -- the claim soa_batch.hpp makes.
+TEST(AllocCount, SoaBatchEngineAllocatesNothingSteadyState) {
+#if OBLV_CONTRACTS_ACTIVE
+  GTEST_SKIP() << "contract validators allocate by design";
+#else
+  const auto run_engine = [](const Router& router, const Mesh& mesh) {
+    const auto pairs = testing::sample_pairs(mesh, 48, 29);
+    std::vector<Demand> demands;
+    for (const auto& [s, t] : pairs) demands.push_back({s, t});
+    for (std::size_t i = 0; i < 32; ++i) {  // repeats: multi-block groups
+      demands.push_back({pairs[i % 4].first, pairs[i % 4].second});
+    }
+    SoaBatchEngine engine;
+    std::vector<SegmentPath> out(demands.size());
+    const auto pass = [&]() {
+      const std::uint64_t before =
+          g_alloc_count.load(std::memory_order_relaxed);
+      engine.run(router, demands, /*seed=*/9, 0, demands.size(),
+                 std::span<SegmentPath>(out), nullptr);
+      return g_alloc_count.load(std::memory_order_relaxed) - before;
+    };
+    pass();
+    pass();
+    EXPECT_EQ(pass(), 0u) << router.name();
+    EXPECT_EQ(pass(), 0u) << router.name();
+  };
+  const Mesh mesh2 = Mesh::cube(2, 16);
+  run_engine(AncestorRouter(mesh2, AncestorRouter::Hierarchy::kAccessGraph),
+             mesh2);
+  run_engine(NdRouter(mesh2, NdRouter::RandomnessMode::kFrugal), mesh2);
+  const Mesh mesh3 = Mesh::cube(3, 8, /*torus=*/true);
+  run_engine(NdRouter(mesh3), mesh3);
+  for (const Algorithm algo : {Algorithm::kEcube, Algorithm::kRandomDimOrder,
+                               Algorithm::kValiant,
+                               Algorithm::kBoundedValiant}) {
+    const auto router = make_router(algo, mesh2);
+    run_engine(*router, mesh2);
   }
 #endif
 }

@@ -1,0 +1,41 @@
+// D006 fixture: scalar Rng construction inside batch loops.
+#include "rng/rng.hpp"
+
+void batch_loop(std::uint64_t seed, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = packet_rng(seed, i);  // line 6: fires D006
+    (void)rng;
+  }
+  std::size_t i = 0;
+  while (i < n) {
+    Rng fresh(seed + i);  // line 11: fires D006
+    (void)fresh;
+    ++i;
+  }
+}
+
+void sanctioned_loop(std::uint64_t seed, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // oblv-lint: allow(D006) scalar reference arm of the bit-identity test
+    Rng rng = packet_rng(seed, i);  // suppressed
+    (void)rng;
+  }
+}
+
+void hoisted_engine_is_fine(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);  // outside any loop: no finding
+  for (std::size_t i = 0; i < n; ++i) {
+    rng.next_u64();  // reuse, no construction
+  }
+  RngLanes lanes;  // the lane rng itself never matches
+  for (std::size_t i = 0; i < n; ++i) {
+    consume(lanes);
+  }
+}
+
+void reference_binding_is_fine(Rng& shared, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng& alias = shared;  // reference, not a construction
+    alias.next_u64();
+  }
+}
