@@ -1,0 +1,174 @@
+// P9 -- daemon service latency over an in-process loopback.
+//
+// Spins up the full oblvd server core (Unix socket, fair-share queue,
+// batch coalescing through route_batch) inside the bench process, then
+// drives it closed-loop from a small pool of client threads: each
+// client keeps one request of `packets` demands in flight until the
+// fixed request budget is spent. Reported per request:
+//   * service latency (send -> response) p50 / p99 in milliseconds,
+//   * delivered-packet throughput in kpkt/s,
+//   * the accounting invariant (daemon.p9.unaccounted must be 0).
+// The perf-smoke gate caps p99 and floors throughput against
+// bench/baselines/perf_smoke.json; BENCH_p9.json records a full run.
+//
+// Flags: --requests N (default 600), --packets N (default 64),
+//        --clients N (default 4), --mesh WxH (default 64x64),
+//        --metrics-json FILE (also honors OBLV_METRICS_JSON).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "daemon/client.hpp"
+#include "daemon/server.hpp"
+#include "mesh/mesh.hpp"
+#include "rng/rng.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace oblivious;
+using Clock = std::chrono::steady_clock;
+
+Mesh parse_mesh(const std::string& spec) {
+  std::vector<std::int64_t> sides;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, 'x')) sides.push_back(std::stoll(part));
+  return Mesh(std::move(sides), false);
+}
+
+std::vector<Demand> make_demands(const Mesh& mesh, std::uint64_t seed,
+                                 std::size_t packets) {
+  Rng rng(seed);
+  const auto nodes = static_cast<std::uint64_t>(mesh.num_nodes());
+  std::vector<Demand> demands;
+  demands.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    demands.push_back(
+        Demand{static_cast<std::int64_t>(rng.uniform_below(nodes)),
+               static_cast<std::int64_t>(rng.uniform_below(nodes))});
+  }
+  return demands;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int run(const Flags& flags) {
+  bench::banner("P9 -- daemon loopback service latency",
+                "closed-loop clients against the in-process oblvd core; "
+                "latency = send -> response per request");
+
+  const Mesh mesh = parse_mesh(flags.get("mesh", "64x64"));
+  const auto total_requests =
+      static_cast<std::size_t>(flags.get_int("requests", 600));
+  const auto packets = static_cast<std::size_t>(flags.get_int("packets", 64));
+  const auto clients = static_cast<std::size_t>(flags.get_int("clients", 4));
+
+  daemon::ServerOptions options;
+  options.endpoint.unix_path =
+      "/tmp/oblv-p9-" + std::to_string(::getpid()) + ".sock";
+  options.routing_threads = 2;
+  daemon::Server server(mesh, options);
+  std::thread server_thread([&] { (void)server.run(); });
+  while (!server.serving()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::mutex latency_mu;
+  std::vector<double> latencies_ms;
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      daemon::DaemonClient client(options.endpoint);
+      std::vector<double> local;
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= total_requests) break;
+        const std::uint64_t seed = splitmix64(0x9e01 + i);
+        const auto demands = make_demands(mesh, seed, packets);
+        const Clock::time_point sent = Clock::now();
+        const daemon::RouteResponse response =
+            client.route("bench" + std::to_string(c), seed, demands);
+        if (response.status == daemon::RouteStatus::kOk) {
+          delivered.fetch_add(demands.size());
+          local.push_back(std::chrono::duration<double, std::milli>(
+                              Clock::now() - sent)
+                              .count());
+        }
+      }
+      std::lock_guard<std::mutex> lock(latency_mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  server.request_drain();
+  server_thread.join();
+  const daemon::ServerStats stats = server.stats();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double kpps =
+      wall_s > 0.0
+          ? static_cast<double>(delivered.load()) / wall_s / 1000.0
+          : 0.0;
+
+  Table table({"requests", "packets/req", "clients", "p50 ms", "p99 ms",
+               "kpkt/s"});
+  table.row()
+      .add(static_cast<std::int64_t>(total_requests))
+      .add(static_cast<std::int64_t>(packets))
+      .add(static_cast<std::int64_t>(clients))
+      .add(p50, 3)
+      .add(p99, 3)
+      .add(kpps, 1);
+  table.print(std::cout);
+  std::cout << "accounting: " << stats.requests_submitted << " submitted = "
+            << stats.requests_delivered << " delivered + "
+            << stats.requests_rejected << " rejected (unaccounted "
+            << stats.unaccounted_requests() << ")\n";
+
+  OBLV_GAUGE_SET("daemon.p9.p50_ms", p50);
+  OBLV_GAUGE_SET("daemon.p9.p99_ms", p99);
+  OBLV_GAUGE_SET("daemon.p9.throughput_kpps", kpps);
+  OBLV_GAUGE_SET("daemon.p9.unaccounted",
+                 static_cast<double>(stats.unaccounted_requests()));
+
+  if (flags.has("metrics-json")) {
+    obs::write_metrics_json_file(
+        flags.get("metrics-json", ""),
+        {{"bench", "P9"}, {"mesh", mesh.describe()}},
+        obs::MetricsRegistry::global().snapshot());
+  }
+  return stats.unaccounted_requests() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Flags::parse(argc, argv,
+                            {"requests", "packets", "clients", "mesh",
+                             "metrics-json", "help"}));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

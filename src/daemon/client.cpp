@@ -1,0 +1,80 @@
+#include "daemon/client.hpp"
+
+#include "util/check.hpp"
+
+namespace oblivious::daemon {
+
+DaemonClient::DaemonClient(const Endpoint& endpoint, int timeout_ms)
+    : fd_(connect_to(endpoint)), timeout_ms_(timeout_ms) {}
+
+void DaemonClient::send_frame(const std::vector<std::uint8_t>& frame) {
+  std::string error;
+  const IoStatus status =
+      write_all(fd_.get(), frame.data(), frame.size(), timeout_ms_, &error);
+  if (status != IoStatus::kOk) {
+    throw ClientError("send failed: " +
+                      (error.empty() ? std::string("timeout or closed")
+                                     : error));
+  }
+}
+
+void DaemonClient::receive_frame(std::vector<std::uint8_t>& payload) {
+  std::string error;
+  const IoStatus status =
+      read_frame(fd_.get(), payload, timeout_ms_, &error);
+  switch (status) {
+    case IoStatus::kOk:
+      return;
+    case IoStatus::kTimeout:
+      throw ClientError("no response within " + std::to_string(timeout_ms_) +
+                        " ms");
+    case IoStatus::kClosed:
+    case IoStatus::kTruncated:
+      throw ClientError("daemon closed the connection");
+    case IoStatus::kError:
+      throw ClientError("receive failed: " + error);
+  }
+  OBLV_UNREACHABLE("IoStatus covered above");
+}
+
+RouteResponse DaemonClient::route(const std::string& tenant,
+                                  std::uint64_t seed,
+                                  const std::vector<Demand>& demands) {
+  RouteRequest request;
+  request.request_id = next_request_id_++;
+  request.seed = seed;
+  request.tenant = tenant;
+  request.demands = demands;
+  send_buf_.clear();
+  encode_route_request(request, send_buf_);
+  send_frame(send_buf_);
+  receive_frame(recv_buf_);
+  RouteResponse response =
+      decode_route_response(recv_buf_.data(), recv_buf_.size());
+  if (response.request_id != request.request_id) {
+    throw ProtocolError("response id " + std::to_string(response.request_id) +
+                        " does not match request id " +
+                        std::to_string(request.request_id));
+  }
+  return response;
+}
+
+std::string DaemonClient::metrics_json() {
+  send_buf_.clear();
+  encode_metrics_request(next_request_id_++, send_buf_);
+  send_frame(send_buf_);
+  receive_frame(recv_buf_);
+  return decode_metrics_response(recv_buf_.data(), recv_buf_.size());
+}
+
+bool DaemonClient::ping() {
+  send_buf_.clear();
+  encode_ping(next_request_id_++, send_buf_);
+  send_frame(send_buf_);
+  receive_frame(recv_buf_);
+  const FrameHeader header =
+      decode_header(recv_buf_.data(), recv_buf_.size());
+  return header.type == MessageType::kPong;
+}
+
+}  // namespace oblivious::daemon

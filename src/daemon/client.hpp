@@ -1,0 +1,62 @@
+// Blocking client for the oblvd daemon, used by oblv_load, the daemon
+// tests, and the P9 loopback bench.
+//
+// One DaemonClient owns one connection and is not thread-safe; open one
+// per client thread. Every call is bounded by timeout_ms -- a stalled
+// daemon surfaces as a thrown error, never a wedged caller.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "daemon/net.hpp"
+#include "daemon/protocol.hpp"
+
+namespace oblivious::daemon {
+
+// Transport-level failure (connect/read/write/timeout); protocol-level
+// malformed frames raise ProtocolError from the codec.
+class ClientError : public std::runtime_error {
+ public:
+  explicit ClientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class DaemonClient {
+ public:
+  // Connects immediately; throws std::runtime_error on failure.
+  explicit DaemonClient(const Endpoint& endpoint, int timeout_ms = 10000);
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+  DaemonClient(DaemonClient&&) = default;
+  DaemonClient& operator=(DaemonClient&&) = default;
+
+  // Sends one route request and blocks for its response. The returned
+  // response's status says whether `paths` is populated (kOk) or the
+  // request was rejected (kRejected/kShuttingDown, with retry_after_ms)
+  // or refused (kError, with a message). Throws ClientError on
+  // transport failure, ProtocolError on a malformed response.
+  RouteResponse route(const std::string& tenant, std::uint64_t seed,
+                      const std::vector<Demand>& demands);
+
+  // Fetches the daemon's oblv-metrics-v1 introspection JSON.
+  std::string metrics_json();
+
+  // Round-trips a ping; true on pong.
+  bool ping();
+
+ private:
+  void send_frame(const std::vector<std::uint8_t>& frame);
+  // Reads one frame payload; throws on timeout/close/error.
+  void receive_frame(std::vector<std::uint8_t>& payload);
+
+  UniqueFd fd_;
+  int timeout_ms_;
+  std::uint32_t next_request_id_ = 1;
+  std::vector<std::uint8_t> send_buf_;
+  std::vector<std::uint8_t> recv_buf_;
+};
+
+}  // namespace oblivious::daemon

@@ -1,0 +1,176 @@
+#include "daemon/fair_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace oblivious::daemon {
+
+FairShareQueue::FairShareQueue(FairQueueOptions options)
+    : options_(options) {
+  OBLV_REQUIRE(options_.capacity_packets >= 1,
+               "queue capacity must be at least one packet");
+  OBLV_REQUIRE(options_.drain_rate_hint >= 1,
+               "drain_rate_hint must be at least 1 packet/ms");
+}
+
+void FairShareQueue::register_tenant(const std::string& name,
+                                     std::uint64_t weight) {
+  OBLV_REQUIRE(weight >= 1, "tenant weight must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& tenant = tenants_[name];
+  tenant.weight = weight;
+  // A tenant (re)declared while others are active starts at the current
+  // virtual frontier, not at zero, so registration cannot mint credit.
+  tenant.virtual_time =
+      std::max(tenant.virtual_time, active_virtual_floor_locked());
+  recompute_shares_locked();
+}
+
+FairShareQueue::Tenant& FairShareQueue::tenant_locked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    Tenant& tenant = tenants_[name];
+    tenant.weight = options_.default_weight;
+    tenant.virtual_time = active_virtual_floor_locked();
+    recompute_shares_locked();
+    return tenant;
+  }
+  return it->second;
+}
+
+void FairShareQueue::recompute_shares_locked() {
+  std::uint64_t total_weight = 0;
+  for (const auto& [name, tenant] : tenants_) total_weight += tenant.weight;
+  if (total_weight == 0) return;
+  for (auto& [name, tenant] : tenants_) {
+    // Integer split of the global bound; every tenant keeps at least
+    // one packet of headroom so a tiny weight is throttled, not starved.
+    tenant.capacity = std::max<std::size_t>(
+        1, options_.capacity_packets * tenant.weight / total_weight);
+  }
+}
+
+std::uint64_t FairShareQueue::active_virtual_floor_locked() const {
+  std::uint64_t floor = 0;
+  bool any = false;
+  for (const auto& [name, tenant] : tenants_) {
+    if (tenant.items.empty()) continue;
+    floor = any ? std::min(floor, tenant.virtual_time) : tenant.virtual_time;
+    any = true;
+  }
+  if (any) return floor;
+  // No active tenant: the frontier is the furthest any tenant has been
+  // served to, so a newcomer never lags behind idle history.
+  for (const auto& [name, tenant] : tenants_) {
+    floor = std::max(floor, tenant.virtual_time);
+  }
+  return floor;
+}
+
+AdmissionResult FairShareQueue::try_enqueue(const QueueItem& item) {
+  OBLV_REQUIRE(item.packets >= 1, "queue items carry at least one packet");
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& tenant = tenant_locked(item.tenant);
+  AdmissionResult result;
+  if (draining_) {
+    ++tenant.rejected;
+    result.admitted = false;
+    result.retry_after_ms = 0;  // draining: retrying here is pointless
+    return result;
+  }
+  if (tenant.queued + item.packets > tenant.capacity ||
+      queued_packets_ + item.packets > options_.capacity_packets) {
+    ++tenant.rejected;
+    result.admitted = false;
+    const std::size_t backlog = std::max(tenant.queued, item.packets);
+    result.retry_after_ms = static_cast<std::uint32_t>(
+        1 + backlog / options_.drain_rate_hint);
+    return result;
+  }
+  const bool was_idle = tenant.items.empty();
+  if (was_idle) {
+    // Returning from idle: clamp forward so sleep time is not credit.
+    tenant.virtual_time =
+        std::max(tenant.virtual_time, active_virtual_floor_locked());
+  }
+  tenant.items.push_back(item);
+  tenant.queued += item.packets;
+  queued_packets_ += item.packets;
+  result.admitted = true;
+  work_available_.notify_one();
+  return result;
+}
+
+std::vector<QueueItem> FairShareQueue::dequeue_chunk(
+    std::size_t max_packets) {
+  OBLV_REQUIRE(max_packets >= 1, "dequeue_chunk needs max_packets >= 1");
+  std::unique_lock<std::mutex> lock(mu_);
+  work_available_.wait(lock,
+                       [&] { return queued_packets_ > 0 || draining_; });
+  std::vector<QueueItem> chunk;
+  std::size_t gathered = 0;
+  while (gathered < max_packets && queued_packets_ > 0) {
+    // Level 1: the active tenant with the smallest virtual time; the
+    // std::map order makes the tie-break deterministic (by name).
+    Tenant* best = nullptr;
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant.items.empty()) continue;
+      if (best == nullptr || tenant.virtual_time < best->virtual_time) {
+        best = &tenant;
+      }
+    }
+    if (best == nullptr) break;  // unreachable while queued_packets_ > 0
+    // Level 2: FIFO within the tenant. Requests are never split; a
+    // request larger than the remaining budget still ships when it is
+    // the first of the chunk.
+    const QueueItem& front = best->items.front();
+    if (gathered > 0 && gathered + front.packets > max_packets) break;
+    chunk.push_back(front);
+    gathered += front.packets;
+    best->queued -= front.packets;
+    queued_packets_ -= front.packets;
+    best->served += front.packets;
+    best->virtual_time +=
+        front.packets * kVirtualScale / best->weight;
+    best->items.pop_front();
+  }
+  return chunk;
+}
+
+void FairShareQueue::begin_drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  work_available_.notify_all();
+}
+
+bool FairShareQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t FairShareQueue::queued_packets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_packets_;
+}
+
+std::vector<TenantStats> FairShareQueue::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantStats> stats;
+  stats.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStats s;
+    s.name = name;
+    s.weight = tenant.weight;
+    s.queued_packets = tenant.queued;
+    s.capacity_packets = tenant.capacity;
+    s.served_packets = tenant.served;
+    s.rejected_requests = tenant.rejected;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+}  // namespace oblivious::daemon

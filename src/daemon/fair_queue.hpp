@@ -1,0 +1,127 @@
+// Bounded admission queue with two-level weighted fair-share scheduling.
+//
+// Level 1 picks the tenant, level 2 is FIFO within the tenant -- the
+// weighted-pool idiom of large RPC runtimes (ytsaurus'
+// two_level_fair_share_thread_pool): each tenant accrues *virtual work*
+// served_work / weight, and the dispatcher always serves the active
+// tenant with the smallest virtual time, ties broken by name. A tenant
+// that goes idle is clamped forward to the current virtual frontier
+// when it returns, so sleeping never banks unbounded credit, and a
+// greedy tenant can only push a light one as far as the weight ratio
+// allows (the fair-share isolation the P9 smoke scenario asserts).
+//
+// Admission is capacity-based per tenant: a tenant's queue share is
+// capacity * weight / total weight, so a flood from one tenant fills
+// only its own share and the others always have room (backpressure is a
+// per-tenant property, not a global one). A rejected enqueue carries a
+// retry-after hint derived from the tenant's queued backlog.
+//
+// The queue is the synchronization point between the connection threads
+// (producers) and the batch worker (consumer): all methods are
+// thread-safe, and dequeue_chunk blocks until work arrives or the queue
+// is told to drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oblivious::daemon {
+
+struct FairQueueOptions {
+  // Total packets admitted across all tenants before backpressure.
+  std::size_t capacity_packets = 1 << 16;
+  // Estimated drain rate used for the retry-after hint (packets per
+  // millisecond; the hint is advisory, not a guarantee).
+  std::size_t drain_rate_hint = 100;
+  // Weight given to tenants that were not registered explicitly.
+  std::uint64_t default_weight = 1;
+};
+
+// One queued unit of work. `token` is an opaque caller handle (the
+// server stores the index of the pending request).
+struct QueueItem {
+  std::string tenant;
+  std::size_t packets = 0;
+  std::uint64_t token = 0;
+};
+
+struct AdmissionResult {
+  bool admitted = false;
+  // Set when !admitted: suggested client backoff.
+  std::uint32_t retry_after_ms = 0;
+};
+
+// Point-in-time stats for introspection.
+struct TenantStats {
+  std::string name;
+  std::uint64_t weight = 0;
+  std::size_t queued_packets = 0;
+  std::size_t capacity_packets = 0;
+  std::uint64_t served_packets = 0;
+  std::uint64_t rejected_requests = 0;
+};
+
+class FairShareQueue {
+ public:
+  explicit FairShareQueue(FairQueueOptions options = {});
+
+  // Declares a tenant and its weight; recomputes every tenant's
+  // capacity share. Unknown tenants auto-register with default_weight
+  // on first enqueue. \pre weight >= 1.
+  void register_tenant(const std::string& name, std::uint64_t weight);
+
+  // Admits `item` unless the tenant's capacity share (or the draining
+  // flag) forbids it. O(log #tenants).
+  AdmissionResult try_enqueue(const QueueItem& item);
+
+  // Pops whole items from the fairest tenant (smallest virtual time,
+  // then from the next fairest, ...) until at least `max_packets` are
+  // gathered or the queue is empty. Blocks while the queue is empty and
+  // not draining; returns an empty vector only when draining and empty.
+  // An item larger than max_packets is still returned alone (requests
+  // are never split).
+  std::vector<QueueItem> dequeue_chunk(std::size_t max_packets);
+
+  // Draining: every later try_enqueue is rejected, and dequeue_chunk
+  // returns the remaining backlog then empty vectors instead of
+  // blocking.
+  void begin_drain();
+  bool draining() const;
+
+  std::size_t queued_packets() const;
+  std::vector<TenantStats> tenant_stats() const;
+
+ private:
+  struct Tenant {
+    std::uint64_t weight = 1;
+    // served_work / weight, scaled by kVirtualScale for integer math.
+    std::uint64_t virtual_time = 0;
+    std::size_t queued = 0;       // packets
+    std::size_t capacity = 0;     // packets (share of the global bound)
+    std::uint64_t served = 0;     // packets, lifetime
+    std::uint64_t rejected = 0;   // requests, lifetime
+    std::deque<QueueItem> items;  // FIFO within the tenant
+  };
+
+  static constexpr std::uint64_t kVirtualScale = 1 << 16;
+
+  // \pre mu_ held.
+  Tenant& tenant_locked(const std::string& name);
+  void recompute_shares_locked();
+  std::uint64_t active_virtual_floor_locked() const;
+
+  FairQueueOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  // std::map: deterministic iteration order for tie-breaks and stats.
+  std::map<std::string, Tenant> tenants_;
+  std::size_t queued_packets_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace oblivious::daemon

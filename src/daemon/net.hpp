@@ -1,0 +1,119 @@
+// Socket transport for the oblvd daemon -- the one place in the tree
+// allowed to issue raw socket syscalls (lint rule D007 flags
+// read/write/poll outside src/daemon/net*).
+//
+// Everything here is bounded: reads and writes go through poll() with a
+// caller-supplied timeout, so no daemon thread can block forever on a
+// stalled peer. The helpers speak the framing layer of protocol.hpp --
+// read_frame/write_frame move one length-prefixed payload at a time and
+// enforce kMaxFrameBytes before allocating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oblivious::daemon {
+
+// Owning file descriptor (closes on destruction; moveable, not copyable).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// One end of a connection or listener. `unix_path` is set for Unix
+// domain endpoints, `port` for TCP (loopback only).
+struct Endpoint {
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
+
+  bool is_unix() const { return !unix_path.empty(); }
+};
+
+// Outcome of a bounded I/O call.
+enum class IoStatus {
+  kOk,        // the full frame / requested byte count moved
+  kTimeout,   // the deadline passed with the transfer incomplete
+  kClosed,    // orderly peer shutdown (EOF before any byte of a frame)
+  kTruncated, // EOF in the middle of a frame
+  kError,     // errno-level failure (message in *error when provided)
+};
+
+// --- listeners / connections ------------------------------------------------
+// All throw std::runtime_error with an errno message on setup failure.
+
+// Binds and listens on a Unix socket, unlinking a stale path first.
+UniqueFd listen_unix(const std::string& path);
+// Binds and listens on loopback TCP. Port 0 picks a free port; the
+// chosen port is written back through `bound_port`.
+UniqueFd listen_tcp(std::uint16_t port, std::uint16_t* bound_port = nullptr);
+UniqueFd listen_on(const Endpoint& endpoint, std::uint16_t* bound_port = nullptr);
+
+UniqueFd connect_unix(const std::string& path);
+UniqueFd connect_tcp(std::uint16_t port);
+UniqueFd connect_to(const Endpoint& endpoint);
+
+// Accepts one pending connection; returns an invalid fd when the wait
+// times out or the listener fails (spurious wakeups are retried inside).
+UniqueFd accept_connection(int listen_fd, int timeout_ms);
+
+// True when `fd` has readable data (or EOF) within the timeout.
+bool wait_readable(int fd, int timeout_ms);
+
+// --- framed I/O -------------------------------------------------------------
+
+// Reads one length-prefixed frame payload into `payload` (resized to the
+// frame's length, capacity retained). Returns:
+//   kOk        a complete frame is in `payload`
+//   kClosed    the peer closed before sending the first prefix byte
+//   kTruncated the peer closed mid-frame
+//   kTimeout   the deadline passed mid-frame (idle waits before byte 0
+//              also report kTimeout; callers poll in a loop)
+//   kError     syscall failure or a length prefix above kMaxFrameBytes
+//              (the message lands in *error when provided)
+IoStatus read_frame(int fd, std::vector<std::uint8_t>& payload,
+                    int timeout_ms, std::string* error = nullptr);
+
+// Writes the whole buffer (typically one or more encoded frames).
+IoStatus write_all(int fd, const std::uint8_t* data, std::size_t size,
+                   int timeout_ms, std::string* error = nullptr);
+
+// --- wakeup pipe ------------------------------------------------------------
+// Self-pipe used to interrupt poll() from signal handlers and other
+// threads: write_wakeup is async-signal-safe.
+
+struct WakeupPipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+};
+
+WakeupPipe make_wakeup_pipe();
+void write_wakeup(int write_fd);
+void drain_wakeup(int read_fd);
+
+}  // namespace oblivious::daemon

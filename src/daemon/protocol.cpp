@@ -1,0 +1,332 @@
+#include "daemon/protocol.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace oblivious::daemon {
+
+namespace {
+
+// --- byte-level writer ------------------------------------------------------
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, const std::string& s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Reserves the length prefix, writes the header, and returns the index
+// of the prefix so finish_frame can patch the real length in.
+std::size_t begin_frame(std::vector<std::uint8_t>& out,
+                        const FrameHeader& header) {
+  const std::size_t at = out.size();
+  put_u32(out, 0);  // patched by finish_frame
+  put_u32(out, kMagic);
+  put_u16(out, header.version);
+  put_u16(out, static_cast<std::uint16_t>(header.type));
+  put_u32(out, header.request_id);
+  return at;
+}
+
+void finish_frame(std::vector<std::uint8_t>& out, std::size_t at) {
+  const std::size_t payload = out.size() - at - 4;
+  OBLV_CHECK(payload <= kMaxFrameBytes, "encoded frame exceeds kMaxFrameBytes");
+  const auto v = static_cast<std::uint32_t>(payload);
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+// --- bounds-checked reader --------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t offset() const { return at_; }
+  std::size_t remaining() const { return size_ - at_; }
+
+  std::uint16_t u16(const char* field) {
+    need(2, field);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[at_] | (static_cast<std::uint16_t>(data_[at_ + 1]) << 8));
+    at_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[at_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    at_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64(const char* field) {
+    need(8, field);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[at_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    at_ += 8;
+    return v;
+  }
+
+  std::int64_t i64(const char* field) {
+    return static_cast<std::int64_t>(u64(field));
+  }
+
+  std::int32_t i32(const char* field) {
+    return static_cast<std::int32_t>(u32(field));
+  }
+
+  std::string bytes(std::size_t n, const char* field) {
+    need(n, field);
+    std::string s(reinterpret_cast<const char*>(data_ + at_), n);
+    at_ += n;
+    return s;
+  }
+
+  void expect_done(const char* what) {
+    if (at_ != size_) {
+      throw ProtocolError(std::string(what) + ": " +
+                          std::to_string(size_ - at_) +
+                          " trailing byte(s) after the body");
+    }
+  }
+
+ private:
+  void need(std::size_t n, const char* field) {
+    if (size_ - at_ < n) {
+      throw ProtocolError(std::string("truncated frame: field '") + field +
+                          "' needs " + std::to_string(n) + " byte(s) at " +
+                          "offset " + std::to_string(at_) + ", " +
+                          std::to_string(size_ - at_) + " left");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+};
+
+FrameHeader read_header(Reader& r) {
+  if (r.remaining() < kHeaderBytes) {
+    throw ProtocolError("truncated header: need " +
+                        std::to_string(kHeaderBytes) + " bytes, got " +
+                        std::to_string(r.remaining()));
+  }
+  const std::uint32_t magic = r.u32("magic");
+  if (magic != kMagic) {
+    throw ProtocolError("bad magic 0x" + std::to_string(magic) +
+                        " (not an oblvd frame)");
+  }
+  FrameHeader header;
+  header.version = r.u16("version");
+  if (header.version != kProtocolVersion) {
+    throw ProtocolError("unknown protocol version " +
+                        std::to_string(header.version) + " (this daemon "
+                        "speaks version " + std::to_string(kProtocolVersion) +
+                        ")");
+  }
+  header.type = static_cast<MessageType>(r.u16("type"));
+  header.request_id = r.u32("request_id");
+  return header;
+}
+
+void check_type(const FrameHeader& header, MessageType want,
+                const char* what) {
+  if (header.type != want) {
+    throw ProtocolError(std::string(what) + ": unexpected message type " +
+                        std::to_string(static_cast<int>(header.type)));
+  }
+}
+
+}  // namespace
+
+// --- encoders ---------------------------------------------------------------
+
+void encode_route_request(const RouteRequest& request,
+                          std::vector<std::uint8_t>& out) {
+  OBLV_REQUIRE(request.tenant.size() <= 0xffff,
+               "tenant name longer than a u16 length");
+  const std::size_t at = begin_frame(
+      out, FrameHeader{kProtocolVersion, MessageType::kRouteRequest,
+                       request.request_id});
+  put_u64(out, request.seed);
+  put_u16(out, static_cast<std::uint16_t>(request.tenant.size()));
+  put_bytes(out, request.tenant);
+  put_u32(out, static_cast<std::uint32_t>(request.demands.size()));
+  for (const Demand& d : request.demands) {
+    put_i64(out, d.src);
+    put_i64(out, d.dst);
+  }
+  finish_frame(out, at);
+}
+
+void encode_route_response(const RouteResponse& response,
+                           std::vector<std::uint8_t>& out) {
+  OBLV_REQUIRE(response.message.size() <= 0xffff,
+               "response message longer than a u16 length");
+  const std::size_t at = begin_frame(
+      out, FrameHeader{kProtocolVersion, MessageType::kRouteResponse,
+                       response.request_id});
+  put_u16(out, static_cast<std::uint16_t>(response.status));
+  put_u32(out, response.retry_after_ms);
+  put_u16(out, static_cast<std::uint16_t>(response.message.size()));
+  put_bytes(out, response.message);
+  put_u32(out, static_cast<std::uint32_t>(response.paths.size()));
+  for (const SegmentPath& sp : response.paths) {
+    put_i64(out, sp.source);
+    put_i64(out, sp.dest);
+    OBLV_CHECK(sp.segments.size() <= 0xffff,
+               "segment path longer than a u16 count");
+    put_u16(out, static_cast<std::uint16_t>(sp.segments.size()));
+    for (const Segment& s : sp.segments) {
+      put_u32(out, static_cast<std::uint32_t>(s.dim));
+      put_i64(out, s.run);
+    }
+  }
+  finish_frame(out, at);
+}
+
+void encode_metrics_request(std::uint32_t request_id,
+                            std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{kProtocolVersion, MessageType::kMetricsRequest,
+                       request_id});
+  finish_frame(out, at);
+}
+
+void encode_metrics_response(std::uint32_t request_id,
+                             const std::string& json,
+                             std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{kProtocolVersion, MessageType::kMetricsResponse,
+                       request_id});
+  put_u32(out, static_cast<std::uint32_t>(json.size()));
+  put_bytes(out, json);
+  finish_frame(out, at);
+}
+
+void encode_ping(std::uint32_t request_id, std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{kProtocolVersion, MessageType::kPing, request_id});
+  finish_frame(out, at);
+}
+
+void encode_pong(std::uint32_t request_id, std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{kProtocolVersion, MessageType::kPong, request_id});
+  finish_frame(out, at);
+}
+
+// --- decoders ---------------------------------------------------------------
+
+FrameHeader decode_header(const std::uint8_t* payload, std::size_t size) {
+  Reader r(payload, size);
+  return read_header(r);
+}
+
+RouteRequest decode_route_request(const std::uint8_t* payload,
+                                  std::size_t size) {
+  Reader r(payload, size);
+  const FrameHeader header = read_header(r);
+  check_type(header, MessageType::kRouteRequest, "route request");
+  RouteRequest request;
+  request.request_id = header.request_id;
+  request.seed = r.u64("seed");
+  const std::uint16_t tenant_len = r.u16("tenant length");
+  request.tenant = r.bytes(tenant_len, "tenant");
+  const std::uint32_t count = r.u32("demand count");
+  // Each demand is 16 bytes; an impossible count is caught before the
+  // loop so a lying prefix cannot force a huge reservation.
+  if (static_cast<std::uint64_t>(count) * 16 > r.remaining()) {
+    throw ProtocolError("demand count " + std::to_string(count) +
+                        " exceeds the frame body (" +
+                        std::to_string(r.remaining()) + " bytes left)");
+  }
+  request.demands.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Demand d;
+    d.src = r.i64("demand src");
+    d.dst = r.i64("demand dst");
+    request.demands.push_back(d);
+  }
+  r.expect_done("route request");
+  return request;
+}
+
+RouteResponse decode_route_response(const std::uint8_t* payload,
+                                    std::size_t size) {
+  Reader r(payload, size);
+  const FrameHeader header = read_header(r);
+  check_type(header, MessageType::kRouteResponse, "route response");
+  RouteResponse response;
+  response.request_id = header.request_id;
+  response.status = static_cast<RouteStatus>(r.u16("status"));
+  response.retry_after_ms = r.u32("retry_after_ms");
+  const std::uint16_t msg_len = r.u16("message length");
+  response.message = r.bytes(msg_len, "message");
+  const std::uint32_t count = r.u32("path count");
+  // 18 bytes minimum per path (source, dest, empty segment list).
+  if (static_cast<std::uint64_t>(count) * 18 > r.remaining()) {
+    throw ProtocolError("path count " + std::to_string(count) +
+                        " exceeds the frame body");
+  }
+  response.paths.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SegmentPath sp;
+    sp.source = r.i64("path source");
+    sp.dest = r.i64("path dest");
+    const std::uint16_t nseg = r.u16("segment count");
+    for (std::uint16_t s = 0; s < nseg; ++s) {
+      Segment seg;
+      seg.dim = r.i32("segment dim");
+      seg.run = r.i64("segment run");
+      sp.segments.push_back(seg);
+    }
+    response.paths.push_back(sp);
+  }
+  r.expect_done("route response");
+  return response;
+}
+
+std::string decode_metrics_response(const std::uint8_t* payload,
+                                    std::size_t size) {
+  Reader r(payload, size);
+  const FrameHeader header = read_header(r);
+  check_type(header, MessageType::kMetricsResponse, "metrics response");
+  const std::uint32_t len = r.u32("json length");
+  std::string json = r.bytes(len, "json");
+  r.expect_done("metrics response");
+  return json;
+}
+
+}  // namespace oblivious::daemon

@@ -1,0 +1,139 @@
+// oblvd wire protocol: length-prefixed binary frames with a versioned
+// header.
+//
+// A frame on the wire is
+//
+//   u32  payload length (little-endian, at most kMaxFrameBytes)
+//   ...  payload
+//
+// and every payload starts with the fixed header
+//
+//   u32  magic       "OBLV" (0x564c424f little-endian)
+//   u16  version     kProtocolVersion
+//   u16  type        MessageType
+//   u32  request_id  echoed verbatim in the response
+//
+// followed by the type-specific body. All integers are little-endian;
+// the encoder writes bytes explicitly so the wire format is identical
+// on every platform. Decoding is hardened the same way as the problem
+// file loaders (PR 5): every read is bounds-checked and a malformed
+// frame raises ProtocolError with a source-position message -- the
+// server turns that into a per-connection error without touching the
+// accept loop.
+//
+// Bodies:
+//
+//   kRouteRequest:   u64 seed, u16 tenant length, tenant bytes,
+//                    u32 demand count, count x (i64 src, i64 dst)
+//   kRouteResponse:  u16 status, u32 retry_after_ms, u16 message length,
+//                    message bytes, u32 path count, count x
+//                    (i64 source, i64 dest, u16 segment count,
+//                     nseg x (i32 dim, i64 run))
+//   kMetricsRequest: empty
+//   kMetricsResponse:u32 JSON length, oblv-metrics-v1 JSON bytes
+//   kPing / kPong:   empty
+//
+// A kRouteResponse carries paths only when status == kOk; a rejected or
+// failed request carries a human-readable message and (for kRejected) a
+// retry-after hint in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mesh/segment_path.hpp"
+#include "workloads/problem.hpp"
+
+namespace oblivious::daemon {
+
+inline constexpr std::uint32_t kMagic = 0x564c424fu;  // "OBLV"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+// Hard ceiling on a frame payload; a length prefix above this is a
+// protocol violation (it would otherwise let one client stall a
+// connection thread on a multi-gigabyte read).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+inline constexpr std::size_t kHeaderBytes = 12;
+
+enum class MessageType : std::uint16_t {
+  kRouteRequest = 1,
+  kRouteResponse = 2,
+  kMetricsRequest = 3,
+  kMetricsResponse = 4,
+  kPing = 5,
+  kPong = 6,
+};
+
+enum class RouteStatus : std::uint16_t {
+  kOk = 0,
+  kRejected = 1,      // admission backpressure; retry_after_ms is set
+  kError = 2,         // malformed request (bad endpoints, empty batch)
+  kShuttingDown = 3,  // daemon is draining; do not retry here
+};
+
+// Raised by every decoder on malformed input. The message pinpoints the
+// offending field and offset.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct FrameHeader {
+  std::uint16_t version = kProtocolVersion;
+  MessageType type = MessageType::kPing;
+  std::uint32_t request_id = 0;
+};
+
+struct RouteRequest {
+  std::uint32_t request_id = 0;
+  std::uint64_t seed = 1;
+  std::string tenant;
+  std::vector<Demand> demands;
+};
+
+struct RouteResponse {
+  std::uint32_t request_id = 0;
+  RouteStatus status = RouteStatus::kOk;
+  std::uint32_t retry_after_ms = 0;
+  std::string message;
+  std::vector<SegmentPath> paths;
+};
+
+// --- encoding ---------------------------------------------------------------
+// Each encoder appends one complete frame (length prefix + payload) to
+// `out`, which keeps its capacity across calls.
+
+void encode_route_request(const RouteRequest& request,
+                          std::vector<std::uint8_t>& out);
+void encode_route_response(const RouteResponse& response,
+                           std::vector<std::uint8_t>& out);
+void encode_metrics_request(std::uint32_t request_id,
+                            std::vector<std::uint8_t>& out);
+void encode_metrics_response(std::uint32_t request_id,
+                             const std::string& json,
+                             std::vector<std::uint8_t>& out);
+void encode_ping(std::uint32_t request_id, std::vector<std::uint8_t>& out);
+void encode_pong(std::uint32_t request_id, std::vector<std::uint8_t>& out);
+
+// --- decoding ---------------------------------------------------------------
+// Decoders take the frame *payload* (after the length prefix has been
+// consumed and validated by the transport).
+// \pre `payload` points at `size` readable bytes (size may be 0); the
+// transport enforces size <= kMaxFrameBytes before the payload exists.
+
+// Validates magic and version and returns the header. Throws
+// ProtocolError on a short payload, bad magic, or unknown version.
+FrameHeader decode_header(const std::uint8_t* payload, std::size_t size);
+
+// Decode the body of a frame whose header named this type; each checks
+// the header again so it can be called directly on a raw payload.
+RouteRequest decode_route_request(const std::uint8_t* payload,
+                                  std::size_t size);
+RouteResponse decode_route_response(const std::uint8_t* payload,
+                                    std::size_t size);
+std::string decode_metrics_response(const std::uint8_t* payload,
+                                    std::size_t size);
+
+}  // namespace oblivious::daemon

@@ -1,0 +1,338 @@
+#include "daemon/server.hpp"
+
+#include <chrono>
+#include <future>
+
+#include "daemon/protocol.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/route_batch.hpp"
+#include "routing/registry.hpp"
+#include "util/check.hpp"
+
+namespace oblivious::daemon {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+// One admitted route request in flight between a connection thread and
+// the batch worker. The connection thread owns the Pending and blocks
+// on the future; the worker is guaranteed to fulfil every admitted
+// request before the drain completes, so the raw token round-trip
+// through QueueItem is safe.
+struct Server::Pending {
+  RouteRequest request;
+  std::chrono::steady_clock::time_point admitted_at;
+  std::promise<std::vector<SegmentPath>> promise;
+};
+
+Server::Server(const Mesh& mesh, ServerOptions options)
+    : mesh_(mesh),
+      options_(std::move(options)),
+      routing_pool_(options_.routing_threads),
+      queue_(options_.queue) {
+  const auto algorithm = algorithm_from_name(options_.algorithm);
+  OBLV_REQUIRE(algorithm.has_value(),
+               "unknown algorithm '" + options_.algorithm + "'");
+  router_ = make_router(*algorithm, mesh_);
+  for (const auto& [name, weight] : options_.tenants) {
+    queue_.register_tenant(name, weight);
+  }
+}
+
+Server::~Server() = default;
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
+  s.requests_delivered = requests_delivered_.load(std::memory_order_relaxed);
+  s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  s.packets_submitted = packets_submitted_.load(std::memory_order_relaxed);
+  s.packets_delivered = packets_delivered_.load(std::memory_order_relaxed);
+  s.packets_rejected = packets_rejected_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::publish_gauges() const {
+  if (!obs::metrics_enabled()) return;
+  auto& registry = obs::MetricsRegistry::global();
+  const ServerStats s = stats();
+  registry.gauge("daemon.requests.submitted")
+      .set(static_cast<double>(s.requests_submitted));
+  registry.gauge("daemon.requests.delivered")
+      .set(static_cast<double>(s.requests_delivered));
+  registry.gauge("daemon.requests.rejected")
+      .set(static_cast<double>(s.requests_rejected));
+  registry.gauge("daemon.packets.submitted")
+      .set(static_cast<double>(s.packets_submitted));
+  registry.gauge("daemon.packets.delivered")
+      .set(static_cast<double>(s.packets_delivered));
+  registry.gauge("daemon.packets.rejected")
+      .set(static_cast<double>(s.packets_rejected));
+  registry.gauge("daemon.protocol_errors")
+      .set(static_cast<double>(s.protocol_errors));
+  registry.gauge("daemon.connections")
+      .set(static_cast<double>(s.connections_accepted));
+  registry.gauge("daemon.unaccounted")
+      .set(static_cast<double>(s.unaccounted_requests()));
+  registry.gauge("daemon.queue.depth")
+      .set(static_cast<double>(queue_.queued_packets()));
+  for (const TenantStats& t : queue_.tenant_stats()) {
+    const std::string prefix = "daemon.tenant." + t.name;
+    registry.gauge(prefix + ".weight").set(static_cast<double>(t.weight));
+    registry.gauge(prefix + ".served_packets")
+        .set(static_cast<double>(t.served_packets));
+    registry.gauge(prefix + ".queued_packets")
+        .set(static_cast<double>(t.queued_packets));
+    registry.gauge(prefix + ".capacity_packets")
+        .set(static_cast<double>(t.capacity_packets));
+    registry.gauge(prefix + ".rejected_requests")
+        .set(static_cast<double>(t.rejected_requests));
+  }
+}
+
+std::string Server::metrics_json() const {
+  publish_gauges();
+  return obs::metrics_envelope_json(
+      {{"tool", "oblvd"},
+       {"mesh", mesh_.describe()},
+       {"algorithm", options_.algorithm}},
+      obs::MetricsRegistry::global().snapshot());
+}
+
+int Server::run() {
+  UniqueFd listener = [&] {
+    std::uint16_t port = 0;
+    UniqueFd fd = listen_on(options_.endpoint, &port);
+    bound_port_.store(port, std::memory_order_release);
+    return fd;
+  }();
+  std::thread worker([this] { batch_worker_loop(); });
+  serving_.store(true, std::memory_order_release);
+
+  while (!drain_requested_.load(std::memory_order_acquire)) {
+    UniqueFd conn = accept_connection(listener.get(), options_.poll_tick_ms);
+    if (!conn.valid()) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.emplace_back(
+        [this, fd = std::move(conn)]() mutable {
+          connection_loop(std::move(fd));
+        });
+  }
+
+  // --- drain state machine -------------------------------------------------
+  // 1. Stop accepting (listener closes when this scope ends).
+  listener.reset();
+  if (options_.endpoint.is_unix()) {
+    ::remove(options_.endpoint.unix_path.c_str());
+  }
+  // 2. Reject new work; 3. the worker flushes every admitted request.
+  queue_.begin_drain();
+  worker.join();
+  // 4. Every future is fulfilled; let the connection threads write
+  // their final responses and exit their read loops.
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (std::thread& t : connections_) t.join();
+    connections_.clear();
+  }
+  serving_.store(false, std::memory_order_release);
+
+  publish_gauges();
+  const ServerStats s = stats();
+  OBLV_CHECK(s.unaccounted_requests() == 0,
+             "drain accounting: submitted != delivered + rejected");
+  return 0;
+}
+
+void Server::handle_route_request(int fd, std::vector<std::uint8_t>& payload,
+                                  std::vector<std::uint8_t>& out) {
+  RouteRequest request = decode_route_request(payload.data(), payload.size());
+  requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+  packets_submitted_.fetch_add(request.demands.size(),
+                               std::memory_order_relaxed);
+  OBLV_COUNTER_ADD("daemon.requests", 1);
+
+  RouteResponse response;
+  response.request_id = request.request_id;
+
+  // Validation at admission, not in the worker: route_batch must never
+  // throw on the batch thread (ThreadPool tasks are noexcept).
+  std::string invalid;
+  if (request.demands.empty()) {
+    invalid = "empty demand list";
+  } else {
+    for (const Demand& d : request.demands) {
+      if (d.src < 0 || d.src >= mesh_.num_nodes() || d.dst < 0 ||
+          d.dst >= mesh_.num_nodes()) {
+        invalid = "demand endpoints off the mesh (" + std::to_string(d.src) +
+                  " -> " + std::to_string(d.dst) + ")";
+        break;
+      }
+    }
+  }
+  if (!invalid.empty()) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    packets_rejected_.fetch_add(request.demands.size(),
+                                std::memory_order_relaxed);
+    OBLV_COUNTER_ADD("daemon.admission.invalid", 1);
+    response.status = RouteStatus::kError;
+    response.message = invalid;
+    encode_route_response(response, out);
+    return;
+  }
+
+  Pending pending;
+  pending.admitted_at = std::chrono::steady_clock::now();
+  const std::size_t packets = request.demands.size();
+  const std::string tenant = request.tenant;
+  pending.request = std::move(request);
+
+  QueueItem item;
+  item.tenant = tenant;
+  item.packets = packets;
+  item.token = reinterpret_cast<std::uint64_t>(&pending);
+  const AdmissionResult admission = queue_.try_enqueue(item);
+  if (!admission.admitted) {
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    packets_rejected_.fetch_add(packets, std::memory_order_relaxed);
+    OBLV_COUNTER_ADD("daemon.admission.rejected", 1);
+    response.status = queue_.draining() ? RouteStatus::kShuttingDown
+                                        : RouteStatus::kRejected;
+    response.retry_after_ms = admission.retry_after_ms;
+    response.message = queue_.draining() ? "daemon is draining"
+                                         : "queue full; retry later";
+    encode_route_response(response, out);
+    return;
+  }
+
+  // The worker fulfils every admitted request, even during drain, so
+  // this wait always completes.
+  std::future<std::vector<SegmentPath>> future = pending.promise.get_future();
+  try {
+    response.paths = future.get();
+    response.status = RouteStatus::kOk;
+    requests_delivered_.fetch_add(1, std::memory_order_relaxed);
+    packets_delivered_.fetch_add(packets, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    // Unreachable by construction (demands pre-validated); keep the
+    // accounting identity if it ever fires.
+    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+    packets_rejected_.fetch_add(packets, std::memory_order_relaxed);
+    response.status = RouteStatus::kError;
+    response.message = e.what();
+  }
+  encode_route_response(response, out);
+  (void)fd;
+}
+
+void Server::connection_loop(UniqueFd fd) {
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> out;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    // Idle poll tick so drain is noticed; only a *readable* socket
+    // enters the framed read below, which then runs under the full
+    // io_timeout_ms budget (a mid-frame stall drops the connection,
+    // never wedges the loop).
+    if (!wait_readable(fd.get(), options_.poll_tick_ms)) continue;
+    std::string io_error;
+    const IoStatus status =
+        read_frame(fd.get(), payload, options_.io_timeout_ms, &io_error);
+    if (status == IoStatus::kClosed) break;
+    if (status != IoStatus::kOk) {
+      // Truncated frame, oversize prefix, mid-frame stall: this
+      // connection is broken; the accept loop and every other
+      // connection are unaffected.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      OBLV_COUNTER_ADD("daemon.protocol_errors", 1);
+      break;
+    }
+
+    out.clear();
+    try {
+      const FrameHeader header =
+          decode_header(payload.data(), payload.size());
+      switch (header.type) {
+        case MessageType::kPing:
+          encode_pong(header.request_id, out);
+          break;
+        case MessageType::kMetricsRequest:
+          encode_metrics_response(header.request_id, metrics_json(), out);
+          break;
+        case MessageType::kRouteRequest:
+          handle_route_request(fd.get(), payload, out);
+          break;
+        default:
+          throw ProtocolError("unsupported message type " +
+                              std::to_string(static_cast<int>(header.type)));
+      }
+    } catch (const ProtocolError& e) {
+      // Per-connection error path: best-effort error frame, then close.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      OBLV_COUNTER_ADD("daemon.protocol_errors", 1);
+      RouteResponse error;
+      error.status = RouteStatus::kError;
+      error.message = e.what();
+      out.clear();
+      encode_route_response(error, out);
+      write_all(fd.get(), out.data(), out.size(), options_.io_timeout_ms);
+      break;
+    }
+
+    if (!out.empty() &&
+        write_all(fd.get(), out.data(), out.size(), options_.io_timeout_ms) !=
+            IoStatus::kOk) {
+      break;  // dead peer; admitted work was still routed and counted
+    }
+  }
+}
+
+void Server::batch_worker_loop() {
+  std::vector<SegmentPath> paths;
+  for (;;) {
+    const std::vector<QueueItem> chunk =
+        queue_.dequeue_chunk(options_.max_batch_packets);
+    if (chunk.empty()) break;  // draining and flushed
+
+    std::size_t chunk_packets = 0;
+    for (const QueueItem& item : chunk) chunk_packets += item.packets;
+    OBLV_HISTOGRAM_ADD("daemon.batch.packets", chunk_packets);
+    OBLV_HISTOGRAM_ADD("daemon.batch.requests", chunk.size());
+    OBLV_HISTOGRAM_ADD("daemon.queue.depth", queue_.queued_packets());
+
+    // Each request keeps its own seed, so its paths are bit-identical
+    // to a solo route_batch run; the chunk amortizes worker wakeups and
+    // keeps the routing pool hot across coalesced small requests.
+    for (const QueueItem& item : chunk) {
+      auto* pending = reinterpret_cast<Pending*>(item.token);
+      RouteBatchOptions options;
+      options.seed = pending->request.seed;
+      options.validate_demands = false;  // validated at admission
+      try {
+        route_batch(*router_, pending->request.demands, routing_pool_,
+                    options, paths);
+        OBLV_HISTOGRAM_ADD("daemon.service_seconds",
+                           seconds_since(pending->admitted_at));
+        pending->promise.set_value(std::move(paths));
+      } catch (...) {
+        pending->promise.set_exception(std::current_exception());
+      }
+      paths = std::vector<SegmentPath>();
+    }
+  }
+}
+
+}  // namespace oblivious::daemon

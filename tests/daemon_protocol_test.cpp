@@ -1,0 +1,203 @@
+// Wire-format tests for the oblvd protocol: codec round-trips plus the
+// malformed-frame edge cases the server must survive per connection --
+// truncated headers, oversize length prefixes, unknown versions,
+// trailing garbage.
+#include "daemon/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace oblivious::daemon {
+namespace {
+
+// Strips the length prefix an encoder prepended, returning the payload.
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame) {
+  EXPECT_GE(frame.size(), 4u);
+  std::uint32_t length = 0;
+  std::memcpy(&length, frame.data(), 4);
+  EXPECT_EQ(length, frame.size() - 4);
+  return {frame.begin() + 4, frame.end()};
+}
+
+RouteRequest sample_request() {
+  RouteRequest request;
+  request.request_id = 42;
+  request.seed = 0xfeedbeefcafeull;
+  request.tenant = "interactive";
+  request.demands = {{0, 63}, {7, 56}, {12, 12}};
+  return request;
+}
+
+TEST(DaemonProtocolTest, RouteRequestRoundTrip) {
+  const RouteRequest request = sample_request();
+  std::vector<std::uint8_t> frame;
+  encode_route_request(request, frame);
+  const auto payload = payload_of(frame);
+
+  const FrameHeader header = decode_header(payload.data(), payload.size());
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.type, MessageType::kRouteRequest);
+  EXPECT_EQ(header.request_id, 42u);
+
+  const RouteRequest decoded =
+      decode_route_request(payload.data(), payload.size());
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.tenant, request.tenant);
+  ASSERT_EQ(decoded.demands.size(), request.demands.size());
+  for (std::size_t i = 0; i < decoded.demands.size(); ++i) {
+    EXPECT_EQ(decoded.demands[i].src, request.demands[i].src);
+    EXPECT_EQ(decoded.demands[i].dst, request.demands[i].dst);
+  }
+}
+
+TEST(DaemonProtocolTest, RouteResponseRoundTripWithPaths) {
+  RouteResponse response;
+  response.request_id = 7;
+  response.status = RouteStatus::kOk;
+  SegmentPath path;
+  path.source = 3;
+  path.dest = 60;
+  path.append(0, 5);
+  path.append(1, -2);
+  response.paths = {path, path};
+
+  std::vector<std::uint8_t> frame;
+  encode_route_response(response, frame);
+  const auto payload = payload_of(frame);
+  const RouteResponse decoded =
+      decode_route_response(payload.data(), payload.size());
+  EXPECT_EQ(decoded.request_id, 7u);
+  EXPECT_EQ(decoded.status, RouteStatus::kOk);
+  ASSERT_EQ(decoded.paths.size(), 2u);
+  EXPECT_EQ(decoded.paths[0], path);
+  EXPECT_EQ(decoded.paths[1], path);
+}
+
+TEST(DaemonProtocolTest, RouteResponseRoundTripRejected) {
+  RouteResponse response;
+  response.request_id = 9;
+  response.status = RouteStatus::kRejected;
+  response.retry_after_ms = 125;
+  response.message = "tenant share full";
+
+  std::vector<std::uint8_t> frame;
+  encode_route_response(response, frame);
+  const auto payload = payload_of(frame);
+  const RouteResponse decoded =
+      decode_route_response(payload.data(), payload.size());
+  EXPECT_EQ(decoded.status, RouteStatus::kRejected);
+  EXPECT_EQ(decoded.retry_after_ms, 125u);
+  EXPECT_EQ(decoded.message, "tenant share full");
+  EXPECT_TRUE(decoded.paths.empty());
+}
+
+TEST(DaemonProtocolTest, MetricsAndPingRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  encode_metrics_response(5, R"({"schema":"oblv-metrics-v1"})", frame);
+  auto payload = payload_of(frame);
+  EXPECT_EQ(decode_metrics_response(payload.data(), payload.size()),
+            R"({"schema":"oblv-metrics-v1"})");
+
+  frame.clear();
+  encode_ping(11, frame);
+  payload = payload_of(frame);
+  const FrameHeader ping = decode_header(payload.data(), payload.size());
+  EXPECT_EQ(ping.type, MessageType::kPing);
+  EXPECT_EQ(ping.request_id, 11u);
+
+  frame.clear();
+  encode_pong(11, frame);
+  payload = payload_of(frame);
+  EXPECT_EQ(decode_header(payload.data(), payload.size()).type,
+            MessageType::kPong);
+}
+
+TEST(DaemonProtocolTest, EncoderAppendsWithoutClearing) {
+  std::vector<std::uint8_t> frames;
+  encode_ping(1, frames);
+  const std::size_t first = frames.size();
+  encode_ping(2, frames);
+  EXPECT_EQ(frames.size(), 2 * first);  // two identical-size frames
+}
+
+TEST(DaemonProtocolTest, TruncatedHeaderThrows) {
+  std::vector<std::uint8_t> frame;
+  encode_ping(1, frame);
+  const auto payload = payload_of(frame);
+  for (std::size_t size = 0; size < kHeaderBytes; ++size) {
+    EXPECT_THROW(decode_header(payload.data(), size), ProtocolError)
+        << "header of " << size << " bytes must be rejected";
+  }
+}
+
+TEST(DaemonProtocolTest, BadMagicThrows) {
+  std::vector<std::uint8_t> frame;
+  encode_ping(1, frame);
+  auto payload = payload_of(frame);
+  payload[0] ^= 0xff;
+  EXPECT_THROW(decode_header(payload.data(), payload.size()), ProtocolError);
+}
+
+TEST(DaemonProtocolTest, UnknownVersionThrows) {
+  std::vector<std::uint8_t> frame;
+  encode_ping(1, frame);
+  auto payload = payload_of(frame);
+  payload[4] = 0x7f;  // version low byte
+  payload[5] = 0x7f;
+  EXPECT_THROW(decode_header(payload.data(), payload.size()), ProtocolError);
+}
+
+TEST(DaemonProtocolTest, WrongTypeRejectedByBodyDecoder) {
+  std::vector<std::uint8_t> frame;
+  encode_ping(1, frame);
+  const auto payload = payload_of(frame);
+  EXPECT_THROW(decode_route_request(payload.data(), payload.size()),
+               ProtocolError);
+  EXPECT_THROW(decode_route_response(payload.data(), payload.size()),
+               ProtocolError);
+  EXPECT_THROW(decode_metrics_response(payload.data(), payload.size()),
+               ProtocolError);
+}
+
+TEST(DaemonProtocolTest, TruncatedBodyThrows) {
+  std::vector<std::uint8_t> frame;
+  encode_route_request(sample_request(), frame);
+  const auto payload = payload_of(frame);
+  // Every strict prefix that still passes the header check must fail
+  // cleanly in the body decoder, never read out of bounds.
+  for (std::size_t size = kHeaderBytes; size < payload.size(); ++size) {
+    EXPECT_THROW(decode_route_request(payload.data(), size), ProtocolError)
+        << "body truncated to " << size << " bytes must be rejected";
+  }
+}
+
+TEST(DaemonProtocolTest, TrailingBytesThrow) {
+  std::vector<std::uint8_t> frame;
+  encode_route_request(sample_request(), frame);
+  auto payload = payload_of(frame);
+  payload.push_back(0);
+  EXPECT_THROW(decode_route_request(payload.data(), payload.size()),
+               ProtocolError);
+}
+
+TEST(DaemonProtocolTest, DemandCountOverclaimThrows) {
+  // A count field claiming more demands than the payload carries must
+  // be rejected up front (no quadratic or overflowing resize).
+  RouteRequest request = sample_request();
+  std::vector<std::uint8_t> frame;
+  encode_route_request(request, frame);
+  auto payload = payload_of(frame);
+  // demand count sits after header(12) + seed(8) + tenant len(2) + tenant.
+  const std::size_t count_at = kHeaderBytes + 8 + 2 + request.tenant.size();
+  payload[count_at] = 0xff;
+  payload[count_at + 1] = 0xff;
+  payload[count_at + 2] = 0xff;
+  payload[count_at + 3] = 0x7f;
+  EXPECT_THROW(decode_route_request(payload.data(), payload.size()),
+               ProtocolError);
+}
+
+}  // namespace
+}  // namespace oblivious::daemon

@@ -1,0 +1,219 @@
+// Unit tests for the two-level weighted fair-share admission queue:
+// capacity shares, backpressure hints, weighted service order, the
+// idle-reactivation clamp, and drain semantics.
+#include "daemon/fair_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+namespace oblivious::daemon {
+namespace {
+
+QueueItem item(const std::string& tenant, std::size_t packets,
+               std::uint64_t token = 0) {
+  return QueueItem{tenant, packets, token};
+}
+
+TEST(DaemonFairQueueTest, SharesSplitByWeight) {
+  FairQueueOptions options;
+  options.capacity_packets = 1000;
+  FairShareQueue queue(options);
+  queue.register_tenant("heavy", 4);
+  queue.register_tenant("light", 1);
+
+  std::map<std::string, TenantStats> stats;
+  for (const TenantStats& t : queue.tenant_stats()) stats[t.name] = t;
+  EXPECT_EQ(stats["heavy"].capacity_packets, 800u);
+  EXPECT_EQ(stats["light"].capacity_packets, 200u);
+}
+
+TEST(DaemonFairQueueTest, TenantCapacityBoundsAdmission) {
+  FairQueueOptions options;
+  options.capacity_packets = 100;
+  FairShareQueue queue(options);
+  queue.register_tenant("a", 1);
+  queue.register_tenant("b", 1);  // each gets 50 packets
+
+  EXPECT_TRUE(queue.try_enqueue(item("a", 50)).admitted);
+  const AdmissionResult rejected = queue.try_enqueue(item("a", 1));
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_GT(rejected.retry_after_ms, 0u);
+  // The other tenant's share is untouched by a's backlog.
+  EXPECT_TRUE(queue.try_enqueue(item("b", 50)).admitted);
+  EXPECT_EQ(queue.queued_packets(), 100u);
+}
+
+TEST(DaemonFairQueueTest, UnknownTenantAutoRegisters) {
+  FairQueueOptions options;
+  options.capacity_packets = 100;
+  options.default_weight = 1;
+  FairShareQueue queue(options);
+  EXPECT_TRUE(queue.try_enqueue(item("walk-in", 10)).admitted);
+  const auto stats = queue.tenant_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "walk-in");
+  EXPECT_EQ(stats[0].weight, 1u);
+  EXPECT_EQ(stats[0].queued_packets, 10u);
+}
+
+TEST(DaemonFairQueueTest, OversizeRequestNeverFits) {
+  FairQueueOptions options;
+  options.capacity_packets = 64;
+  FairShareQueue queue(options);
+  queue.register_tenant("only", 1);
+  // Larger than the whole queue: rejected even when idle.
+  EXPECT_FALSE(queue.try_enqueue(item("only", 65)).admitted);
+  EXPECT_EQ(queue.queued_packets(), 0u);
+}
+
+TEST(DaemonFairQueueTest, WeightedServiceOrderApproximatesShares) {
+  // Both tenants keep a deep backlog; dequeue order must serve packets
+  // in the weight ratio (2:1 here) over any sizeable window.
+  FairQueueOptions options;
+  options.capacity_packets = 10000;
+  FairShareQueue queue(options);
+  queue.register_tenant("heavy", 2);
+  queue.register_tenant("light", 1);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(queue.try_enqueue(item("heavy", 10)).admitted);
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(queue.try_enqueue(item("light", 10)).admitted);
+  }
+
+  std::map<std::string, std::size_t> served;
+  // Drain ~2/3 of the backlog one item at a time and count per tenant.
+  for (int i = 0; i < 60; ++i) {
+    const auto chunk = queue.dequeue_chunk(1);
+    ASSERT_EQ(chunk.size(), 1u);
+    served[chunk[0].tenant] += chunk[0].packets;
+  }
+  ASSERT_EQ(served["heavy"] + served["light"], 600u);
+  // 2:1 split of 600 packets is 400/200; allow one-item slack.
+  EXPECT_NEAR(static_cast<double>(served["heavy"]), 400.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(served["light"]), 200.0, 10.0);
+}
+
+TEST(DaemonFairQueueTest, FifoWithinTenant) {
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.try_enqueue(item("t", 1, i)).admitted);
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto chunk = queue.dequeue_chunk(1);
+    ASSERT_EQ(chunk.size(), 1u);
+    EXPECT_EQ(chunk[0].token, i);
+  }
+}
+
+TEST(DaemonFairQueueTest, ChunkGathersUpToMaxPackets) {
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.try_enqueue(item("t", 10, i)).admitted);
+  }
+  const auto chunk = queue.dequeue_chunk(30);
+  EXPECT_EQ(chunk.size(), 3u);
+  EXPECT_EQ(queue.queued_packets(), 30u);
+}
+
+TEST(DaemonFairQueueTest, OversizeItemShipsAlone) {
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  ASSERT_TRUE(queue.try_enqueue(item("t", 500, 1)).admitted);
+  ASSERT_TRUE(queue.try_enqueue(item("t", 1, 2)).admitted);
+  // Requests are never split: a 500-packet item exceeds the 64-packet
+  // quantum but still ships, by itself.
+  const auto chunk = queue.dequeue_chunk(64);
+  ASSERT_EQ(chunk.size(), 1u);
+  EXPECT_EQ(chunk[0].token, 1u);
+}
+
+TEST(DaemonFairQueueTest, IdleTenantDoesNotBankCredit) {
+  // heavy works alone for a while; when light wakes up it must not get
+  // an unbounded catch-up burst -- its virtual time is clamped to the
+  // active frontier, so service returns to the weight ratio.
+  FairQueueOptions options;
+  options.capacity_packets = 10000;
+  FairShareQueue queue(options);
+  queue.register_tenant("heavy", 1);
+  queue.register_tenant("light", 1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(queue.try_enqueue(item("heavy", 10)).admitted);
+  }
+  for (int i = 0; i < 20; ++i) {
+    (void)queue.dequeue_chunk(10);  // heavy-only era
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(queue.try_enqueue(item("light", 10)).admitted);
+  }
+  // Next 10 dequeues: without the clamp light would win all 10; with it
+  // the split approximates 1:1.
+  std::map<std::string, int> wins;
+  for (int i = 0; i < 10; ++i) {
+    const auto chunk = queue.dequeue_chunk(10);
+    ASSERT_EQ(chunk.size(), 1u);
+    ++wins[chunk[0].tenant];
+  }
+  EXPECT_GE(wins["heavy"], 4);
+  EXPECT_GE(wins["light"], 4);
+}
+
+TEST(DaemonFairQueueTest, DrainRejectsAndFlushes) {
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  ASSERT_TRUE(queue.try_enqueue(item("t", 5, 1)).admitted);
+  queue.begin_drain();
+  EXPECT_TRUE(queue.draining());
+  EXPECT_FALSE(queue.try_enqueue(item("t", 1, 2)).admitted);
+  // The backlog still flushes...
+  auto chunk = queue.dequeue_chunk(64);
+  ASSERT_EQ(chunk.size(), 1u);
+  EXPECT_EQ(chunk[0].token, 1u);
+  // ...and an empty draining queue returns empty instead of blocking.
+  chunk = queue.dequeue_chunk(64);
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST(DaemonFairQueueTest, DequeueBlocksUntilWorkArrives) {
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  std::vector<QueueItem> got;
+  std::thread consumer([&] { got = queue.dequeue_chunk(10); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(queue.try_enqueue(item("t", 3, 9)).admitted);
+  consumer.join();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].token, 9u);
+}
+
+TEST(DaemonFairQueueTest, BeginDrainWakesBlockedConsumer) {
+  FairShareQueue queue;
+  std::vector<QueueItem> got{item("sentinel", 1)};
+  std::thread consumer([&] { got = queue.dequeue_chunk(10); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.begin_drain();
+  consumer.join();
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(DaemonFairQueueTest, StatsTrackServedAndRejected) {
+  FairQueueOptions options;
+  options.capacity_packets = 20;
+  FairShareQueue queue(options);
+  queue.register_tenant("t", 1);
+  ASSERT_TRUE(queue.try_enqueue(item("t", 20)).admitted);
+  EXPECT_FALSE(queue.try_enqueue(item("t", 1)).admitted);
+  (void)queue.dequeue_chunk(64);
+  const auto stats = queue.tenant_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].served_packets, 20u);
+  EXPECT_EQ(stats[0].rejected_requests, 1u);
+  EXPECT_EQ(stats[0].queued_packets, 0u);
+}
+
+}  // namespace
+}  // namespace oblivious::daemon

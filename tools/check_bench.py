@@ -8,6 +8,8 @@ a baseline file.  Each check names a metric by path and one of:
   * "baseline": fail when value > baseline * (1 + tolerance_pct/100);
   * "max":      fail when value > max (absolute cap, e.g. an overhead
                 budget or a deterministic upper bound);
+  * "min":      fail when value < min (absolute floor, e.g. a
+                throughput requirement);
   * "equals":   fail unless value == equals exactly (for deterministic
                 outputs such as seeded congestion counts).
 
@@ -58,13 +60,16 @@ def run_check(check, value, tolerance_pct):
     if "max" in check:
         cap = float(check["max"])
         return value <= cap, f"value {value} <= max {cap}"
+    if "min" in check:
+        floor = float(check["min"])
+        return value >= floor, f"value {value} >= min {floor}"
     if "baseline" in check:
         tol = float(check.get("tolerance_pct", tolerance_pct))
         cap = float(check["baseline"]) * (1.0 + tol / 100.0)
         return value <= cap, (
             f"value {value} <= baseline {check['baseline']} +{tol}% = {cap:g}"
         )
-    raise KeyError("check needs one of 'equals', 'max', 'baseline'")
+    raise KeyError("check needs one of 'equals', 'max', 'min', 'baseline'")
 
 
 def main():

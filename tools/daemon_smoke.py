@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Fair-share isolation + graceful-drain smoke for oblvd.
+
+Scenario (fixed seed, bounded duration):
+  1. start oblvd on a Unix socket with tenants light:4, greedy:1 and a
+     deliberately small admission queue;
+  2. solo run: the light tenant alone -> baseline p99;
+  3. contended run: light at the same rate plus a greedy tenant pushing
+     far past its fair share -> greedy must saturate (rejections) while
+     light's p99 stays within 2x of solo (with an absolute floor so a
+     noisy CI runner cannot flake the ratio);
+  4. SIGTERM -> the daemon must drain gracefully: exit code 0, metrics
+     JSON written, daemon.unaccounted == 0, and submitted ==
+     delivered + rejected.
+
+Exit 0 when every assertion holds.  Used by ctest (DaemonSmoke) and the
+daemon-integration CI job.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+P99_RATIO = 2.0
+P99_FLOOR_MS = 50.0  # flake guard: ratio is only enforced above this
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_socket(path, deadline_s=10.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline_s:
+        if os.path.exists(path):
+            return
+        time.sleep(0.05)
+    fail(f"daemon socket {path} did not appear within {deadline_s}s")
+
+
+def run_load(oblv_load, socket, mesh, tenants, duration_ms, seed, json_path):
+    cmd = [
+        oblv_load,
+        "--socket", socket,
+        "--mesh", mesh,
+        "--tenants", tenants,
+        "--duration-ms", str(duration_ms),
+        "--seed", str(seed),
+        "--json", json_path,
+    ]
+    print(f"+ {' '.join(cmd)}", flush=True)
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        fail(f"oblv_load exited {result.returncode}")
+    with open(json_path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--oblvd", required=True)
+    parser.add_argument("--oblv-load", required=True)
+    parser.add_argument("--workdir", default=None,
+                        help="directory for sockets and reports")
+    parser.add_argument("--metrics-out", default=None,
+                        help="copy the daemon's final metrics JSON here")
+    parser.add_argument("--mesh", default="64x64")
+    parser.add_argument("--duration-ms", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="oblvd-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    # sun_path is limited to ~107 bytes; keep the socket name short.
+    socket = tempfile.mktemp(prefix="oblvd-", suffix=".sock", dir="/tmp")
+    metrics_json = os.path.join(workdir, "oblvd_metrics.json")
+
+    daemon_cmd = [
+        args.oblvd,
+        "--socket", socket,
+        "--mesh", args.mesh,
+        "--algorithm", "hierarchical-2d",
+        "--threads", "2",
+        "--tenants", "light:4,greedy:1",
+        "--queue-capacity", "4096",
+        "--batch-max", "1024",
+        "--metrics-json", metrics_json,
+    ]
+    print(f"+ {' '.join(daemon_cmd)}", flush=True)
+    daemon = subprocess.Popen(daemon_cmd, stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+    try:
+        wait_for_socket(socket)
+
+        # Phase 1: the light tenant alone.
+        solo = run_load(args.oblv_load, socket, args.mesh,
+                        "light:100:16", args.duration_ms, args.seed,
+                        os.path.join(workdir, "load_solo.json"))
+        solo_light = solo["tenants"]["light"]
+        if solo_light["delivered"] == 0:
+            fail("solo run delivered nothing")
+        if solo_light["rejected"] or solo_light["errors"]:
+            fail(f"solo light tenant saw rejections/errors: {solo_light}")
+        p99_solo = solo_light["p99_ms"]
+
+        # Phase 2: same light rate, plus a greedy tenant far past its
+        # fair share (1/5 of a 4096-packet queue ~ 819 packets; at
+        # 600 rps x 512 packets the offered load is ~30x the share).
+        contended = run_load(
+            args.oblv_load, socket, args.mesh,
+            "light:100:16,greedy:600:512", args.duration_ms, args.seed + 1,
+            os.path.join(workdir, "load_contended.json"))
+        light = contended["tenants"]["light"]
+        greedy = contended["tenants"]["greedy"]
+        if light["errors"] or greedy["errors"]:
+            fail(f"contended run saw transport errors: light={light} "
+                 f"greedy={greedy}")
+        if light["rejected"]:
+            fail(f"light tenant was rejected under contention: {light} "
+                 "(its fair share should never fill)")
+        if greedy["rejected"] == 0:
+            fail(f"greedy tenant was never rejected: {greedy} "
+                 "(offered load should exceed its share)")
+        p99_contended = light["p99_ms"]
+        bound = max(P99_RATIO * p99_solo, P99_FLOOR_MS)
+        print(f"light p99: solo {p99_solo:.3f} ms, contended "
+              f"{p99_contended:.3f} ms, bound {bound:.3f} ms", flush=True)
+        print(f"greedy: {greedy['delivered']} delivered, "
+              f"{greedy['rejected']} rejected", flush=True)
+        if p99_contended > bound:
+            fail(f"light tenant p99 {p99_contended:.3f} ms exceeds "
+                 f"{bound:.3f} ms (solo {p99_solo:.3f} ms)")
+
+        # Phase 3: graceful drain.
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            rc = daemon.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            fail("daemon did not drain within 30s of SIGTERM")
+        output = daemon.stdout.read()
+        sys.stdout.write(output)
+        if rc != 0:
+            fail(f"daemon exited {rc} after SIGTERM (want 0)")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        if os.path.exists(socket):
+            os.unlink(socket)
+
+    with open(metrics_json) as f:
+        metrics = json.load(f)
+    if metrics.get("schema") != "oblv-metrics-v1":
+        fail(f"unexpected metrics schema: {metrics.get('schema')}")
+    gauges = metrics["metrics"]["gauges"]
+    unaccounted = gauges.get("daemon.unaccounted")
+    if unaccounted != 0:
+        fail(f"daemon.unaccounted == {unaccounted} (want 0)")
+    submitted = gauges["daemon.requests.submitted"]
+    delivered = gauges["daemon.requests.delivered"]
+    rejected = gauges["daemon.requests.rejected"]
+    if submitted != delivered + rejected:
+        fail(f"accounting identity broken: {submitted} submitted != "
+             f"{delivered} delivered + {rejected} rejected")
+    if args.metrics_out:
+        os.makedirs(os.path.dirname(args.metrics_out) or ".", exist_ok=True)
+        with open(args.metrics_out, "w") as f:
+            json.dump(metrics, f, indent=1)
+        print(f"metrics copied to {args.metrics_out}")
+
+    print(f"OK: drain clean ({submitted} submitted = {delivered} delivered "
+          f"+ {rejected} rejected), light p99 isolated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

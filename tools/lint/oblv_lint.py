@@ -34,6 +34,12 @@ Rules (all scoped to the paper-reproduction discipline in DESIGN.md §7):
         (RngLanes, 8 streams per seeding sweep) amortizes away. The
         sanctioned scalar reference loops carry an allow() with the
         reason they must stay scalar.
+  D007  No blocking I/O syscalls outside src/daemon/net*: raw
+        read/write/recv/send/accept/connect/poll/select calls can stall
+        a daemon thread forever on a dead peer. All socket I/O goes
+        through the poll-bounded daemon::net helpers, which take an
+        explicit timeout; the helpers themselves (src/daemon/net*) are
+        the sanctioned site and annotate each raw call with an allow().
 
 Suppression: `// oblv-lint: allow(RULE) <justification>` on the flagged
 line or within the three lines above it. The justification is mandatory.
@@ -74,6 +80,7 @@ RULE_DOCS = {
     "D004": "per-call container allocation in a route*_into hot path",
     "D005": "packet drop/requeue without a fault.* metric increment",
     "D006": "scalar per-iteration Rng construction in a batch loop",
+    "D007": "blocking I/O syscall outside src/daemon/net*",
     "A001": "allowlist comment without justification",
 }
 
@@ -511,6 +518,48 @@ def check_d006(path: Path, rel: str, code: str,
     return findings
 
 
+# ---------------------------------------------------------------- D007 --
+
+# The one sanctioned home for raw socket/file syscalls. Everything else
+# must call the bounded daemon::net helpers.
+D007_EXEMPT_PREFIX = "src/daemon/net"
+# Global-qualified calls are unambiguous syscall references; read/write
+# are only matched in this form (bare `read(`/`write(` collide with too
+# many project identifiers to flag soundly).
+D007_QUALIFIED_RE = re.compile(
+    r"::\s*(?P<name>read|write|recv|send|recvfrom|sendto|accept4?|connect|"
+    r"poll|ppoll|select|pselect)\s*\(")
+# Rarer names are also flagged unqualified (not after an identifier
+# character, scope operator, `.`, or `->`).
+D007_BARE_RE = re.compile(
+    r"(?<![\w:.>])(?P<name>recv|recvfrom|sendto|accept4|poll|ppoll|"
+    r"pselect)\s*\(")
+
+
+def check_d007(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if not (rel.startswith("src/") or "/src/" in rel):
+        return []
+    if rel.startswith(D007_EXEMPT_PREFIX) or f"/{D007_EXEMPT_PREFIX}" in rel:
+        return []
+    findings = []
+    seen: set[int] = set()
+    for pattern in (D007_QUALIFIED_RE, D007_BARE_RE):
+        for m in pattern.finditer(code):
+            ln = line_of(code, m.start())
+            if ln in seen or is_allowed(allowed, ln, "D007"):
+                continue
+            seen.add(ln)
+            findings.append(Finding(
+                "D007", path, ln,
+                f"raw '{m.group('name')}' syscall outside src/daemon/net*: "
+                "it can block a thread forever on a dead peer; use the "
+                "poll-bounded daemon::net helpers (read_frame / write_all / "
+                "wait_readable take an explicit timeout) or justify with "
+                "// oblv-lint: allow(D007)"))
+    return findings
+
+
 # ---------------------------------------------------------------- C001 --
 
 C001_ASSERT_RE = re.compile(r"\bOBLV_(?:REQUIRE|EXPECTS)\s*\(")
@@ -560,6 +609,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_d004(path, rel, code, allowed)
     findings += check_d005(path, rel, code, raw_lines, allowed)
     findings += check_d006(path, rel, code, allowed)
+    findings += check_d007(path, rel, code, allowed)
     findings += check_c001(path, raw)
     return findings
 

@@ -1,0 +1,11 @@
+// D007 fixture: the rule covers all of src/, not just src/daemon/ -- a
+// stray blocking syscall in the analysis layer is flagged too.
+#include <cstddef>
+
+namespace fixture {
+
+int sneaky(int fd, char* buf, std::size_t n) {
+  return static_cast<int>(::write(fd, buf, n));  // line 8: flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// D007 fixture: raw blocking syscalls in daemon code outside net* must
+// be flagged; allow()-annotated sites and net:: helper calls are fine.
+#include <cstddef>
+
+namespace fixture {
+
+int do_read(int fd, char* buf, std::size_t n) {
+  return static_cast<int>(::read(fd, buf, n));  // line 8: flagged
+}
+
+int do_send(int fd, const char* buf, std::size_t n) {
+  return static_cast<int>(::send(fd, buf, n, 0));  // line 12: flagged
+}
+
+int do_poll_bare(void* fds) {
+  return poll(fds, 1, -1);  // line 16: flagged even unqualified
+}
+
+// oblv-lint: allow(D007) reactor setup is the sanctioned blocking site here
+int sanctioned(int fd, char* buf, std::size_t n) {
+  return static_cast<int>(::read(fd, buf, n));  // line 21: allowed above
+}
+
+// Calls through the bounded helpers and lookalike identifiers never fire.
+int read_frame(int fd);
+int not_a_syscall(int fd) {
+  int polled = read_frame(fd);  // helper call, not a syscall
+  int send_count = polled;      // 'send' inside an identifier
+  return send_count;
+}
+
+struct Socket {
+  int send(const char* buf, std::size_t n);
+};
+int method_call(Socket& s, const char* buf, std::size_t n) {
+  return s.send(buf, n);  // member call, not the libc symbol
+}
+
+}  // namespace fixture

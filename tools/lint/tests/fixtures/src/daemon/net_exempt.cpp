@@ -1,0 +1,15 @@
+// D007 fixture: files under src/daemon/net* are the sanctioned syscall
+// site and are exempt by path, no allow() needed.
+#include <cstddef>
+
+namespace fixture {
+
+int transport_read(int fd, char* buf, std::size_t n) {
+  return static_cast<int>(::read(fd, buf, n));
+}
+
+int transport_poll(void* fds) {
+  return poll(fds, 1, 50);
+}
+
+}  // namespace fixture

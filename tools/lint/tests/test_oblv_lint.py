@@ -142,6 +142,27 @@ class TestD006(unittest.TestCase):
              if f.rule == "D006"], [])
 
 
+class TestD007(unittest.TestCase):
+    def test_qualified_and_bare_syscalls_fire(self):
+        found = rules_and_lines(lint("src/daemon/d007_syscalls.cpp"))
+        self.assertIn(("D007", 8), found)   # ::read
+        self.assertIn(("D007", 12), found)  # ::send
+        self.assertIn(("D007", 16), found)  # bare poll(
+
+    def test_allow_helpers_and_lookalikes_do_not_fire(self):
+        findings = lint("src/daemon/d007_syscalls.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {8, 12, 16},
+                         [f.render(FIXTURES) for f in findings])
+
+    def test_net_files_exempt_by_path(self):
+        self.assertEqual(lint("src/daemon/net_exempt.cpp"), [])
+
+    def test_covers_all_of_src(self):
+        found = rules_and_lines(lint("src/analysis/d007_everywhere.cpp"))
+        self.assertIn(("D007", 8), found)  # ::write in the analysis layer
+
+
 class TestA001(unittest.TestCase):
     def test_allow_without_justification_flagged_and_ineffective(self):
         found = rules_and_lines(lint("src/util/bad_allow.cpp"))

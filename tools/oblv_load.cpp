@@ -1,0 +1,387 @@
+// oblv_load -- open-loop load generator for oblvd.
+//
+// Each tenant emits route requests on a Poisson schedule (seeded
+// exponential inter-arrival gaps, so a run is reproducible) across a
+// small pool of connections. Service latency is measured against the
+// *scheduled* arrival, not the send time, so queueing delay inside the
+// generator counts against the daemon -- the open-loop convention.
+// Rejected requests (backpressure) are counted, never retried.
+//
+// Examples:
+//   oblv_load --socket /tmp/oblvd.sock --mesh 64x64
+//             --tenants light:200:16,greedy:2000:256 --duration-ms 3000
+//   oblv_load --tcp-port 7447 --mesh 64x64 --tenants solo:500:32
+//             --duration-ms 2000 --json load.json
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "daemon/client.hpp"
+#include "mesh/mesh.hpp"
+#include "rng/rng.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace oblivious;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kUsage = R"(usage: oblv_load [flags]
+  --socket PATH        connect to a Unix domain socket
+  --tcp-port N         connect to loopback TCP instead
+  --mesh WxHx...       mesh shape, must match the daemon (default 64x64)
+  --tenants SPEC       name:rps:packets[,name:rps:packets...] -- each
+                       tenant issues `rps` requests/second of `packets`
+                       random demands each (default load:500:32)
+  --duration-ms N      generation window in milliseconds (default 2000)
+  --connections N      connections (worker threads) per tenant (default 4)
+  --seed N             schedule + demand seed (default 1)
+  --timeout-ms N       per-request client timeout (default 10000)
+  --json FILE          write the oblv-load-v1 report
+  --help               this text
+
+Latency is completion minus *scheduled* arrival (open loop). The exit
+status is 0 when every request was accounted (delivered + rejected ==
+sent) and nonzero otherwise.
+)";
+
+struct TenantSpec {
+  std::string name;
+  double rps = 0.0;
+  std::size_t packets = 0;
+};
+
+struct TenantReport {
+  std::string name;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t delivered_packets = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+std::vector<TenantSpec> parse_tenants(const std::string& spec) {
+  std::vector<TenantSpec> tenants;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    TenantSpec t;
+    std::stringstream fields(item);
+    std::string name, rps, packets;
+    if (!std::getline(fields, name, ':') || !std::getline(fields, rps, ':') ||
+        !std::getline(fields, packets, ':') || name.empty()) {
+      throw std::invalid_argument(
+          "--tenants entries are name:rps:packets, got '" + item + "'");
+    }
+    t.name = name;
+    t.rps = std::stod(rps);
+    t.packets = static_cast<std::size_t>(std::stoull(packets));
+    if (t.rps <= 0.0 || t.packets == 0) {
+      throw std::invalid_argument("tenant '" + name +
+                                  "' needs rps > 0 and packets > 0");
+    }
+    tenants.push_back(std::move(t));
+  }
+  if (tenants.empty()) throw std::invalid_argument("--tenants is empty");
+  return tenants;
+}
+
+Mesh parse_mesh(const std::string& spec, bool torus) {
+  std::vector<std::int64_t> sides;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, 'x')) {
+    sides.push_back(std::stoll(part));
+  }
+  return Mesh(std::move(sides), torus);
+}
+
+std::uint64_t tenant_hash(const std::string& name) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const char c : name) {
+    h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+// Poisson arrival offsets (seconds from the run start) covering the
+// generation window. Deterministic in (seed, tenant name).
+std::vector<double> make_schedule(const TenantSpec& tenant,
+                                  std::uint64_t seed, double duration_s) {
+  Rng rng(splitmix64(seed ^ tenant_hash(tenant.name)));
+  std::vector<double> offsets;
+  double at = 0.0;
+  while (true) {
+    // Inverse-CDF exponential gap; uniform01 < 1 so the log is finite.
+    const double gap = -std::log(1.0 - rng.uniform_double()) / tenant.rps;
+    at += gap;
+    if (at >= duration_s) break;
+    offsets.push_back(at);
+  }
+  return offsets;
+}
+
+std::vector<Demand> make_demands(const Mesh& mesh, std::uint64_t seed,
+                                 std::size_t packets) {
+  Rng rng(seed);
+  const auto nodes = static_cast<std::uint64_t>(mesh.num_nodes());
+  std::vector<Demand> demands;
+  demands.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    demands.push_back(
+        Demand{static_cast<std::int64_t>(rng.uniform_below(nodes)),
+               static_cast<std::int64_t>(rng.uniform_below(nodes))});
+  }
+  return demands;
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct TenantRun {
+  TenantSpec spec;
+  std::vector<double> schedule;  // seconds from run start
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> delivered_packets{0};
+  std::mutex latency_mu;
+  std::vector<double> latencies_ms;
+};
+
+void worker(TenantRun& run, const daemon::Endpoint& endpoint,
+            const Mesh& mesh, std::uint64_t seed, int timeout_ms,
+            Clock::time_point start) {
+  std::unique_ptr<daemon::DaemonClient> client;
+  try {
+    client = std::make_unique<daemon::DaemonClient>(endpoint, timeout_ms);
+  } catch (const std::exception&) {
+    // Connection refused: charge every arrival this worker would have
+    // claimed as an error so the accounting identity still holds.
+    while (run.next.fetch_add(1) < run.schedule.size()) {
+      run.errors.fetch_add(1);
+    }
+    return;
+  }
+  const std::uint64_t tenant_seed = splitmix64(seed ^ tenant_hash(run.spec.name));
+  std::vector<double> local_latencies;
+  while (true) {
+    const std::size_t i = run.next.fetch_add(1);
+    if (i >= run.schedule.size()) break;
+    const auto scheduled =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(run.schedule[i]));
+    std::this_thread::sleep_until(scheduled);
+    const std::uint64_t request_seed =
+        splitmix64(tenant_seed ^ static_cast<std::uint64_t>(i));
+    const std::vector<Demand> demands =
+        make_demands(mesh, request_seed, run.spec.packets);
+    try {
+      const daemon::RouteResponse response =
+          client->route(run.spec.name, request_seed, demands);
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
+              .count();
+      switch (response.status) {
+        case daemon::RouteStatus::kOk:
+          run.delivered.fetch_add(1);
+          run.delivered_packets.fetch_add(demands.size());
+          local_latencies.push_back(latency_ms);
+          break;
+        case daemon::RouteStatus::kRejected:
+        case daemon::RouteStatus::kShuttingDown:
+          run.rejected.fetch_add(1);
+          break;
+        case daemon::RouteStatus::kError:
+          run.errors.fetch_add(1);
+          break;
+      }
+    } catch (const std::exception&) {
+      run.errors.fetch_add(1);
+      // The connection is in an unknown state after a transport error;
+      // reconnect before the next arrival.
+      try {
+        client = std::make_unique<daemon::DaemonClient>(endpoint, timeout_ms);
+      } catch (const std::exception&) {
+        while (run.next.fetch_add(1) < run.schedule.size()) {
+          run.errors.fetch_add(1);
+        }
+        return;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(run.latency_mu);
+  run.latencies_ms.insert(run.latencies_ms.end(), local_latencies.begin(),
+                          local_latencies.end());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int run(const Flags& flags) {
+  if (flags.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  daemon::Endpoint endpoint;
+  if (flags.has("tcp-port")) {
+    endpoint.tcp_port = static_cast<std::uint16_t>(flags.get_int("tcp-port", 0));
+  } else if (flags.has("socket")) {
+    endpoint.unix_path = flags.get("socket", "");
+  } else {
+    std::cerr << "one of --socket or --tcp-port is required\n" << kUsage;
+    return 1;
+  }
+  const Mesh mesh =
+      parse_mesh(flags.get("mesh", "64x64"), flags.get_bool("torus"));
+  const auto tenants = parse_tenants(flags.get("tenants", "load:500:32"));
+  const double duration_s =
+      static_cast<double>(flags.get_int("duration-ms", 2000)) / 1000.0;
+  const auto connections =
+      static_cast<std::size_t>(flags.get_int("connections", 4));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 10000));
+
+  std::vector<std::unique_ptr<TenantRun>> runs;
+  for (const TenantSpec& spec : tenants) {
+    auto run_state = std::make_unique<TenantRun>();
+    run_state->spec = spec;
+    run_state->schedule = make_schedule(spec, seed, duration_s);
+    runs.push_back(std::move(run_state));
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (auto& run_state : runs) {
+    for (std::size_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&run_state, &endpoint, &mesh, seed, timeout_ms,
+                            start] {
+        worker(*run_state, endpoint, mesh, seed, timeout_ms, start);
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<TenantReport> reports;
+  std::uint64_t total_sent = 0, total_delivered = 0, total_rejected = 0,
+                total_errors = 0, total_packets = 0;
+  for (auto& run_state : runs) {
+    TenantReport r;
+    r.name = run_state->spec.name;
+    r.sent = run_state->schedule.size();
+    r.delivered = run_state->delivered.load();
+    r.rejected = run_state->rejected.load();
+    r.errors = run_state->errors.load();
+    r.delivered_packets = run_state->delivered_packets.load();
+    std::vector<double>& lat = run_state->latencies_ms;
+    std::sort(lat.begin(), lat.end());
+    r.p50_ms = percentile(lat, 0.50);
+    r.p99_ms = percentile(lat, 0.99);
+    if (!lat.empty()) {
+      double sum = 0.0;
+      for (const double v : lat) sum += v;
+      r.mean_ms = sum / static_cast<double>(lat.size());
+    }
+    total_sent += r.sent;
+    total_delivered += r.delivered;
+    total_rejected += r.rejected;
+    total_errors += r.errors;
+    total_packets += r.delivered_packets;
+    reports.push_back(std::move(r));
+  }
+  const double throughput_pps =
+      wall_s > 0.0 ? static_cast<double>(total_packets) / wall_s : 0.0;
+
+  Table table({"tenant", "sent", "delivered", "rejected", "errors", "p50 ms",
+               "p99 ms", "mean ms"});
+  for (const TenantReport& r : reports) {
+    table.row()
+        .add(r.name)
+        .add(static_cast<std::int64_t>(r.sent))
+        .add(static_cast<std::int64_t>(r.delivered))
+        .add(static_cast<std::int64_t>(r.rejected))
+        .add(static_cast<std::int64_t>(r.errors))
+        .add(r.p50_ms, 3)
+        .add(r.p99_ms, 3)
+        .add(r.mean_ms, 3);
+  }
+  table.print(std::cout);
+  std::cout << "totals  : " << total_sent << " sent, " << total_delivered
+            << " delivered, " << total_rejected << " rejected, "
+            << total_errors << " errors\n";
+  std::cout << "packets : " << total_packets << " delivered, "
+            << throughput_pps / 1000.0 << " kpkt/s over " << wall_s
+            << " s\n";
+
+  if (flags.has("json")) {
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"oblv-load-v1\",\n";
+    out << "  \"duration_ms\": " << flags.get_int("duration-ms", 2000)
+        << ",\n  \"seed\": " << seed << ",\n  \"tenants\": {\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const TenantReport& r = reports[i];
+      out << "    \"" << json_escape(r.name) << "\": {\"sent\": " << r.sent
+          << ", \"delivered\": " << r.delivered
+          << ", \"rejected\": " << r.rejected << ", \"errors\": " << r.errors
+          << ", \"delivered_packets\": " << r.delivered_packets
+          << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+          << ", \"mean_ms\": " << r.mean_ms << "}"
+          << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "  },\n  \"totals\": {\"sent\": " << total_sent
+        << ", \"delivered\": " << total_delivered
+        << ", \"rejected\": " << total_rejected
+        << ", \"errors\": " << total_errors
+        << ", \"delivered_packets\": " << total_packets
+        << ", \"throughput_pps\": " << throughput_pps
+        << ", \"wall_seconds\": " << wall_s << "}\n}\n";
+    const std::string path = flags.get("json", "");
+    std::ofstream file(path);
+    if (!file) {
+      std::cerr << "oblv_load: cannot write " << path << "\n";
+      return 1;
+    }
+    file << out.str();
+    std::cout << "report written to " << path << "\n";
+  }
+
+  return total_delivered + total_rejected + total_errors == total_sent ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Flags::parse(
+        argc, argv,
+        {"socket", "tcp-port", "mesh", "torus", "tenants", "duration-ms",
+         "connections", "seed", "timeout-ms", "json", "help"}));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+}
