@@ -1,7 +1,6 @@
 #include "analysis/evaluate.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "analysis/congestion.hpp"
 #include "obs/metrics.hpp"
@@ -9,6 +8,7 @@
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/contracts.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious {
@@ -230,7 +230,7 @@ RouteSetMetrics route_and_measure_parallel(
   WallTimer timer;
   std::vector<SegmentPath> paths(problem.size());
   EdgeLoadMap loads(mesh);
-  std::mutex merge_mutex;
+  oblv::Mutex merge_mutex;
   parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
     // Each chunk accounts its paths into a private shard; integer edge
     // loads commute under addition, so the merge order cannot change the
@@ -257,7 +257,7 @@ RouteSetMetrics route_and_measure_parallel(
       OBLV_COUNTER_ADD("routing.packets", end - begin);
       OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
     }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
+    oblv::MutexLock lock(merge_mutex);
     loads.merge(shard);
   });
   const double seconds = timer.elapsed_seconds();

@@ -1,11 +1,11 @@
 #include "analysis/trials.hpp"
 
-#include <mutex>
 #include <vector>
 
 #include "analysis/congestion.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious {
@@ -20,7 +20,7 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
 
   std::vector<double> edge_load_sums(static_cast<std::size_t>(mesh.num_edges()),
                                      0.0);
-  std::mutex merge_mutex;
+  oblv::Mutex merge_mutex;
 
   const auto run_range = [&](std::size_t begin, std::size_t end) {
     TrialSummary local;
@@ -72,7 +72,7 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
       OBLV_COUNTER_ADD("trials.trials_run", end - begin);
       loads.record_metrics("loads");
     }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
+    oblv::MutexLock lock(merge_mutex);
     summary.congestion.merge(local.congestion);
     summary.dilation.merge(local.dilation);
     summary.max_stretch.merge(local.max_stretch);

@@ -22,13 +22,13 @@
 // is told to drain.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace oblivious::daemon {
 
@@ -73,11 +73,12 @@ class FairShareQueue {
   // Declares a tenant and its weight; recomputes every tenant's
   // capacity share. Unknown tenants auto-register with default_weight
   // on first enqueue. \pre weight >= 1.
-  void register_tenant(const std::string& name, std::uint64_t weight);
+  void register_tenant(const std::string& name, std::uint64_t weight)
+      OBLV_EXCLUDES(mu_);
 
   // Admits `item` unless the tenant's capacity share (or the draining
   // flag) forbids it. O(log #tenants).
-  AdmissionResult try_enqueue(const QueueItem& item);
+  AdmissionResult try_enqueue(const QueueItem& item) OBLV_EXCLUDES(mu_);
 
   // Pops whole items from the fairest tenant (smallest virtual time,
   // then from the next fairest, ...) until at least `max_packets` are
@@ -85,16 +86,17 @@ class FairShareQueue {
   // not draining; returns an empty vector only when draining and empty.
   // An item larger than max_packets is still returned alone (requests
   // are never split).
-  std::vector<QueueItem> dequeue_chunk(std::size_t max_packets);
+  std::vector<QueueItem> dequeue_chunk(std::size_t max_packets)
+      OBLV_EXCLUDES(mu_);
 
   // Draining: every later try_enqueue is rejected, and dequeue_chunk
   // returns the remaining backlog then empty vectors instead of
   // blocking.
-  void begin_drain();
-  bool draining() const;
+  void begin_drain() OBLV_EXCLUDES(mu_);
+  bool draining() const OBLV_EXCLUDES(mu_);
 
-  std::size_t queued_packets() const;
-  std::vector<TenantStats> tenant_stats() const;
+  std::size_t queued_packets() const OBLV_EXCLUDES(mu_);
+  std::vector<TenantStats> tenant_stats() const OBLV_EXCLUDES(mu_);
 
  private:
   struct Tenant {
@@ -110,18 +112,23 @@ class FairShareQueue {
 
   static constexpr std::uint64_t kVirtualScale = 1 << 16;
 
-  // \pre mu_ held.
-  Tenant& tenant_locked(const std::string& name);
-  void recompute_shares_locked();
-  std::uint64_t active_virtual_floor_locked() const;
+  // \pre mu_ held (now compiler-checked, not just documented).
+  Tenant& tenant_locked(const std::string& name) OBLV_REQUIRES(mu_);
+  void recompute_shares_locked() OBLV_REQUIRES(mu_);
+  std::uint64_t active_virtual_floor_locked() const OBLV_REQUIRES(mu_);
 
   FairQueueOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
+  // Single-lock design: one mutex covers tenant selection AND the
+  // per-tenant FIFOs. The two-level *scheduling* does not need
+  // two-level *locking* -- dequeue scans every tenant's virtual time
+  // anyway, so a global→tenant lock split would add ordering hazards
+  // (see DESIGN.md §13) for no concurrency win at daemon batch sizes.
+  mutable oblv::Mutex mu_;
+  oblv::CondVar work_available_;
   // std::map: deterministic iteration order for tie-breaks and stats.
-  std::map<std::string, Tenant> tenants_;
-  std::size_t queued_packets_ = 0;
-  bool draining_ = false;
+  std::map<std::string, Tenant> tenants_ OBLV_GUARDED_BY(mu_);
+  std::size_t queued_packets_ OBLV_GUARDED_BY(mu_) = 0;
+  bool draining_ OBLV_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace oblivious::daemon

@@ -22,8 +22,26 @@ namespace oblivious::daemon {
 
 namespace {
 
+// Thread-safe errno formatting. std::strerror writes into a shared
+// static buffer (clang-tidy concurrency-mt-unsafe), and connection
+// threads can fail concurrently, so go through strerror_r. glibc and
+// POSIX disagree on its signature (char* returning the message vs int
+// writing into buf); overload dispatch on the actual return type picks
+// the right reading without a feature-test-macro maze.
+inline const char* strerror_pick(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* strerror_pick(const char* msg, const char* /*buf*/) {
+  return msg != nullptr ? msg : "unknown error";
+}
+
+std::string errno_string(int err) {
+  char buf[256] = {};
+  return strerror_pick(strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  throw std::runtime_error(what + ": " + errno_string(errno));
 }
 
 void set_error(std::string* error, const std::string& message) {
@@ -60,7 +78,7 @@ IoStatus read_exact(int fd, std::uint8_t* data, std::size_t size,
     if (n == 0) return got == 0 ? IoStatus::kClosed : IoStatus::kTruncated;
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      set_error(error, std::string("read: ") + std::strerror(errno));
+      set_error(error, "read: " + errno_string(errno));
       return IoStatus::kError;
     }
     got += static_cast<std::size_t>(n);
@@ -231,7 +249,7 @@ IoStatus write_all(int fd, const std::uint8_t* data, std::size_t size,
         ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      set_error(error, std::string("send: ") + std::strerror(errno));
+      set_error(error, "send: " + errno_string(errno));
       return IoStatus::kError;
     }
     sent += static_cast<std::size_t>(n);

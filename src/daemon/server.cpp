@@ -51,9 +51,14 @@ Server::~Server() = default;
 
 ServerStats Server::stats() const {
   ServerStats s;
+  // The unaccounted == 0 drain check runs after worker.join() plus the
+  // connection-thread joins, whose synchronization already orders every
+  // preceding fetch_add before these snapshot loads.
+  // oblv-lint: allow(D009) drain-synchronized snapshot reads, see above.
   s.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
   s.requests_delivered = requests_delivered_.load(std::memory_order_relaxed);
   s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  // oblv-lint: allow(D009) same drain-synchronized snapshot as above.
   s.packets_submitted = packets_submitted_.load(std::memory_order_relaxed);
   s.packets_delivered = packets_delivered_.load(std::memory_order_relaxed);
   s.packets_rejected = packets_rejected_.load(std::memory_order_relaxed);
@@ -124,7 +129,7 @@ int Server::run() {
     UniqueFd conn = accept_connection(listener.get(), options_.poll_tick_ms);
     if (!conn.valid()) continue;
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    oblv::MutexLock lock(conn_mu_);
     connections_.emplace_back(
         [this, fd = std::move(conn)]() mutable {
           connection_loop(std::move(fd));
@@ -144,7 +149,7 @@ int Server::run() {
   // their final responses and exit their read loops.
   stopping_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    oblv::MutexLock lock(conn_mu_);
     for (std::thread& t : connections_) t.join();
     connections_.clear();
   }

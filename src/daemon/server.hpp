@@ -43,6 +43,7 @@
 #include "mesh/mesh.hpp"
 #include "parallel/thread_pool.hpp"
 #include "routing/router.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace oblivious::daemon {
 
@@ -144,8 +145,11 @@ class Server {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
 
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  oblv::Mutex conn_mu_;
+  // Connection threads, appended by the accept loop and joined at
+  // drain step 4; only run() touches the vector, but always under the
+  // lock so the discipline survives future refactors.
+  std::vector<std::thread> connections_ OBLV_GUARDED_BY(conn_mu_);
 };
 
 }  // namespace oblivious::daemon

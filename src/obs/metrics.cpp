@@ -150,7 +150,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   for (const TlsEntry& e : tls) {
     if (e.registry == this) return *e.shard;
   }
-  const std::lock_guard<std::mutex> lock(shards_mu_);
+  oblv::WriterMutexLock lock(shards_mu_);
   shards_.push_back(std::make_unique<Shard>());
   Shard* shard = shards_.back().get();
   tls.push_back({this, shard});
@@ -159,7 +159,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  oblv::MutexLock lock(shard.mu);
   auto& cell = shard.counters[name];
   if (cell == nullptr) cell = std::make_unique<Counter>();
   return *cell;
@@ -167,7 +167,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  oblv::MutexLock lock(shard.mu);
   auto& cell = shard.gauges[name];
   if (cell == nullptr) cell = std::make_unique<Gauge>();
   return *cell;
@@ -175,7 +175,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  oblv::MutexLock lock(shard.mu);
   auto& cell = shard.histograms[name];
   if (cell == nullptr) cell = std::make_unique<Histogram>();
   return *cell;
@@ -183,14 +183,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::record_stat(const std::string& name, double value) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  oblv::MutexLock lock(shard.mu);
   shard.stats[name].add(value);
 }
 
 void MetricsRegistry::merge_stat(const std::string& name,
                                  const RunningStats& stats) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  oblv::MutexLock lock(shard.mu);
   shard.stats[name].merge(stats);
 }
 
@@ -198,9 +198,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
   std::map<std::string, std::uint64_t> gauge_seq;
   std::map<std::string, RunningStats> merged_stats;
-  const std::lock_guard<std::mutex> shards_lock(shards_mu_);
+  // Shared hold: snapshot never grows the shard list, so concurrent
+  // snapshots (exporter + introspection endpoint) do not serialize on
+  // the registry lock -- only writers (local_shard registration) do.
+  oblv::ReaderMutexLock shards_lock(shards_mu_);
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    oblv::MutexLock lock(shard->mu);
     for (const auto& [name, cell] : shard->counters) {
       out.counters[name] += cell->value();
     }
@@ -236,9 +239,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> shards_lock(shards_mu_);
+  // Shared hold on the shard *list*; the cells being zeroed are guarded
+  // by each shard's own mu (taken below) or are atomics.
+  oblv::ReaderMutexLock shards_lock(shards_mu_);
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    oblv::MutexLock lock(shard->mu);
     for (const auto& entry : shard->counters) entry.second->reset();
     for (const auto& entry : shard->gauges) entry.second->reset();
     for (const auto& entry : shard->histograms) entry.second->reset();

@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace oblivious::obs {
@@ -167,23 +167,31 @@ class MetricsRegistry {
   void merge_stat(const std::string& name, const RunningStats& stats);
 
   // Merges every shard by name into one consistent view.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const OBLV_EXCLUDES(shards_mu_);
   // Zeroes every cell in every shard; handles remain valid.
-  void reset();
+  void reset() OBLV_EXCLUDES(shards_mu_);
 
  private:
   struct Shard {
-    mutable std::mutex mu;  // guards the maps and `stats`
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
-    std::map<std::string, RunningStats> stats;
+    mutable oblv::Mutex mu;  // guards the maps and `stats`
+    std::map<std::string, std::unique_ptr<Counter>> counters
+        OBLV_GUARDED_BY(mu);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges OBLV_GUARDED_BY(mu);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms
+        OBLV_GUARDED_BY(mu);
+    std::map<std::string, RunningStats> stats OBLV_GUARDED_BY(mu);
   };
 
-  Shard& local_shard();
+  Shard& local_shard() OBLV_EXCLUDES(shards_mu_);
 
-  mutable std::mutex shards_mu_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  // Lock order: shards_mu_ before any Shard::mu (snapshot/reset walk the
+  // shard list shared, then lock each shard in turn). The reverse never
+  // happens: a hot-path cell lookup locks only its own shard. See
+  // DESIGN.md section 13 for why the order cannot be expressed as an
+  // OBLV_ACQUIRED_BEFORE attribute here (Shard::mu cannot name the
+  // enclosing registry's member).
+  mutable oblv::SharedMutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_ OBLV_GUARDED_BY(shards_mu_);
 };
 
 // Wall-clock timer that records its lifetime (seconds) as a timer stat in

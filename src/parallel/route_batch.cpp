@@ -69,6 +69,11 @@ void run_batch(const Router& router, std::span<const Demand> demands,
       options.chunk_size != 0
           ? options.chunk_size
           : std::max<std::size_t>(1, n / (workers * (use_soa ? 2 : 8)));
+  // Lock-free by design (DESIGN.md section 13): the cursor is the only
+  // shared mutable state in the batch loop -- every output slot and
+  // scratch buffer is owned by exactly one worker per chunk claim, so
+  // there is nothing for a mutex (or a GUARDED_BY annotation) to guard.
+  // Relaxed suffices: fetch_add's atomicity alone partitions [0, n).
   std::atomic<std::size_t> cursor{0};
 
   // Per-worker tallies are flushed in one registry visit per worker, into

@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    oblv::MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -32,7 +32,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    oblv::MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -40,23 +40,26 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  oblv::MutexLock lock(mutex_);
+  // Predicate loops stay explicit (no wait-with-lambda): a lambda is a
+  // separate function to the thread-safety analysis, so the guarded
+  // reads must happen here, where mutex_ is provably held.
+  while (in_flight_ != 0) idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      oblv::MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) task_available_.wait(mutex_);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      oblv::MutexLock lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();
     }
   }

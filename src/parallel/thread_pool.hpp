@@ -6,13 +6,13 @@
 // zero workers or one chunk).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace oblivious {
 
@@ -29,21 +29,21 @@ class ThreadPool {
 
   // Enqueues a task; tasks must not throw (violations call std::terminate
   // via the worker loop's noexcept boundary).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) OBLV_EXCLUDES(mutex_);
 
   // Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() OBLV_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() OBLV_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  oblv::Mutex mutex_;
+  oblv::CondVar task_available_;
+  oblv::CondVar idle_;
+  std::deque<std::function<void()>> queue_ OBLV_GUARDED_BY(mutex_);
+  std::size_t in_flight_ OBLV_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ OBLV_GUARDED_BY(mutex_) = false;
 };
 
 // Splits [0, count) into chunks and runs `body(begin, end)` on the pool

@@ -14,6 +14,10 @@ PlanCache::PlanCache(std::size_t capacity) {
                                    (kNumShards * kWays));
   capacity_ = sets_per_shard_ * kNumShards * kWays;
   for (Shard& shard : shards_) {
+    // The constructor runs single-threaded, but the analysis (rightly)
+    // has no happens-before notion: guarded data is locked data, even
+    // here. Uncontended, so the cost is one atomic pair per shard, once.
+    oblv::MutexLock lock(shard.mu);
     shard.sets.resize(sets_per_shard_);
   }
 }
@@ -27,7 +31,7 @@ bool PlanCache::lookup(NodeId s, NodeId t, int dim, std::vector<Region>& chain,
                        std::size_t& up_count, int& bridge_level) const {
   const std::uint64_t h = mix(s, t);
   const Shard& shard = shards_[h % kNumShards];
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  oblv::MutexLock lock(shard.mu);
   const Set& set = shard.sets[(h / kNumShards) % sets_per_shard_];
   for (const Entry& e : set.ways) {
     if (e.s != s || e.t != t) continue;
@@ -59,7 +63,7 @@ void PlanCache::insert(NodeId s, NodeId t, int dim,
                        int bridge_level) {
   const std::uint64_t h = mix(s, t);
   Shard& shard = shards_[h % kNumShards];
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  oblv::MutexLock lock(shard.mu);
   Set& set = shard.sets[(h / kNumShards) % sets_per_shard_];
   Entry* slot = nullptr;
   for (Entry& e : set.ways) {
@@ -95,7 +99,7 @@ void PlanCache::insert(NodeId s, NodeId t, int dim,
 
 void PlanCache::clear() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    oblv::MutexLock lock(shard.mu);
     for (Set& set : shard.sets) {
       for (Entry& e : set.ways) {
         e.s = kInvalidNode;

@@ -19,11 +19,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "mesh/region.hpp"
 #include "mesh/types.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace oblivious {
 
@@ -78,8 +78,8 @@ class PlanCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Set> sets;
+    mutable oblv::Mutex mu;
+    std::vector<Set> sets OBLV_GUARDED_BY(mu);
   };
 
   static std::uint64_t mix(NodeId s, NodeId t);

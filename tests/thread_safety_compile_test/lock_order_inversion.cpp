@@ -1,0 +1,32 @@
+// NEGATIVE fixture: acquiring two mutexes against their declared
+// OBLV_ACQUIRED_AFTER order (the static deadlock gate, enforced by
+// -Wthread-safety-beta). The ThreadSafetyCompileGate harness asserts
+// this file FAILS to compile with a -Wthread-safety diagnostic.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class OrderedPair {
+ public:
+  // VIOLATION: tenant_mu_ is declared acquired-after global_mu_, but
+  // this path takes tenant_mu_ first -- the inversion that deadlocks
+  // against a thread locking in the declared order.
+  void locked_backwards() OBLV_EXCLUDES(global_mu_, tenant_mu_) {
+    oblv::MutexLock tenant(tenant_mu_);
+    oblv::MutexLock global(global_mu_);
+    ++sequenced_;
+  }
+
+ private:
+  oblv::Mutex global_mu_;
+  oblv::Mutex tenant_mu_ OBLV_ACQUIRED_AFTER(global_mu_);
+  long sequenced_ OBLV_GUARDED_BY(tenant_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  OrderedPair pair;
+  pair.locked_backwards();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// NEGATIVE fixture: calling an OBLV_REQUIRES function without holding
+// the capability. The ThreadSafetyCompileGate harness asserts this file
+// FAILS to compile with a -Wthread-safety diagnostic.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // VIOLATION: deposit_locked requires mu_, but no lock is taken.
+  void deposit(long amount) { deposit_locked(amount); }
+
+ private:
+  void deposit_locked(long amount) OBLV_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable oblv::Mutex mu_;
+  long balance_ OBLV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Positive control for the ThreadSafetyCompileGate harness: correct use
+// of every wrapper the violation fixtures misuse. This file MUST compile
+// cleanly under -Wthread-safety -Wthread-safety-beta -Werror=...; if it
+// does not, the gate is broken (or the annotations header regressed),
+// not the code under test.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) OBLV_EXCLUDES(mu_) {
+    oblv::MutexLock lock(mu_);
+    deposit_locked(amount);
+  }
+
+  long balance() const OBLV_EXCLUDES(mu_) {
+    oblv::MutexLock lock(mu_);
+    return balance_;
+  }
+
+  long wait_nonzero() OBLV_EXCLUDES(mu_) {
+    oblv::MutexLock lock(mu_);
+    while (balance_ == 0) funded_.wait(mu_);
+    return balance_;
+  }
+
+ private:
+  void deposit_locked(long amount) OBLV_REQUIRES(mu_) {
+    balance_ += amount;
+    if (balance_ != 0) funded_.notify_all();
+  }
+
+  mutable oblv::Mutex mu_;
+  oblv::CondVar funded_;
+  long balance_ OBLV_GUARDED_BY(mu_) = 0;
+};
+
+class OrderedPair {
+ public:
+  void locked_in_order() OBLV_EXCLUDES(global_mu_, tenant_mu_) {
+    oblv::MutexLock global(global_mu_);
+    oblv::MutexLock tenant(tenant_mu_);
+    ++sequenced_;
+  }
+
+ private:
+  oblv::Mutex global_mu_;
+  oblv::Mutex tenant_mu_ OBLV_ACQUIRED_AFTER(global_mu_);
+  long sequenced_ OBLV_GUARDED_BY(tenant_mu_) = 0;
+};
+
+class SharedState {
+ public:
+  long read() const OBLV_EXCLUDES(mu_) {
+    oblv::ReaderMutexLock lock(mu_);
+    return value_;
+  }
+
+  void write(long v) OBLV_EXCLUDES(mu_) {
+    oblv::WriterMutexLock lock(mu_);
+    value_ = v;
+  }
+
+ private:
+  mutable oblv::SharedMutex mu_;
+  long value_ OBLV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  OrderedPair pair;
+  pair.locked_in_order();
+  SharedState shared;
+  shared.write(2);
+  return account.balance() + shared.read() == 3 ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+# ThreadSafetyCompileGate: proves the lock-discipline gate is live.
+#
+# A static gate that silently stopped firing is worse than no gate, so
+# this harness does not trust the flags -- it demonstrates them: the
+# positive control must compile, and each violation fixture must FAIL
+# with a -Wthread-safety diagnostic (failing for any other reason --
+# syntax error, missing header -- is reported as a harness bug, not a
+# pass).
+#
+# Script-mode CMake (ctest runs `cmake -P run_gate.cmake`), so no
+# try_compile: each fixture is one -fsyntax-only compiler invocation.
+#
+# Required -D definitions: CXX (clang++ path), REPO_SRC (<repo>/src),
+# FIXTURES (this directory).
+
+foreach(var CXX REPO_SRC FIXTURES)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_gate.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+set(TSA_FLAGS
+  -std=c++20
+  -fsyntax-only
+  "-I${REPO_SRC}"
+  -Wthread-safety
+  -Wthread-safety-beta
+  -Werror=thread-safety-analysis
+  -Werror=thread-safety-beta)
+
+function(expect_compiles fixture)
+  execute_process(
+    COMMAND "${CXX}" ${TSA_FLAGS} "${FIXTURES}/${fixture}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${fixture} must compile cleanly under the thread-safety flags but "
+      "failed (rc=${rc}):\n${out}${err}")
+  endif()
+  message(STATUS "${fixture}: compiles (positive control)")
+endfunction()
+
+function(expect_rejected fixture)
+  execute_process(
+    COMMAND "${CXX}" ${TSA_FLAGS} "${FIXTURES}/${fixture}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "${fixture} compiled, but it violates the lock discipline -- the "
+      "thread-safety gate is DEAD (flags dropped, or the annotations "
+      "header no longer expands the attributes under clang)")
+  endif()
+  # Must fail for the right reason: a thread-safety diagnostic, not a
+  # stray syntax error that would mask a dead gate.
+  if(NOT "${out}${err}" MATCHES "-Wthread-safety")
+    message(FATAL_ERROR
+      "${fixture} failed to compile, but not with a -Wthread-safety "
+      "diagnostic -- harness bug:\n${out}${err}")
+  endif()
+  message(STATUS "${fixture}: rejected by the analysis (gate live)")
+endfunction()
+
+expect_compiles(positive_control.cpp)
+expect_rejected(unguarded_field.cpp)
+expect_rejected(missing_requires.cpp)
+expect_rejected(lock_order_inversion.cpp)
+
+message(STATUS "thread-safety compile gate: all fixtures behaved")

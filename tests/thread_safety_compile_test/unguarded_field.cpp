@@ -1,0 +1,30 @@
+// NEGATIVE fixture: reading a GUARDED_BY field without its lock. The
+// ThreadSafetyCompileGate harness asserts this file FAILS to compile
+// with a -Wthread-safety diagnostic; if it ever compiles, the gate is
+// dead and the build must say so.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long amount) OBLV_EXCLUDES(mu_) {
+    oblv::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // VIOLATION: unguarded read of balance_ (no lock held).
+  long balance_unlocked() const { return balance_; }
+
+ private:
+  mutable oblv::Mutex mu_;
+  long balance_ OBLV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance_unlocked() == 1 ? 0 : 1;
+}

@@ -40,6 +40,21 @@ Rules (all scoped to the paper-reproduction discipline in DESIGN.md §7):
         through the poll-bounded daemon::net helpers, which take an
         explicit timeout; the helpers themselves (src/daemon/net*) are
         the sanctioned site and annotate each raw call with an allow().
+  D008  No naked std sync primitives (std::mutex / std::lock_guard /
+        std::scoped_lock / std::unique_lock / std::condition_variable /
+        std::shared_mutex and friends) outside
+        src/util/thread_annotations.hpp: only the annotated oblv::Mutex
+        family carries the capability attributes the clang thread-safety
+        analysis checks, so a naked primitive is a lock the compiler
+        cannot see -- exactly the bypass the lock-discipline gate
+        (DESIGN.md section 13) exists to prevent.
+  D009  std::atomic loads/stores with an explicit
+        std::memory_order_relaxed on values that feed accounting
+        contracts (daemon.unaccounted, fault.drops, delivered/dropped/
+        rejected/submitted tallies) need a written justification:
+        relaxed counters that gate `== 0` exit checks are a
+        silent-undercount hazard unless some other synchronization
+        (a join, a drain barrier) orders the writes before the read.
 
 Suppression: `// oblv-lint: allow(RULE) <justification>` on the flagged
 line or within the three lines above it. The justification is mandatory.
@@ -81,6 +96,8 @@ RULE_DOCS = {
     "D005": "packet drop/requeue without a fault.* metric increment",
     "D006": "scalar per-iteration Rng construction in a batch loop",
     "D007": "blocking I/O syscall outside src/daemon/net*",
+    "D008": "naked std sync primitive outside the annotations header",
+    "D009": "relaxed atomic access to an accounting value",
     "A001": "allowlist comment without justification",
 }
 
@@ -560,6 +577,76 @@ def check_d007(path: Path, rel: str, code: str,
     return findings
 
 
+# ---------------------------------------------------------------- D008 --
+
+# The one file allowed to name the raw std primitives: it wraps them in
+# the capability-annotated oblv::Mutex family (DESIGN.md section 13).
+D008_EXEMPT = "src/util/thread_annotations.hpp"
+D008_RE = re.compile(
+    r"std\s*::\s*(?P<name>mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|"
+    r"scoped_lock|unique_lock|shared_lock|condition_variable|"
+    r"condition_variable_any)\b")
+
+
+def check_d008(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if not (rel.startswith("src/") or "/src/" in rel):
+        return []
+    if rel == D008_EXEMPT or rel.endswith("/" + D008_EXEMPT):
+        return []
+    findings = []
+    seen: set[int] = set()
+    for m in D008_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if ln in seen or is_allowed(allowed, ln, "D008"):
+            continue
+        seen.add(ln)
+        findings.append(Finding(
+            "D008", path, ln,
+            f"naked std::{m.group('name')} is a lock the thread-safety "
+            "analysis cannot see; use oblv::Mutex / oblv::MutexLock / "
+            "oblv::CondVar from util/thread_annotations.hpp (and GUARDED_BY "
+            "the data), or justify with // oblv-lint: allow(D008)"))
+    return findings
+
+
+# ---------------------------------------------------------------- D009 --
+
+# Accounting values: the counters whose sums back the conservation
+# contracts (daemon `unaccounted == 0` drain check, fault-layer
+# `delivered + dropped == injected`). A relaxed read of one of these is
+# only sound when some other synchronization orders the writers first.
+D009_ACCT_RE = re.compile(
+    r"unaccounted|submit|deliver|reject|admit|offered|drop|inject|tall",
+    re.IGNORECASE)
+D009_RE = re.compile(
+    r"(?P<obj>[A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*)"
+    r"\s*(?:\.|->)\s*(?:load|store)\s*\([^;]*?memory_order_relaxed")
+
+
+def check_d009(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if not (rel.startswith("src/") or "/src/" in rel):
+        return []
+    findings = []
+    seen: set[int] = set()
+    for m in D009_RE.finditer(code):
+        if not D009_ACCT_RE.search(m.group("obj")):
+            continue
+        ln = line_of(code, m.start())
+        if ln in seen or is_allowed(allowed, ln, "D009"):
+            continue
+        seen.add(ln)
+        findings.append(Finding(
+            "D009", path, ln,
+            f"relaxed atomic access to accounting value '{m.group('obj')}' "
+            "can silently undercount the conservation checks; state the "
+            "ordering argument (join / drain barrier) with "
+            "// oblv-lint: allow(D009) or drop the explicit relaxed order"))
+    return findings
+
+
 # ---------------------------------------------------------------- C001 --
 
 C001_ASSERT_RE = re.compile(r"\bOBLV_(?:REQUIRE|EXPECTS)\s*\(")
@@ -610,6 +697,8 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_d005(path, rel, code, raw_lines, allowed)
     findings += check_d006(path, rel, code, allowed)
     findings += check_d007(path, rel, code, allowed)
+    findings += check_d008(path, rel, code, allowed)
+    findings += check_d009(path, rel, code, allowed)
     findings += check_c001(path, raw)
     return findings
 
@@ -627,6 +716,9 @@ def main(argv: list[str]) -> int:
                         help="repository root for scoping and display")
     parser.add_argument("--json", action="store_true",
                         help="emit findings as a JSON array")
+    parser.add_argument("--json-out", type=Path, metavar="FILE",
+                        help="additionally write the findings JSON to FILE "
+                             "(written even when clean, for CI artifacts)")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -646,6 +738,10 @@ def main(argv: list[str]) -> int:
         findings += lint_file(path, args.root)
 
     findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    if args.json_out:
+        args.json_out.write_text(
+            json.dumps([f.as_json(args.root) for f in findings], indent=2)
+            + "\n")
     if args.json:
         print(json.dumps([f.as_json(args.root) for f in findings], indent=2))
     else:

@@ -211,12 +211,18 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
     parser.add_argument("--require", action="store_true",
                         help="fail (exit 3) when clang-tidy is missing")
+    parser.add_argument("--findings-out", type=Path, metavar="FILE",
+                        help="write the per-file warning counts JSON to FILE "
+                             "(written even when clean, for CI artifacts)")
     args = parser.parse_args(argv)
 
     current = collect(args.build_dir, args.root.resolve(), args.cache_dir,
                       args.jobs, args.require)
     if current is None:
         return 0
+    if args.findings_out:
+        args.findings_out.write_text(json.dumps(current, indent=2,
+                                                sort_keys=True) + "\n")
 
     baseline: dict[str, dict[str, int]] = {}
     if args.baseline.exists():

@@ -1,0 +1,32 @@
+// D008 fixture: naked std sync primitives anywhere under src/ (outside
+// the annotations header) must be flagged; the oblv wrappers, comments,
+// and justified interop sites must not.
+
+namespace oblivious {
+
+std::mutex naked_mu;
+std::condition_variable naked_cv;
+
+void locked_update() {
+  std::lock_guard<std::mutex> lock(naked_mu);
+}
+
+void scoped_update() {
+  std::scoped_lock lock(naked_mu);
+}
+
+void shared_read() {
+  std::shared_mutex naked_rw;
+}
+
+// oblv-lint: allow(D008) third-party callback interop hands us a
+// std::unique_lock; the discipline at this boundary is audited by hand.
+void allowed_site(std::unique_lock<std::mutex>& lock);
+
+void wrapped_fine() {
+  oblv::Mutex mu;
+  oblv::MutexLock lock(mu);
+  // std::mutex named in a comment must not fire.
+}
+
+}  // namespace oblivious

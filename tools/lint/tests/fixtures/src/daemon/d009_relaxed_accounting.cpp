@@ -1,0 +1,46 @@
+// D009 fixture: an explicitly-relaxed load/store on an accounting
+// counter needs a written ordering justification; acquire loads,
+// relaxed RMWs, and non-accounting atomics are not D009's business.
+
+namespace oblivious {
+
+struct Daemon {
+  std::atomic<unsigned long long> packets_submitted_{0};
+  std::atomic<unsigned long long> packets_dropped_{0};
+  std::atomic<unsigned long long> packets_delivered_{0};
+  std::atomic<unsigned long long> generation_{0};
+};
+
+struct Stats {
+  unsigned long long submitted = 0;
+  unsigned long long dropped = 0;
+};
+
+Stats snapshot_bad(const Daemon& d) {
+  Stats s;
+  s.submitted = d.packets_submitted_.load(std::memory_order_relaxed);
+  s.dropped = d.packets_dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_bad(Daemon& d) {
+  d.packets_delivered_.store(0, std::memory_order_relaxed);
+}
+
+Stats snapshot_ok(const Daemon& d) {
+  Stats s;
+  // oblv-lint: allow(D009) drain-synchronized snapshot: the caller
+  // joins every worker first, ordering the fetch_adds before these.
+  s.submitted = d.packets_submitted_.load(std::memory_order_relaxed);
+  s.dropped = d.packets_dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+unsigned long long fine_cases(Daemon& d) {
+  unsigned long long a =
+      d.packets_submitted_.load(std::memory_order_acquire);
+  d.packets_dropped_.fetch_add(1, std::memory_order_relaxed);
+  return a + d.generation_.load(std::memory_order_relaxed);
+}
+
+}  // namespace oblivious

@@ -1,0 +1,15 @@
+// Fixture mirror of the real src/util/thread_annotations.hpp: the one
+// sanctioned home for the raw std primitives that D008 bans everywhere
+// else under src/.
+
+namespace oblv {
+
+class Mutex {
+  std::mutex mu_;
+};
+
+class CondVar {
+  std::condition_variable cv_;
+};
+
+}  // namespace oblv

@@ -163,6 +163,39 @@ class TestD007(unittest.TestCase):
         self.assertIn(("D007", 8), found)  # ::write in the analysis layer
 
 
+class TestD008(unittest.TestCase):
+    def test_naked_primitives_fire(self):
+        found = rules_and_lines(lint("src/daemon/d008_naked_sync.cpp"))
+        self.assertIn(("D008", 7), found)   # std::mutex
+        self.assertIn(("D008", 8), found)   # std::condition_variable
+        self.assertIn(("D008", 11), found)  # std::lock_guard (one per line)
+        self.assertIn(("D008", 15), found)  # std::scoped_lock
+        self.assertIn(("D008", 19), found)  # std::shared_mutex
+
+    def test_allow_wrappers_and_comments_do_not_fire(self):
+        findings = lint("src/daemon/d008_naked_sync.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {7, 8, 11, 15, 19},
+                         [f.render(FIXTURES) for f in findings])
+
+    def test_annotations_header_exempt_by_path(self):
+        self.assertEqual(lint("src/util/thread_annotations.hpp"), [])
+
+
+class TestD009(unittest.TestCase):
+    def test_relaxed_accounting_access_fires(self):
+        found = rules_and_lines(lint("src/daemon/d009_relaxed_accounting.cpp"))
+        self.assertIn(("D009", 21), found)  # relaxed load of submitted tally
+        self.assertIn(("D009", 22), found)  # relaxed load of dropped tally
+        self.assertIn(("D009", 27), found)  # relaxed store
+
+    def test_allow_acquire_rmw_and_nonaccounting_do_not_fire(self):
+        findings = lint("src/daemon/d009_relaxed_accounting.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {21, 22, 27},
+                         [f.render(FIXTURES) for f in findings])
+
+
 class TestA001(unittest.TestCase):
     def test_allow_without_justification_flagged_and_ineffective(self):
         found = rules_and_lines(lint("src/util/bad_allow.cpp"))
