@@ -77,6 +77,7 @@ void EdgeLoadMap::add_path(const Path& path) {
   ++paths_added_;
   if (path.nodes.size() < 2) return;
   edge_charges_ += static_cast<std::uint64_t>(path.length());
+  max_valid_ = false;
   // Walk the path with an incrementally maintained coordinate so each hop
   // costs O(d) instead of a full id->coord conversion per node.
   Coord cur = mesh_->coord(path.nodes.front());
@@ -148,6 +149,7 @@ void EdgeLoadMap::add_segments(const SegmentPath& sp) {
   if (sp.segments.empty()) return;
   // Every unit step of every run (laps included) crosses exactly one edge.
   edge_charges_ += static_cast<std::uint64_t>(sp.length());
+  max_valid_ = false;
   if (diff_.empty()) {
     diff_.resize(static_cast<std::size_t>(mesh_->dim()));
     for (int d = 0; d < mesh_->dim(); ++d) {
@@ -266,6 +268,7 @@ void EdgeLoadMap::merge(const EdgeLoadMap& other) {
   segments_charged_ += other.segments_charged_;
   paths_added_ += other.paths_added_;
   edge_charges_ += other.edge_charges_;
+  max_valid_ = false;
   OBLV_ENSURES(contracts::validate_load_map_consistency(*this),
                "merged loads must sum to the merged hop count");
 }
@@ -275,6 +278,8 @@ void EdgeLoadMap::clear() {
   for (auto& diff : diff_) std::fill(diff.begin(), diff.end(), 0);
   dirty_ = false;
   edge_charges_ = 0;
+  max_cache_ = 0;
+  max_valid_ = true;
 }
 
 std::uint32_t EdgeLoadMap::load(EdgeId e) const {
@@ -284,9 +289,12 @@ std::uint32_t EdgeLoadMap::load(EdgeId e) const {
 }
 
 std::uint32_t EdgeLoadMap::max_load() const {
+  if (max_valid_) return max_cache_;
   flush();
   std::uint32_t best = 0;
   for (const std::uint32_t l : loads_) best = std::max(best, l);
+  max_cache_ = best;
+  max_valid_ = true;
   return best;
 }
 

@@ -68,7 +68,9 @@ class EdgeLoadMap {
 
   const Mesh& mesh() const { return *mesh_; }
   std::uint32_t load(EdgeId e) const;
-  // C = max edge load.
+  // C = max edge load. Memoized: the O(E) scan runs once per mutation
+  // epoch, so repeated queries between adds (trial loops, metrics
+  // snapshots) are O(1).
   std::uint32_t max_load() const;
   // An edge achieving the maximum load.
   EdgeId argmax() const;
@@ -101,6 +103,9 @@ class EdgeLoadMap {
   // edge_dim_radix(d)); allocated on first add_segments.
   mutable std::vector<std::vector<std::int64_t>> diff_;
   mutable bool dirty_ = false;
+  // Memoized max_load (valid for an empty map); every mutator invalidates.
+  mutable std::uint32_t max_cache_ = 0;
+  mutable bool max_valid_ = true;
   // line_strides_[d][i]: contribution of coordinate i to the line index
   // of dimension d (line_strides_[d][d] is unused and 0).
   std::vector<std::vector<std::int64_t>> line_strides_;

@@ -1,6 +1,7 @@
 #include "analysis/degradation.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "analysis/congestion.hpp"
 #include "util/check.hpp"
@@ -30,17 +31,18 @@ SweepCell run_cell(const Mesh& mesh, const Router& router,
   cell.stats = route_batch_with_faults(fault_router, problem.demands, pool,
                                        RouteBatchOptions{options.route_seed, 0},
                                        paths, &statuses);
-  EdgeLoadMap loads(mesh);
+  const std::unique_ptr<LoadAccountant> loads = LoadAccountant::create(
+      mesh, options.accounting.mode, options.accounting.sketch);
   std::int64_t delivered_hops = 0;
   std::int64_t delivered_distance = 0;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (statuses[i] == FaultRouteStatus::kDropped) continue;
-    loads.add_segments(paths[i]);
+    loads->add_segments(paths[i]);
     delivered_hops += paths[i].length();
     delivered_distance +=
         mesh.distance(problem.demands[i].src, problem.demands[i].dst);
   }
-  cell.congestion = static_cast<std::int64_t>(loads.max_load());
+  cell.congestion = static_cast<std::int64_t>(loads->max_load());
   if (delivered_distance > 0) {
     cell.mean_stretch =
         static_cast<double>(delivered_hops + cell.stats.backoff_steps) /

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sketch/load_accountant.hpp"
 #include "fault/fault_batch.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/fault_router.hpp"
@@ -63,6 +64,10 @@ struct DegradationOptions {
   double repair_prob = 0.25;
   std::int64_t horizon = 1;
   RetryPolicy retry;
+  // How the per-cell congestion is accounted (sketch mode frees the sweep
+  // from O(E) load arrays; the delivered traffic is accounted
+  // sequentially, so estimates stay deterministic).
+  AccountingOptions accounting;
 };
 
 // Routes `problem` through `router` wrapped in a FaultAwareRouter at each

@@ -1,6 +1,8 @@
 #include "analysis/evaluate.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "analysis/congestion.hpp"
 #include "obs/metrics.hpp"
@@ -137,18 +139,22 @@ std::vector<SegmentPath> route_all_segments_parallel(
   return paths;
 }
 
-// Publishes the quality gauges, the stretch histogram's source stats and
-// the accounting metrics of a finished measurement pass.
-static void record_route_set_metrics(const RouteSetMetrics& m,
-                                     const EdgeLoadMap& loads) {
-  if (!obs::metrics_enabled()) return;
-  loads.record_metrics("loads");
+// Publishes the quality gauges of a finished measurement pass.
+static void record_quality_gauges(const RouteSetMetrics& m) {
   OBLV_GAUGE_SET("routing.congestion", m.congestion);
   OBLV_GAUGE_SET("routing.dilation", m.dilation);
   OBLV_GAUGE_SET("routing.max_stretch", m.max_stretch);
   OBLV_GAUGE_SET("routing.mean_stretch", m.mean_stretch);
   OBLV_GAUGE_SET("routing.congestion_ratio", m.congestion_ratio);
   OBLV_GAUGE_SET("routing.lower_bound", m.lower_bound);
+}
+
+// Quality gauges plus the accounting metrics behind them.
+static void record_route_set_metrics(const RouteSetMetrics& m,
+                                     const EdgeLoadMap& loads) {
+  if (!obs::metrics_enabled()) return;
+  loads.record_metrics("loads");
+  record_quality_gauges(m);
 }
 
 RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
@@ -161,6 +167,8 @@ RouteSetMetrics measure_paths(const Mesh& mesh, const RoutingProblem& problem,
   m.lower_bound = lower_bound;
 
   const bool obs_on = obs::metrics_enabled();
+  // oblv-lint: allow(D010) measure_paths is exact by contract -- its
+  // conservation ENSURES needs the materialized per-edge loads.
   EdgeLoadMap loads(mesh);
   RunningStats stretch;
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -195,6 +203,8 @@ RouteSetMetrics measure_segment_paths(const Mesh& mesh,
   m.lower_bound = lower_bound;
 
   const bool obs_on = obs::metrics_enabled();
+  // oblv-lint: allow(D010) measure_segment_paths is exact by contract --
+  // its conservation ENSURES needs the materialized per-edge loads.
   EdgeLoadMap loads(mesh);
   loads.add_segment_paths(paths);
   RunningStats stretch;
@@ -220,6 +230,7 @@ RouteSetMetrics measure_segment_paths(const Mesh& mesh,
 RouteSetMetrics route_and_measure_parallel(
     const Mesh& mesh, const Router& router, const RoutingProblem& problem,
     double lower_bound, ThreadPool& pool, std::uint64_t seed,
+    const AccountingOptions& accounting,
     std::vector<SegmentPath>* paths_out) {
   for (const Demand& demand : problem.demands) {
     OBLV_REQUIRE(demand.src >= 0 && demand.src < mesh.num_nodes() &&
@@ -229,37 +240,63 @@ RouteSetMetrics route_and_measure_parallel(
 
   WallTimer timer;
   std::vector<SegmentPath> paths(problem.size());
-  EdgeLoadMap loads(mesh);
-  oblv::Mutex merge_mutex;
-  parallel_for_chunks(pool, problem.size(), [&](std::size_t begin, std::size_t end) {
-    // Each chunk accounts its paths into a private shard; integer edge
-    // loads commute under addition, so the merge order cannot change the
-    // totals. Metrics use the same idiom: per-chunk locals flushed into
-    // the worker's thread-local registry shard.
+  const std::unique_ptr<LoadAccountant> accountant =
+      LoadAccountant::create(mesh, accounting.mode, accounting.sketch);
+  // Workers claim FIXED-SIZE accounting blocks (never thread-count-derived
+  // chunks): exact loads commute under addition, but the sketch's
+  // conservative updates and heavy-line summaries depend on update
+  // grouping, and a fixed block partition plus the ordered fold makes the
+  // result bit-identical for any pool size and completion order.
+  const bool per_block_fold = accountant->mode() == AccountingMode::kSketch;
+  const std::size_t block_size =
+      std::max<std::size_t>(1, accounting.sketch.block_size);
+  std::atomic<std::size_t> cursor{0};
+  oblv::Mutex fold_mutex;
+  auto worker = [&]() {
     const bool obs_on = obs::metrics_enabled();
     IntHistogram path_lengths;
-    EdgeLoadMap shard(mesh);
+    const std::unique_ptr<LoadAccountant> shard = accountant->clone_empty();
     RouteScratch scratch;
-    for (std::size_t i = begin; i < end; ++i) {
-      const Demand& demand = problem.demands[i];
-      // oblv-lint: allow(D006) this loop interleaves load accumulation
-      // and metering per packet, which the SoA engine does not model
-      Rng rng = packet_rng(seed, i);
-      router.route_segments_into(demand.src, demand.dst, rng, scratch,
-                                 paths[i]);
-      OBLV_CHECK(paths[i].source == demand.src &&
-                     paths[i].destination() == demand.dst,
-                 "router returned a path with wrong endpoints");
-      shard.add_segments(paths[i]);
-      if (obs_on) path_lengths.add(paths[i].length());
+    std::size_t routed = 0;
+    for (;;) {
+      const std::size_t block = cursor.fetch_add(1);
+      const std::size_t begin = block * block_size;
+      if (begin >= problem.size()) break;
+      const std::size_t end = std::min(problem.size(), begin + block_size);
+      if (per_block_fold) shard->clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        const Demand& demand = problem.demands[i];
+        // oblv-lint: allow(D006) this loop interleaves load accumulation
+        // and metering per packet, which the SoA engine does not model
+        Rng rng = packet_rng(seed, i);
+        router.route_segments_into(demand.src, demand.dst, rng, scratch,
+                                   paths[i]);
+        OBLV_CHECK(paths[i].source == demand.src &&
+                       paths[i].destination() == demand.dst,
+                   "router returned a path with wrong endpoints");
+        shard->add_segments(paths[i]);
+        if (obs_on) path_lengths.add(paths[i].length());
+      }
+      routed += end - begin;
+      if (per_block_fold) {
+        oblv::MutexLock lock(fold_mutex);
+        accountant->fold_block(block, *shard);
+      }
+    }
+    if (!per_block_fold && routed > 0) {
+      // Exact shards accumulate across blocks (clearing would cost an
+      // O(E) memset per block) and merge once: sums commute.
+      oblv::MutexLock lock(fold_mutex);
+      accountant->merge(*shard);
     }
     if (obs_on) {
-      OBLV_COUNTER_ADD("routing.packets", end - begin);
+      OBLV_COUNTER_ADD("routing.packets", routed);
       OBLV_HISTOGRAM_MERGE("routing.path_length", path_lengths);
     }
-    oblv::MutexLock lock(merge_mutex);
-    loads.merge(shard);
-  });
+  };
+  const std::size_t workers = std::max<std::size_t>(1, pool.num_threads());
+  for (std::size_t w = 0; w < workers; ++w) pool.submit(worker);
+  pool.wait_idle();
   const double seconds = timer.elapsed_seconds();
   OBLV_STAT_RECORD("routing.route_seconds", seconds);
 
@@ -269,6 +306,9 @@ RouteSetMetrics route_and_measure_parallel(
   m.max_distance = problem.max_distance(mesh);
   m.lower_bound = lower_bound;
   m.routing_seconds = seconds;
+  m.accounting = accountant->mode();
+  m.accounting_bytes = accountant->memory_bytes();
+  m.accounting_error_bound = accountant->error_bound();
   const bool obs_on = obs::metrics_enabled();
   RunningStats stretch;
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -279,14 +319,25 @@ RouteSetMetrics route_and_measure_parallel(
       if (obs_on) OBLV_HISTOGRAM_ADD("routing.stretch", s);
     }
   }
-  m.congestion = static_cast<std::int64_t>(loads.max_load());
+  m.congestion = static_cast<std::int64_t>(accountant->max_load());
   m.max_stretch = stretch.count() > 0 ? stretch.max() : 1.0;
   m.mean_stretch = stretch.count() > 0 ? stretch.mean() : 1.0;
   m.congestion_ratio = static_cast<double>(m.congestion) /
                        std::max(lower_bound, 1.0);
-  record_route_set_metrics(m, loads);
+  if (obs::metrics_enabled()) {
+    accountant->record_metrics("loads");
+    record_quality_gauges(m);
+  }
   if (paths_out != nullptr) *paths_out = std::move(paths);
   return m;
+}
+
+RouteSetMetrics route_and_measure_parallel(
+    const Mesh& mesh, const Router& router, const RoutingProblem& problem,
+    double lower_bound, ThreadPool& pool, std::uint64_t seed,
+    std::vector<SegmentPath>* paths_out) {
+  return route_and_measure_parallel(mesh, router, problem, lower_bound, pool,
+                                    seed, AccountingOptions{}, paths_out);
 }
 
 double best_lower_bound(const Mesh& mesh, const RoutingProblem& problem) {

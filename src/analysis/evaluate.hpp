@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/lower_bound.hpp"
+#include "analysis/sketch/load_accountant.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/path.hpp"
 #include "mesh/segment_path.hpp"
@@ -29,6 +30,12 @@ struct RouteSetMetrics {
   double congestion_ratio = 0.0;      // C / max(lower_bound, 1)
   RunningStats bits_per_packet;       // random bits drawn per packet
   double routing_seconds = 0.0;
+  // Filled by the accounting-aware entry points: how the congestion was
+  // measured, the accountant's memory, and (sketch mode) its additive
+  // overestimation ceiling.
+  AccountingMode accounting = AccountingMode::kExact;
+  std::size_t accounting_bytes = 0;
+  double accounting_error_bound = 0.0;
 };
 
 struct RouteAllOptions {
@@ -99,10 +106,19 @@ RouteSetMetrics measure_segment_paths(const Mesh& mesh,
                                       const std::vector<SegmentPath>& paths,
                                       double lower_bound);
 
-// Route + account in one parallel pass: per-chunk sharded EdgeLoadMap
-// accumulators are merged at the end, and the final statistics pass is
-// sequential, so every reported number is identical for any thread count.
-// When `paths_out` is non-null the selected paths are stored there.
+// Route + account in one parallel pass through a LoadAccountant of the
+// requested mode. Workers claim fixed-size accounting blocks (see
+// SketchConfig::block_size) and hand finished blocks to fold_block, so
+// every reported number -- exact or sketch -- is identical for any thread
+// count and block completion order. When `paths_out` is non-null the
+// selected paths are stored there.
+RouteSetMetrics route_and_measure_parallel(
+    const Mesh& mesh, const Router& router, const RoutingProblem& problem,
+    double lower_bound, ThreadPool& pool, std::uint64_t seed,
+    const AccountingOptions& accounting,
+    std::vector<SegmentPath>* paths_out = nullptr);
+
+// Exact-accounting shorthand for the overload above.
 RouteSetMetrics route_and_measure_parallel(
     const Mesh& mesh, const Router& router, const RoutingProblem& problem,
     double lower_bound, ThreadPool& pool, std::uint64_t seed,

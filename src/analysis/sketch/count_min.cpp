@@ -1,0 +1,34 @@
+#include "analysis/sketch/count_min.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace oblivious {
+
+CountMinSketch::CountMinSketch(std::size_t width, int depth, std::uint64_t seed)
+    : width_(width), mask_(width - 1), depth_(depth), seed_(seed) {
+  OBLV_REQUIRE(width >= 16 && is_power_of_two(width),
+               "count-min width must be a power of two >= 16");
+  OBLV_REQUIRE(depth >= 1 && depth <= kMaxDepth,
+               "count-min depth must be in [1, 16]");
+  row_seeds_.reserve(static_cast<std::size_t>(depth));
+  for (int r = 0; r < depth; ++r) {
+    // Counter-derived row seeds: the hash family is a pure function of
+    // the config seed, never of platform or run order.
+    row_seeds_.push_back(splitmix64(seed + static_cast<std::uint64_t>(r) + 1));
+  }
+  cells_.assign(width_ * static_cast<std::size_t>(depth), 0);
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  OBLV_REQUIRE(same_shape(other),
+               "cannot merge count-min sketches of different shape or seed");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += other.cells_[i];
+  }
+}
+
+void CountMinSketch::clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+}  // namespace oblivious

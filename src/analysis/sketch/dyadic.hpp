@@ -1,0 +1,47 @@
+// Dyadic range decomposition: the trick that lets the sketch accountant
+// charge a whole axis run in O(log side) counter updates instead of one
+// update per edge.
+//
+// The positions of a line live in a universe padded to the next power of
+// two U. Every half-open range [lo, hi) decomposes into at most two
+// dyadic pieces per level (<= 2*log2(U) total), and every point of the
+// range is covered by EXACTLY one piece -- so a point's true load is the
+// sum of the true counts of its log2(U)+1 dyadic ancestors, and a
+// count-min point query just sums the per-level ancestor estimates
+// (DESIGN.md section 14).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+// Canonical dyadic cover of [lo, hi). emit(level, pos) receives each
+// piece's level and its position index at that level (the piece covers
+// points [pos << level, (pos + 1) << level)). Returns the piece count.
+// \pre 0 <= lo <= hi.
+template <typename Emit>
+inline int dyadic_decompose(std::int64_t lo, std::int64_t hi, Emit&& emit) {
+  OBLV_REQUIRE(0 <= lo && lo <= hi, "dyadic range must be ordered in [0, U)");
+  int level = 0;
+  int pieces = 0;
+  while (lo < hi) {
+    if (lo & 1) {
+      emit(level, lo);
+      ++lo;
+      ++pieces;
+    }
+    if (hi & 1) {
+      --hi;
+      emit(level, hi);
+      ++pieces;
+    }
+    lo >>= 1;
+    hi >>= 1;
+    ++level;
+  }
+  return pieces;
+}
+
+}  // namespace oblivious

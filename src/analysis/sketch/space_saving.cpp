@@ -1,0 +1,138 @@
+#include "analysis/sketch/space_saving.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace oblivious {
+
+namespace {
+
+// Min-heap order: smallest (count, key) on top -- the eviction victim.
+struct HeapGreater {
+  bool operator()(const std::tuple<std::uint64_t, std::uint64_t, std::size_t>& a,
+                  const std::tuple<std::uint64_t, std::uint64_t, std::size_t>& b)
+      const {
+    return std::tie(std::get<0>(a), std::get<1>(a)) >
+           std::tie(std::get<0>(b), std::get<1>(b));
+  }
+};
+
+bool entry_heavier(const SpaceSavingLines::Entry& a,
+                   const SpaceSavingLines::Entry& b) {
+  if (a.count != b.count) return a.count > b.count;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+SpaceSavingLines::SpaceSavingLines(std::size_t capacity) : capacity_(capacity) {
+  OBLV_REQUIRE(capacity >= 1, "SpaceSaving needs capacity >= 1");
+  slots_.reserve(capacity);
+  heap_.reserve(capacity * 2);
+}
+
+std::size_t SpaceSavingLines::refresh_min() {
+  for (;;) {
+    OBLV_CHECK(!heap_.empty(), "SpaceSaving heap lost a live slot");
+    const auto [count, key, slot] = heap_.front();
+    if (slot < slots_.size() && slots_[slot].key == key) {
+      if (slots_[slot].count == count) return slot;
+      // Stale snapshot of a live slot: replace it with the current count.
+      std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+      heap_.back() = {slots_[slot].count, key, slot};
+      std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+      continue;
+    }
+    // The slot was evicted and reused for another key; drop the ghost.
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    heap_.pop_back();
+  }
+}
+
+void SpaceSavingLines::add(std::uint64_t key, std::uint64_t weight) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // The heap entry goes stale-low; refresh_min repairs it lazily.
+    slots_[it->second].count += weight;
+    return;
+  }
+  if (slots_.size() < capacity_) {
+    const std::size_t slot = slots_.size();
+    slots_.push_back({key, weight, 0});
+    index_.emplace(key, slot);
+    heap_.push_back({weight, key, slot});
+    std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+    return;
+  }
+  // Classic SpaceSaving replacement: the new key inherits the victim's
+  // count as its error bound.
+  const std::size_t slot = refresh_min();
+  std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  heap_.pop_back();
+  index_.erase(slots_[slot].key);
+  const std::uint64_t floor = slots_[slot].count;
+  slots_[slot] = {key, floor + weight, floor};
+  index_.emplace(key, slot);
+  heap_.push_back({floor + weight, key, slot});
+  std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+  ++evictions_;
+}
+
+void SpaceSavingLines::clear() {
+  slots_.clear();
+  index_.clear();
+  heap_.clear();
+  evictions_ = 0;
+}
+
+std::vector<SpaceSavingLines::Entry> SpaceSavingLines::entries_sorted() const {
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) out.push_back({s.key, s.count, s.error});
+  std::sort(out.begin(), out.end(), entry_heavier);
+  return out;
+}
+
+void SpaceSavingLines::merge(const SpaceSavingLines& other) {
+  OBLV_REQUIRE(capacity_ == other.capacity_,
+               "cannot merge SpaceSaving summaries of different capacity");
+  // Combine via an ordered map so the union is key-sorted (deterministic),
+  // then keep the heaviest `capacity_` keys.
+  std::map<std::uint64_t, Entry> combined;
+  for (const Slot& s : slots_) combined[s.key] = {s.key, s.count, s.error};
+  for (const Slot& s : other.slots_) {
+    Entry& e = combined[s.key];
+    e.key = s.key;
+    e.count += s.count;
+    e.error += s.error;
+  }
+  std::vector<Entry> entries;
+  entries.reserve(combined.size());
+  for (const auto& [key, e] : combined) entries.push_back(e);
+  std::sort(entries.begin(), entries.end(), entry_heavier);
+  if (entries.size() > capacity_) {
+    evictions_ += entries.size() - capacity_;
+    entries.resize(capacity_);
+  }
+  evictions_ += other.evictions_;
+
+  slots_.clear();
+  index_.clear();
+  heap_.clear();
+  for (const Entry& e : entries) {
+    const std::size_t slot = slots_.size();
+    slots_.push_back({e.key, e.count, e.error});
+    index_.emplace(e.key, slot);
+    heap_.push_back({e.count, e.key, slot});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), HeapGreater{});
+}
+
+std::size_t SpaceSavingLines::memory_bytes() const {
+  // Ordered-map nodes cost roughly three pointers + color + payload.
+  constexpr std::size_t kMapNodeBytes = 64;
+  return slots_.capacity() * sizeof(Slot) + index_.size() * kMapNodeBytes +
+         heap_.capacity() * sizeof(heap_[0]);
+}
+
+}  // namespace oblivious

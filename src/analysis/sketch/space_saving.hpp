@@ -1,0 +1,78 @@
+// Deterministic SpaceSaving top-k tracker over (dimension, line) keys.
+//
+// All load on an edge comes from runs along that edge's own line, so a
+// line's total charged hops upper-bound the max edge load on it. Tracking
+// the k heaviest lines (by charged hops) gives the sketch accountant a
+// candidate set for max-load queries without any per-edge state
+// (DESIGN.md section 14).
+//
+// Determinism: insertion follows the classic SpaceSaving rule with a
+// fixed eviction tie-break (smallest count, then smallest key), and
+// merge() is a pure function of the two summaries (union counts, sorted
+// truncation). Merge order still matters when truncation bites, which is
+// why parallel folds go through LoadAccountant::fold_block -- it replays
+// shard summaries in block-index order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace oblivious {
+
+class SpaceSavingLines {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  // upper bound on the key's true weight
+    std::uint64_t error = 0;  // count - error lower-bounds the true weight
+  };
+
+  // \pre capacity >= 1.
+  explicit SpaceSavingLines(std::size_t capacity);
+
+  void add(std::uint64_t key, std::uint64_t weight);
+  void clear();
+
+  // Deterministic summary merge: counts and errors add for shared keys,
+  // the union is re-truncated to capacity by (count desc, key asc), and
+  // every truncated key counts as an eviction.
+  // \pre other has the same capacity.
+  void merge(const SpaceSavingLines& other);
+
+  // Tracked entries ordered by (count desc, key asc).
+  std::vector<Entry> entries_sorted() const;
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  // Evictions since construction or clear() (heavy-hitter churn). Reset
+  // by clear() so per-block shard summaries report only their own block;
+  // merge() accumulates the other summary's count.
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::uint64_t count;
+    std::uint64_t error;
+  };
+
+  // Pops heap entries until the top reflects a live slot's current count;
+  // returns that slot index.
+  std::size_t refresh_min();
+
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::vector<Slot> slots_;
+  // Ordered map (not unordered: D002) from key to slot index.
+  std::map<std::uint64_t, std::size_t> index_;
+  // Lazy min-heap of (count snapshot, key, slot): stale snapshots are
+  // dropped at pop time. Every live slot always has >= 1 heap entry with
+  // snapshot <= its current count.
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::size_t>> heap_;
+};
+
+}  // namespace oblivious

@@ -1,5 +1,6 @@
 #include "analysis/trials.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "analysis/congestion.hpp"
@@ -12,14 +13,18 @@ namespace oblivious {
 
 TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
                              const RoutingProblem& problem, int trials,
-                             std::uint64_t base_seed, ThreadPool* pool) {
+                             std::uint64_t base_seed, ThreadPool* pool,
+                             const AccountingOptions& accounting) {
   OBLV_REQUIRE(trials >= 1, "need at least one trial");
   OBLV_SCOPED_TIMER("trials.total_seconds");
   TrialSummary summary;
   summary.lower_bound = best_lower_bound(mesh, problem);
 
-  std::vector<double> edge_load_sums(static_cast<std::size_t>(mesh.num_edges()),
-                                     0.0);
+  // The expected-load sweep needs an O(E) sum array -- exactly what
+  // sketch mode exists to avoid, so it only runs under exact accounting.
+  const bool track_expected = accounting.mode == AccountingMode::kExact;
+  std::vector<double> edge_load_sums(
+      track_expected ? static_cast<std::size_t>(mesh.num_edges()) : 0, 0.0);
   oblv::Mutex merge_mutex;
 
   const auto run_range = [&](std::size_t begin, std::size_t end) {
@@ -27,13 +32,15 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
     const bool obs_on = obs::metrics_enabled();
     RunningStats trial_seconds;
     IntHistogram congestion_hist;
-    // Every buffer lives across the whole trial range: the load map is
+    // Every buffer lives across the whole trial range: the accountant is
     // cleared (not reallocated) between trials, and the path vector plus
     // routing scratch keep their capacity, so trial t>begin routes with
-    // zero steady-state allocation.
-    std::vector<double> local_sums(static_cast<std::size_t>(mesh.num_edges()),
-                                   0.0);
-    EdgeLoadMap loads(mesh);
+    // zero steady-state allocation. Per-trial accounting is sequential
+    // inside this worker, so sketch estimates depend only on the trial's
+    // paths -- never on threading.
+    std::vector<double> local_sums(edge_load_sums.size(), 0.0);
+    const std::unique_ptr<LoadAccountant> loads =
+        LoadAccountant::create(mesh, accounting.mode, accounting.sketch);
     RouteScratch scratch;
     std::vector<SegmentPath> paths;
     for (std::size_t t = begin; t < end; ++t) {
@@ -42,9 +49,9 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
       options.seed = base_seed + t;
       options.meter_bits = false;
       route_all_segments_into(mesh, router, problem, options, scratch, paths);
-      loads.clear();
-      loads.add_segment_paths(paths);
-      local.congestion.add(static_cast<double>(loads.max_load()));
+      loads->clear();
+      loads->add_segment_paths(paths);
+      local.congestion.add(static_cast<double>(loads->max_load()));
       std::int64_t dilation = 0;
       double max_stretch = 1.0;
       for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -56,13 +63,15 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
       }
       local.dilation.add(static_cast<double>(dilation));
       local.max_stretch.add(max_stretch);
-      for (EdgeId e = 0; e < mesh.num_edges(); ++e) {
-        local_sums[static_cast<std::size_t>(e)] +=
-            static_cast<double>(loads.load(e));
+      if (track_expected) {
+        for (EdgeId e = 0; e < mesh.num_edges(); ++e) {
+          local_sums[static_cast<std::size_t>(e)] +=
+              static_cast<double>(loads->estimate_load(e));
+        }
       }
       if (obs_on) {
         trial_seconds.add(trial_timer.elapsed_seconds());
-        congestion_hist.add(static_cast<std::int64_t>(loads.max_load()));
+        congestion_hist.add(static_cast<std::int64_t>(loads->max_load()));
       }
     }
     if (obs_on) {
@@ -70,7 +79,7 @@ TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
       OBLV_STAT_MERGE("trials.trial_seconds", trial_seconds);
       OBLV_HISTOGRAM_MERGE("trials.congestion", congestion_hist);
       OBLV_COUNTER_ADD("trials.trials_run", end - begin);
-      loads.record_metrics("loads");
+      loads->record_metrics("loads");
     }
     oblv::MutexLock lock(merge_mutex);
     summary.congestion.merge(local.congestion);

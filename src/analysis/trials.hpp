@@ -19,15 +19,20 @@ struct TrialSummary {
   double lower_bound = 0.0;  // shared C* bound of the (fixed) problem
   // Per-edge *expected* load: mean over trials of each edge's load, then
   // the maximum over edges -- the empirical E[C(e)] that Lemma 3.8 bounds
-  // by 16 C* (log D + 3).
+  // by 16 C* (log D + 3). Exact accounting only: it needs an O(E) sum
+  // array, so sketch mode leaves it at 0.
   double max_expected_edge_load = 0.0;
 };
 
 // Runs `trials` independent routings of `problem` with seeds
-// base_seed, base_seed+1, ...; uses `pool` when provided.
+// base_seed, base_seed+1, ...; uses `pool` when provided. Congestion is
+// measured through a LoadAccountant of the requested mode (each trial is
+// accounted sequentially inside one worker, so sketch estimates are
+// deterministic and thread-count independent).
 // \pre trials >= 1.
 TrialSummary evaluate_trials(const Mesh& mesh, const Router& router,
                              const RoutingProblem& problem, int trials,
-                             std::uint64_t base_seed, ThreadPool* pool = nullptr);
+                             std::uint64_t base_seed, ThreadPool* pool = nullptr,
+                             const AccountingOptions& accounting = {});
 
 }  // namespace oblivious

@@ -42,6 +42,11 @@ Server::Server(const Mesh& mesh, ServerOptions options)
   OBLV_REQUIRE(algorithm.has_value(),
                "unknown algorithm '" + options_.algorithm + "'");
   router_ = make_router(*algorithm, mesh_);
+  {
+    oblv::MutexLock lock(account_mu_);
+    accountant_ = LoadAccountant::create(mesh_, options_.accounting.mode,
+                                         options_.accounting.sketch);
+  }
   for (const auto& [name, weight] : options_.tenants) {
     queue_.register_tenant(name, weight);
   }
@@ -92,6 +97,12 @@ void Server::publish_gauges() const {
       .set(static_cast<double>(s.unaccounted_requests()));
   registry.gauge("daemon.queue.depth")
       .set(static_cast<double>(queue_.queued_packets()));
+  {
+    oblv::MutexLock lock(account_mu_);
+    accountant_->record_metrics("daemon.load");
+    registry.gauge("daemon.load.memory_bytes")
+        .set(static_cast<double>(accountant_->memory_bytes()));
+  }
   for (const TenantStats& t : queue_.tenant_stats()) {
     const std::string prefix = "daemon.tenant." + t.name;
     registry.gauge(prefix + ".weight").set(static_cast<double>(t.weight));
@@ -329,6 +340,13 @@ void Server::batch_worker_loop() {
       try {
         route_batch(*router_, pending->request.demands, routing_pool_,
                     options, paths);
+        {
+          // The single worker charges requests in dequeue order, so even
+          // sketch estimates are a deterministic function of the served
+          // request sequence; the lock is only against metrics readers.
+          oblv::MutexLock lock(account_mu_);
+          accountant_->add_segment_paths(paths);
+        }
         OBLV_HISTOGRAM_ADD("daemon.service_seconds",
                            seconds_since(pending->admitted_at));
         pending->promise.set_value(std::move(paths));

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/sketch/load_accountant.hpp"
 #include "daemon/fair_queue.hpp"
 #include "daemon/net.hpp"
 #include "mesh/mesh.hpp"
@@ -62,6 +63,10 @@ struct ServerOptions {
   int io_timeout_ms = 5000;
   // Poll granularity of the accept and idle-read loops (drain latency).
   int poll_tick_ms = 50;
+  // Cumulative congestion accounting of every routed path (exact per-edge
+  // loads, or the space-bounded sketch for gigantic meshes). Published as
+  // daemon.load.* gauges and part of the metrics endpoint.
+  AccountingOptions accounting;
 };
 
 // Request-level and packet-level accounting. The daemon-wide invariant
@@ -150,6 +155,12 @@ class Server {
   // drain step 4; only run() touches the vector, but always under the
   // lock so the discipline survives future refactors.
   std::vector<std::thread> connections_ OBLV_GUARDED_BY(conn_mu_);
+
+  // Cumulative load accounting. Written by the single batch worker,
+  // snapshotted by metrics readers; both paths lock. Deterministic: the
+  // worker charges requests sequentially in dequeue order.
+  mutable oblv::Mutex account_mu_;
+  std::unique_ptr<LoadAccountant> accountant_ OBLV_GUARDED_BY(account_mu_);
 };
 
 }  // namespace oblivious::daemon

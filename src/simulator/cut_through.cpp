@@ -1,6 +1,7 @@
 #include "simulator/cut_through.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "analysis/congestion.hpp"
@@ -39,14 +40,15 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
 
   // Edge (and direction) sequences plus path-set metrics.
   std::vector<std::vector<EdgeId>> keys(paths.size());
-  EdgeLoadMap loads(mesh);
+  const std::unique_ptr<LoadAccountant> loads = LoadAccountant::create(
+      mesh, options.accounting.mode, options.accounting.sketch);
   std::int64_t total_hops = 0;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const Path& p = paths[i];
     OBLV_REQUIRE(!p.nodes.empty(), "simulation requires non-empty paths");
     OBLV_EXPECTS(contracts::validate_path_in_mesh(mesh, p),
                  "cut-through simulation needs paths that follow mesh edges");
-    loads.add_path(p);
+    loads->add_path(p);
     keys[i].reserve(static_cast<std::size_t>(p.length()));
     for (std::size_t j = 0; j + 1 < p.nodes.size(); ++j) {
       const EdgeId e = mesh.edge_between(p.nodes[j], p.nodes[j + 1]);
@@ -60,7 +62,7 @@ CutThroughResult simulate_cut_through(const Mesh& mesh,
     total_hops += p.length();
     result.dilation = std::max(result.dilation, p.length());
   }
-  result.congestion = static_cast<std::int64_t>(loads.max_load());
+  result.congestion = static_cast<std::int64_t>(loads->max_load());
 
   // Under faults the default budget gets slack for backoff waits and
   // repair intervals; runs that still exceed it report completed = false.

@@ -45,6 +45,9 @@ struct CutThroughOptions {
   const FaultModel* faults = nullptr;
   RetryPolicy retry;
   const Router* reroute_router = nullptr;
+  // How result.congestion is accounted over the input path set (the
+  // accounting pass is sequential, so sketch estimates are deterministic).
+  AccountingOptions accounting;
 };
 
 struct CutThroughResult {

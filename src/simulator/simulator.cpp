@@ -1,6 +1,7 @@
 #include "simulator/simulator.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "analysis/congestion.hpp"
@@ -48,14 +49,15 @@ SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
 
   // Precompute the edge sequence of every path and the path-set metrics.
   std::vector<std::vector<EdgeId>> edges(paths.size());
-  EdgeLoadMap loads(mesh);
+  const std::unique_ptr<LoadAccountant> loads = LoadAccountant::create(
+      mesh, options.accounting.mode, options.accounting.sketch);
   std::int64_t total_hops = 0;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const Path& p = paths[i];
     OBLV_REQUIRE(!p.nodes.empty(), "simulation requires non-empty paths");
     OBLV_EXPECTS(contracts::validate_path_in_mesh(mesh, p),
                  "simulate needs paths that follow mesh edges");
-    loads.add_path(p);
+    loads->add_path(p);
     edges[i].reserve(static_cast<std::size_t>(p.length()));
     for (std::size_t j = 0; j + 1 < p.nodes.size(); ++j) {
       edges[i].push_back(mesh.edge_between(p.nodes[j], p.nodes[j + 1]));
@@ -63,7 +65,7 @@ SimulationResult simulate(const Mesh& mesh, const std::vector<Path>& paths,
     total_hops += p.length();
     result.dilation = std::max(result.dilation, p.length());
   }
-  result.congestion = static_cast<std::int64_t>(loads.max_load());
+  result.congestion = static_cast<std::int64_t>(loads->max_load());
 
   const std::int64_t max_steps =
       options.max_steps > 0 ? options.max_steps

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/sketch/load_accountant.hpp"
 #include "mesh/mesh.hpp"
 #include "mesh/path.hpp"
 #include "util/stats.hpp"
@@ -34,6 +35,9 @@ struct SimulationOptions {
   // direction per step (the usual NoC model) instead of the paper's one
   // packet per edge per step. Halves contention for opposing traffic.
   bool full_duplex = false;
+  // How result.congestion is accounted over the input path set (the
+  // accounting pass is sequential, so sketch estimates are deterministic).
+  AccountingOptions accounting;
 };
 
 struct SimulationResult {

@@ -118,5 +118,33 @@ TEST(EdgeLoadMap, MeanNonzero) {
   EXPECT_DOUBLE_EQ(loads.mean_nonzero(), 1.5);
 }
 
+TEST(EdgeLoadMap, MaxLoadMemoizationSurvivesEveryMutator) {
+  // max_load() caches its scan; every mutator must invalidate the cache.
+  const Mesh m({4, 4});
+  EdgeLoadMap loads(m);
+  EXPECT_EQ(loads.max_load(), 0U);
+  loads.add_path(make_path({0, 1, 2}));
+  EXPECT_EQ(loads.max_load(), 1U);
+  EXPECT_EQ(loads.max_load(), 1U);  // cached read
+  loads.add_path(make_path({0, 1}));
+  EXPECT_EQ(loads.max_load(), 2U);  // add_path invalidates
+
+  SegmentPath sp;
+  sp.source = 0;
+  // One +1 hop along the unit-stride dimension: node 0 -> 1.
+  sp.append(m.node_stride(0) == 1 ? 0 : 1, 1);
+  sp.dest = 1;
+  loads.add_segments(sp);
+  EXPECT_EQ(loads.max_load(), 3U);  // add_segments invalidates
+
+  EdgeLoadMap other(m);
+  other.add_path(make_path({0, 1}));
+  loads.merge(other);
+  EXPECT_EQ(loads.max_load(), 4U);  // merge invalidates
+
+  loads.clear();
+  EXPECT_EQ(loads.max_load(), 0U);  // clear resets
+}
+
 }  // namespace
 }  // namespace oblivious

@@ -98,6 +98,8 @@ RULE_DOCS = {
     "D007": "blocking I/O syscall outside src/daemon/net*",
     "D008": "naked std sync primitive outside the annotations header",
     "D009": "relaxed atomic access to an accounting value",
+    "D010": "direct EdgeLoadMap construction outside the LoadAccountant "
+            "factory",
     "A001": "allowlist comment without justification",
 }
 
@@ -647,6 +649,42 @@ def check_d009(path: Path, rel: str, code: str,
     return findings
 
 
+# ---------------------------------------------------------------- D010 --
+
+# Direct EdgeLoadMap construction commits the call site to O(E) memory
+# and hard-codes exact accounting, bypassing the exact/sketch mode switch
+# (AccountingOptions) every measurement driver honors. New accounting
+# state comes from LoadAccountant::create; the few sanctioned direct uses
+# (the factory's own exact backend, the heatmap-feeding measure paths)
+# carry an allow() with the reason they must stay exact.
+D010_RES = [
+    re.compile(r"\bEdgeLoadMap\s+\w+\s*[;({=]"),       # locals and members
+    re.compile(r"\bmake_unique\s*<\s*EdgeLoadMap\b"),  # heap construction
+    re.compile(r"\bnew\s+EdgeLoadMap\b"),
+]
+
+
+def check_d010(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if not (rel.startswith("src/") or "/src/" in rel):
+        return []
+    findings = []
+    seen: set[int] = set()
+    for regex in D010_RES:
+        for m in regex.finditer(code):
+            ln = line_of(code, m.start())
+            if ln in seen or is_allowed(allowed, ln, "D010"):
+                continue
+            seen.add(ln)
+            findings.append(Finding(
+                "D010", path, ln,
+                "direct EdgeLoadMap construction bypasses the exact/sketch "
+                "accounting switch; create accounting state through "
+                "LoadAccountant::create(mesh, mode, config), or justify the "
+                "exact-only use with // oblv-lint: allow(D010)"))
+    return findings
+
+
 # ---------------------------------------------------------------- C001 --
 
 C001_ASSERT_RE = re.compile(r"\bOBLV_(?:REQUIRE|EXPECTS)\s*\(")
@@ -699,6 +737,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_d007(path, rel, code, allowed)
     findings += check_d008(path, rel, code, allowed)
     findings += check_d009(path, rel, code, allowed)
+    findings += check_d010(path, rel, code, allowed)
     findings += check_c001(path, raw)
     return findings
 

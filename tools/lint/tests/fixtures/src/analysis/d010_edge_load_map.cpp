@@ -1,0 +1,37 @@
+// D010 fixture: direct EdgeLoadMap construction outside the factory.
+#include "analysis/congestion.hpp"
+#include "analysis/sketch/load_accountant.hpp"
+
+namespace oblivious {
+
+void fires() {
+  const Mesh mesh({4, 4});
+  EdgeLoadMap local(mesh);                            // fires: local
+  EdgeLoadMap defaulted = EdgeLoadMap(mesh);          // fires: copy-init
+  auto heap = std::make_unique<EdgeLoadMap>(mesh);    // fires: make_unique
+  auto raw = new EdgeLoadMap(mesh);                   // fires: new
+  (void)local;
+  (void)heap;
+  delete raw;
+}
+
+struct Holder {
+  EdgeLoadMap loads_;  // fires: member declaration
+};
+
+void sanctioned(const Mesh& mesh) {
+  // The mode switch is the sanctioned path.
+  auto accountant = LoadAccountant::create(mesh, AccountingMode::kExact);
+  // oblv-lint: allow(D010) heatmap rendering needs the dense exact array
+  EdgeLoadMap dense(mesh);
+  (void)dense;
+}
+
+void not_construction(const EdgeLoadMap& by_ref, EdgeLoadMap* by_ptr) {
+  // References, pointers, and qualified names are not construction.
+  (void)by_ref;
+  (void)by_ptr;
+  EdgeLoadMap::static_like_mention();
+}
+
+}  // namespace oblivious

@@ -196,6 +196,22 @@ class TestD009(unittest.TestCase):
                          [f.render(FIXTURES) for f in findings])
 
 
+class TestD010(unittest.TestCase):
+    def test_direct_construction_fires(self):
+        found = rules_and_lines(lint("src/analysis/d010_edge_load_map.cpp"))
+        self.assertIn(("D010", 9), found)   # local
+        self.assertIn(("D010", 10), found)  # copy-init
+        self.assertIn(("D010", 11), found)  # make_unique
+        self.assertIn(("D010", 12), found)  # new
+        self.assertIn(("D010", 19), found)  # member declaration
+
+    def test_factory_allow_refs_and_qualified_names_do_not_fire(self):
+        findings = lint("src/analysis/d010_edge_load_map.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {9, 10, 11, 12, 19},
+                         [f.render(FIXTURES) for f in findings])
+
+
 class TestA001(unittest.TestCase):
     def test_allow_without_justification_flagged_and_ineffective(self):
         found = rules_and_lines(lint("src/util/bad_allow.cpp"))

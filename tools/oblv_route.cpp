@@ -19,6 +19,7 @@
 
 #include "analysis/evaluate.hpp"
 #include "analysis/heatmap.hpp"
+#include "analysis/sketch/stream_account.hpp"
 #include "analysis/trials.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/fault_router.hpp"
@@ -59,6 +60,15 @@ constexpr const char* kUsage = R"(usage: oblv_route [flags]
   --fault-seed N       fault-schedule seed (default: --seed)
   --retry-budget N     max path draws per packet under faults (default 4)
   --backoff-base N     exponential backoff base in steps (default 1)
+  --account MODE       congestion accounting: exact | sketch (default
+                       exact; sketch bounds memory on gigantic meshes)
+  --sketch-bytes N     sketch memory budget in bytes (default 1 MiB)
+  --stream N           streaming mode: route N random (src, dst) packets
+                       straight into the accountant without materializing
+                       demands or paths -- the only mode that can account
+                       meshes whose edge count dwarfs RAM (use with
+                       --account sketch); skips workload/simulation flags
+  --threads N          worker threads for --stream (default 0 = all cores)
   --metrics-json FILE  write an oblv-metrics-v1 JSON report covering the
                        decomposition, routing, accounting, trials and
                        simulation stages (implies --simulate and trials)
@@ -100,13 +110,92 @@ SchedulingPolicy parse_policy(const std::string& name) {
   throw std::invalid_argument("unknown policy '" + name + "'");
 }
 
+AccountingOptions parse_accounting(const Flags& flags) {
+  const auto mode = accounting_mode_from_name(flags.get("account", "exact"));
+  if (!mode.has_value()) {
+    throw std::invalid_argument("--account must be 'exact' or 'sketch'");
+  }
+  AccountingOptions accounting;
+  accounting.mode = *mode;
+  accounting.sketch.sketch_bytes = static_cast<std::size_t>(
+      flags.get_int("sketch-bytes",
+                    static_cast<std::int64_t>(SketchConfig{}.sketch_bytes)));
+  return accounting;
+}
+
+// --stream: route-and-account without ever materializing the demand set
+// or the paths; the only pipeline that works when exact per-edge arrays
+// (LoadAccountant::exact_bytes) cannot be allocated at all.
+int run_stream(const Flags& flags) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const Mesh mesh =
+      parse_mesh(flags.get("mesh", "64x64"), flags.get_bool("torus"));
+  const AccountingOptions accounting = parse_accounting(flags);
+  const std::string algo_name = flags.get("algorithm", "random-dim-order");
+  const auto a = algorithm_from_name(algo_name);
+  if (!a.has_value()) {
+    std::cerr << "unknown algorithm '" << algo_name << "'\n" << kUsage;
+    return 1;
+  }
+  const auto router = make_router(*a, mesh);
+  const std::size_t packets =
+      static_cast<std::size_t>(flags.get_int("stream", 0));
+
+  std::cout << "network : " << mesh.describe() << " (exact accounting would need "
+            << LoadAccountant::exact_bytes(mesh) << " bytes)\n";
+  std::cout << "stream  : " << packets << " random packets, "
+            << accounting_mode_name(accounting.mode) << " accounting\n";
+
+  const std::unique_ptr<LoadAccountant> accountant =
+      LoadAccountant::create(mesh, accounting.mode, accounting.sketch);
+  ThreadPool pool(static_cast<std::size_t>(flags.get_int("threads", 0)));
+  StreamAccountOptions sopts;
+  sopts.seed = seed;
+  const StreamAccountResult res =
+      route_and_account(*router, DemandSource::random_pairs(mesh, packets, seed),
+                        pool, sopts, *accountant);
+
+  std::cout << "routed  : " << res.packets << " packets in " << res.seconds
+            << " s ("
+            << static_cast<double>(res.packets) / std::max(res.seconds, 1e-9)
+            << " pkt/s, " << res.blocks << " blocks)\n";
+  std::cout << "load    : max " << accountant->max_load() << ", p50 "
+            << accountant->load_quantile(0.5) << ", p99 "
+            << accountant->load_quantile(0.99) << "\n";
+  std::cout << "memory  : " << accountant->memory_bytes() << " bytes";
+  if (accounting.mode == AccountingMode::kSketch) {
+    std::cout << " (budget " << accounting.sketch.sketch_bytes
+              << "); error bound +" << accountant->error_bound()
+              << " per estimate, failure prob "
+              << accountant->failure_probability();
+  }
+  std::cout << "\n";
+
+  if (flags.has("metrics-json")) {
+    accountant->record_metrics("loads");
+    obs::write_metrics_json_file(
+        flags.get("metrics-json", ""),
+        {{"tool", "oblv_route"},
+         {"mesh", mesh.describe()},
+         {"algorithm", algo_name},
+         {"workload", "stream"},
+         {"seed", std::to_string(seed)}},
+        obs::MetricsRegistry::global().snapshot());
+    std::cout << "metrics written to " << flags.get("metrics-json", "") << "\n";
+  }
+  return 0;
+}
+
 int run(const Flags& flags) {
   if (flags.get_bool("help")) {
     std::cout << kUsage;
     return 0;
   }
+  if (flags.has("stream")) return run_stream(flags);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const AccountingOptions accounting = parse_accounting(flags);
 
   Mesh mesh({1});
   RoutingProblem problem;
@@ -233,8 +322,9 @@ int run(const Flags& flags) {
         .add(m.routing_seconds * 1e3, 1);
 
     if (trials > 0) {
-      const TrialSummary summary =
-          evaluate_trials(mesh, *router, problem, trials, seed, nullptr);
+      const TrialSummary summary = evaluate_trials(mesh, *router, problem,
+                                                   trials, seed, nullptr,
+                                                   accounting);
       std::cout << m.algorithm << ": " << trials << " trials, congestion "
                 << summary.congestion.mean() << " +/- "
                 << summary.congestion.stddev() << " (max "
@@ -245,6 +335,7 @@ int run(const Flags& flags) {
       sim_options.policy =
           parse_policy(flags.get("policy", "furthest-to-go"));
       sim_options.seed = seed;
+      sim_options.accounting = accounting;
       const SimulationResult sim = simulate(mesh, paths, sim_options);
       std::cout << m.algorithm << ": delivered in " << sim.makespan
                 << " steps (max(C,D) = "
@@ -296,7 +387,8 @@ int main(int argc, char** argv) {
         {"mesh", "torus", "algorithm", "workload", "l", "seed", "simulate",
          "policy", "heatmap", "csv", "save", "load", "trials", "metrics-json",
          "metrics-table", "fault-rate", "fault-seed", "retry-budget",
-         "backoff-base", "help"}));
+         "backoff-base", "account", "sketch-bytes", "stream", "threads",
+         "help"}));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n" << kUsage;
     return 1;

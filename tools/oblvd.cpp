@@ -39,6 +39,9 @@ constexpr const char* kUsage = R"(usage: oblvd [flags]
   --tenants SPEC       declared tenants name:weight[,name:weight...];
                        undeclared tenants get weight 1
   --drain-rate N       retry-after hint rate, packets/ms (default 100)
+  --account MODE       congestion accounting: exact | sketch (default
+                       exact; sketch bounds memory on gigantic meshes)
+  --sketch-bytes N     sketch memory budget in bytes (default 1 MiB)
   --metrics-json FILE  write the final oblv-metrics-v1 report (with
                        daemon.* gauges) after the drain completes
   --help               this text
@@ -117,6 +120,14 @@ int run(const Flags& flags) {
   if (flags.has("tenants")) {
     options.tenants = parse_tenants(flags.get("tenants", ""));
   }
+  const auto mode = accounting_mode_from_name(flags.get("account", "exact"));
+  if (!mode.has_value()) {
+    throw std::invalid_argument("--account must be 'exact' or 'sketch'");
+  }
+  options.accounting.mode = *mode;
+  options.accounting.sketch.sketch_bytes = static_cast<std::size_t>(
+      flags.get_int("sketch-bytes",
+                    static_cast<std::int64_t>(SketchConfig{}.sketch_bytes)));
 
   daemon::Server server(mesh, options);
   g_server = &server;
@@ -163,8 +174,8 @@ int main(int argc, char** argv) {
     return run(Flags::parse(
         argc, argv,
         {"socket", "tcp-port", "mesh", "torus", "algorithm", "threads",
-         "queue-capacity", "batch-max", "tenants", "drain-rate",
-         "metrics-json", "help"}));
+         "queue-capacity", "batch-max", "tenants", "drain-rate", "account",
+         "sketch-bytes", "metrics-json", "help"}));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n" << kUsage;
     return 1;
