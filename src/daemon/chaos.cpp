@@ -1,0 +1,120 @@
+#include "daemon/chaos.hpp"
+
+#include "obs/metrics.hpp"
+#include "rng/rng.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace oblivious::daemon::chaos {
+namespace {
+
+struct State {
+  oblv::Mutex mu;
+  bool armed OBLV_GUARDED_BY(mu) = false;
+  ChaosConfig config OBLV_GUARDED_BY(mu);
+  std::uint64_t invocations[kSiteCount] OBLV_GUARDED_BY(mu) = {0, 0};
+  ChaosCounters totals OBLV_GUARDED_BY(mu);
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// Pure decision function: (seed, site, invocation index) -> draw. The
+// site tag lives in the top byte so the two sites consume decorrelated
+// subsequences of the same seed, exactly as packet_rng decorrelates
+// per-packet streams.
+std::uint64_t draw(std::uint64_t seed, Site site, std::uint64_t index) {
+  const std::uint64_t tagged =
+      (static_cast<std::uint64_t>(site) << 56) | index;
+  return splitmix64(seed ^ splitmix64(tagged));
+}
+
+Fault classify(const ChaosConfig& config, Site site, std::uint64_t uniform) {
+  const std::uint64_t per_mille = uniform % 1000;
+  // Slot layout: [slice)[stall)[reset)[clean]. Slice faults are
+  // site-specific but occupy distinct slots, so classification of a
+  // given draw never depends on which site consumed it.
+  std::uint64_t edge = config.short_read_per_mille;
+  if (per_mille < edge) {
+    return site == Site::kReadFrame ? Fault::kShortRead : Fault::kNone;
+  }
+  edge += config.torn_write_per_mille;
+  if (per_mille < edge) {
+    return site == Site::kWriteAll ? Fault::kTornWrite : Fault::kNone;
+  }
+  edge += config.stall_per_mille;
+  if (per_mille < edge) return Fault::kStall;
+  edge += config.reset_per_mille;
+  if (per_mille < edge) return Fault::kReset;
+  return Fault::kNone;
+}
+
+}  // namespace
+
+void configure(const ChaosConfig& config) {
+  State& s = state();
+  oblv::MutexLock lock(s.mu);
+  s.armed = true;
+  s.config = config;
+  s.invocations[0] = 0;
+  s.invocations[1] = 0;
+  s.totals = ChaosCounters{};
+}
+
+void disable() {
+  State& s = state();
+  oblv::MutexLock lock(s.mu);
+  s.armed = false;
+}
+
+bool enabled() {
+  State& s = state();
+  oblv::MutexLock lock(s.mu);
+  return s.armed;
+}
+
+Decision next(Site site) {
+  State& s = state();
+  oblv::MutexLock lock(s.mu);
+  if (!s.armed) return Decision{};
+  const auto slot = static_cast<std::size_t>(site);
+  const std::uint64_t index = s.invocations[slot]++;
+  if (site == Site::kReadFrame) {
+    ++s.totals.read_invocations;
+  } else {
+    ++s.totals.write_invocations;
+  }
+  Decision decision;
+  decision.fault = classify(s.config, site, draw(s.config.seed, site, index));
+  switch (decision.fault) {
+    case Fault::kShortRead:
+      ++s.totals.short_reads;
+      OBLV_COUNTER_ADD("daemon.chaos.short_read", 1);
+      break;
+    case Fault::kTornWrite:
+      ++s.totals.torn_writes;
+      OBLV_COUNTER_ADD("daemon.chaos.torn_write", 1);
+      break;
+    case Fault::kStall:
+      ++s.totals.stalls;
+      decision.stall_ms = s.config.stall_ms;
+      OBLV_COUNTER_ADD("daemon.chaos.stall", 1);
+      break;
+    case Fault::kReset:
+      ++s.totals.resets;
+      OBLV_COUNTER_ADD("daemon.chaos.reset", 1);
+      break;
+    case Fault::kNone:
+      break;
+  }
+  return decision;
+}
+
+ChaosCounters counters() {
+  State& s = state();
+  oblv::MutexLock lock(s.mu);
+  return s.totals;
+}
+
+}  // namespace oblivious::daemon::chaos

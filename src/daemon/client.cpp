@@ -1,5 +1,10 @@
 #include "daemon/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "rng/rng.hpp"
 #include "util/check.hpp"
 
 namespace oblivious::daemon {
@@ -39,10 +44,12 @@ void DaemonClient::receive_frame(std::vector<std::uint8_t>& payload) {
 
 RouteResponse DaemonClient::route(const std::string& tenant,
                                   std::uint64_t seed,
-                                  const std::vector<Demand>& demands) {
+                                  const std::vector<Demand>& demands,
+                                  std::uint32_t deadline_ms) {
   RouteRequest request;
   request.request_id = next_request_id_++;
   request.seed = seed;
+  request.deadline_ms = deadline_ms;
   request.tenant = tenant;
   request.demands = demands;
   send_buf_.clear();
@@ -55,6 +62,38 @@ RouteResponse DaemonClient::route(const std::string& tenant,
     throw ProtocolError("response id " + std::to_string(response.request_id) +
                         " does not match request id " +
                         std::to_string(request.request_id));
+  }
+  return response;
+}
+
+RouteResponse DaemonClient::route_with_retry(const std::string& tenant,
+                                             std::uint64_t seed,
+                                             const std::vector<Demand>& demands,
+                                             std::uint32_t deadline_ms,
+                                             const RetryPolicy& policy) {
+  RouteResponse response = route(tenant, seed, demands, deadline_ms);
+  for (std::size_t attempt = 0; attempt < policy.max_retries; ++attempt) {
+    // Only backpressure is worth retrying: kShuttingDown will not
+    // recover here, kExpired means the budget is spent, kError is a
+    // request defect.
+    if (response.status != RouteStatus::kRejected) return response;
+    const std::uint64_t exponential = std::min<std::uint64_t>(
+        policy.max_backoff_ms,
+        static_cast<std::uint64_t>(policy.base_ms) << attempt);
+    std::uint64_t wait_ms =
+        std::max<std::uint64_t>(response.retry_after_ms, exponential);
+    wait_ms = std::min<std::uint64_t>(wait_ms, policy.max_backoff_ms);
+    // Deterministic decorrelation jitter in [0, wait/2]: splitmix64 of
+    // the policy seed and a per-connection retry counter, the same
+    // counter-derived idiom as packet_rng.
+    const std::uint64_t jitter =
+        splitmix64(policy.seed ^ splitmix64(retry_draws_++)) %
+        (wait_ms / 2 + 1);
+    wait_ms += jitter;
+    ++stats_.retries;
+    stats_.backoff_ms_total += wait_ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    response = route(tenant, seed, demands, deadline_ms);
   }
   return response;
 }

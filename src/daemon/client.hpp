@@ -4,6 +4,12 @@
 // One DaemonClient owns one connection and is not thread-safe; open one
 // per client thread. Every call is bounded by timeout_ms -- a stalled
 // daemon surfaces as a thrown error, never a wedged caller.
+//
+// Backpressure: route_with_retry() honors kRejected + retry_after_ms
+// with capped, seeded exponential backoff plus deterministic jitter
+// (splitmix64 of the policy seed and a retry counter -- reproducible,
+// like every other draw in the tree). Retries and total backoff are
+// counted in ClientStats, which oblv_load folds into its report.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,25 @@ class ClientError : public std::runtime_error {
   explicit ClientError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Backoff behavior of route_with_retry on kRejected responses.
+struct RetryPolicy {
+  // Retries after the first attempt; 0 restores fail-fast route().
+  std::size_t max_retries = 3;
+  // Exponential schedule: attempt k waits
+  // max(server retry_after_ms, base_ms << k) + jitter, capped at
+  // max_backoff_ms. Jitter is uniform in [0, wait/2], drawn from
+  // splitmix64(seed, retry counter).
+  std::uint32_t base_ms = 5;
+  std::uint32_t max_backoff_ms = 1000;
+  std::uint64_t seed = 1;
+};
+
+// Lifetime client-side counters (one connection's view).
+struct ClientStats {
+  std::uint64_t retries = 0;
+  std::uint64_t backoff_ms_total = 0;
+};
+
 class DaemonClient {
  public:
   // Connects immediately; throws std::runtime_error on failure.
@@ -35,11 +60,27 @@ class DaemonClient {
 
   // Sends one route request and blocks for its response. The returned
   // response's status says whether `paths` is populated (kOk) or the
-  // request was rejected (kRejected/kShuttingDown, with retry_after_ms)
-  // or refused (kError, with a message). Throws ClientError on
-  // transport failure, ProtocolError on a malformed response.
+  // request was rejected (kRejected/kShuttingDown, with retry_after_ms),
+  // expired (kExpired, deadline_ms elapsed server-side), or refused
+  // (kError, with a message). deadline_ms rides in the v2 header body;
+  // 0 means no deadline. Throws ClientError on transport failure,
+  // ProtocolError on a malformed response.
   RouteResponse route(const std::string& tenant, std::uint64_t seed,
-                      const std::vector<Demand>& demands);
+                      const std::vector<Demand>& demands,
+                      std::uint32_t deadline_ms = 0);
+
+  // route(), but kRejected responses are retried per `policy` with
+  // capped exponential backoff + deterministic jitter, honoring the
+  // server's retry_after_ms hint. Returns the final response (still
+  // kRejected when retries are exhausted); kShuttingDown, kExpired and
+  // kError are never retried.
+  RouteResponse route_with_retry(const std::string& tenant,
+                                 std::uint64_t seed,
+                                 const std::vector<Demand>& demands,
+                                 std::uint32_t deadline_ms,
+                                 const RetryPolicy& policy);
+
+  const ClientStats& stats() const { return stats_; }
 
   // Fetches the daemon's oblv-metrics-v1 introspection JSON.
   std::string metrics_json();
@@ -55,6 +96,8 @@ class DaemonClient {
   UniqueFd fd_;
   int timeout_ms_;
   std::uint32_t next_request_id_ = 1;
+  std::uint64_t retry_draws_ = 0;  // jitter stream counter
+  ClientStats stats_;
   std::vector<std::uint8_t> send_buf_;
   std::vector<std::uint8_t> recv_buf_;
 };

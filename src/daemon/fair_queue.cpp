@@ -1,11 +1,30 @@
 #include "daemon/fair_queue.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "util/check.hpp"
 
 namespace oblivious::daemon {
+
+namespace {
+
+// Milliseconds on the monotonic clock; only consulted when the caller
+// passed kNowFromClock (tests pass explicit timestamps instead).
+std::uint64_t resolve_now_ms(std::uint64_t now_ms) {
+  if (now_ms != FairShareQueue::kNowFromClock) return now_ms;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool is_expired(const QueueItem& item, std::uint64_t now_ms) {
+  return item.expires_at_ms != 0 && now_ms >= item.expires_at_ms;
+}
+
+}  // namespace
 
 FairShareQueue::FairShareQueue(FairQueueOptions options)
     : options_(options) {
@@ -70,7 +89,8 @@ std::uint64_t FairShareQueue::active_virtual_floor_locked() const {
   return floor;
 }
 
-AdmissionResult FairShareQueue::try_enqueue(const QueueItem& item) {
+AdmissionResult FairShareQueue::try_enqueue(const QueueItem& item,
+                                            std::uint64_t now_ms) {
   OBLV_REQUIRE(item.packets >= 1, "queue items carry at least one packet");
   oblv::MutexLock lock(mu_);
   Tenant& tenant = tenant_locked(item.tenant);
@@ -79,6 +99,40 @@ AdmissionResult FairShareQueue::try_enqueue(const QueueItem& item) {
     ++tenant.rejected;
     result.admitted = false;
     result.retry_after_ms = 0;  // draining: retrying here is pointless
+    result.reason = RejectReason::kDraining;
+    return result;
+  }
+  const bool was_idle = tenant.items.empty();
+  if (was_idle) {
+    // An idle tenant has no standing queue by definition: reset the
+    // CoDel detector so a stale overload verdict cannot outlive the
+    // backlog that caused it.
+    tenant.first_above_ms = 0;
+    tenant.overloaded = false;
+  }
+  if (item.expires_at_ms != 0) {
+    const std::uint64_t now = resolve_now_ms(now_ms);
+    if (is_expired(item, now)) {
+      // Dead on arrival: shed here rather than waste a queue slot. The
+      // server counts this under daemon.deadline.shed_admission; it is
+      // expiry, not backpressure, so tenant.rejected stays untouched.
+      tenant.expired += item.packets;
+      result.admitted = false;
+      result.retry_after_ms = 0;
+      result.reason = RejectReason::kDeadline;
+      return result;
+    }
+  }
+  if (options_.codel_target_ms > 0 && tenant.overloaded) {
+    ++tenant.rejected;
+    ++tenant.overload_rejected;
+    result.admitted = false;
+    // The standing queue needs roughly an interval to clear; back the
+    // client off that long plus the backlog-drain estimate.
+    result.retry_after_ms = static_cast<std::uint32_t>(
+        options_.codel_interval_ms +
+        tenant.queued / options_.drain_rate_hint);
+    result.reason = RejectReason::kOverload;
     return result;
   }
   if (tenant.queued + item.packets > tenant.capacity ||
@@ -88,9 +142,9 @@ AdmissionResult FairShareQueue::try_enqueue(const QueueItem& item) {
     const std::size_t backlog = std::max(tenant.queued, item.packets);
     result.retry_after_ms = static_cast<std::uint32_t>(
         1 + backlog / options_.drain_rate_hint);
+    result.reason = RejectReason::kCapacity;
     return result;
   }
-  const bool was_idle = tenant.items.empty();
   if (was_idle) {
     // Returning from idle: clamp forward so sleep time is not credit.
     tenant.virtual_time =
@@ -104,14 +158,35 @@ AdmissionResult FairShareQueue::try_enqueue(const QueueItem& item) {
   return result;
 }
 
+void FairShareQueue::observe_sojourn_locked(Tenant& tenant,
+                                            std::uint64_t sojourn_ms,
+                                            std::uint64_t now_ms) {
+  if (options_.codel_target_ms == 0) return;
+  if (sojourn_ms < options_.codel_target_ms) {
+    // One good sojourn ends the episode (CoDel's exit condition).
+    tenant.first_above_ms = 0;
+    tenant.overloaded = false;
+    return;
+  }
+  if (tenant.first_above_ms == 0) {
+    tenant.first_above_ms = now_ms;
+  } else if (now_ms - tenant.first_above_ms >= options_.codel_interval_ms) {
+    // Sojourns above target for a full interval: a standing queue, not
+    // a burst. New admissions are refused until a sojourn recovers.
+    tenant.overloaded = true;
+  }
+}
+
 std::vector<QueueItem> FairShareQueue::dequeue_chunk(
-    std::size_t max_packets) {
+    std::size_t max_packets, std::vector<QueueItem>* expired,
+    std::uint64_t now_ms) {
   OBLV_REQUIRE(max_packets >= 1, "dequeue_chunk needs max_packets >= 1");
   oblv::MutexLock lock(mu_);
   // Explicit predicate loop (not a wait-with-lambda): the analysis
   // treats a lambda as a separate unannotated function, so reading the
   // guarded fields inside one would defeat the GUARDED_BY checks.
   while (queued_packets_ == 0 && !draining_) work_available_.wait(mu_);
+  const std::uint64_t now = resolve_now_ms(now_ms);
   std::vector<QueueItem> chunk;
   std::size_t gathered = 0;
   while (gathered < max_packets && queued_packets_ > 0) {
@@ -125,11 +200,27 @@ std::vector<QueueItem> FairShareQueue::dequeue_chunk(
       }
     }
     if (best == nullptr) break;  // unreachable while queued_packets_ > 0
+    // Lazy expiry at the front: dead work is popped into `expired`
+    // with NO served/virtual-time credit and no chunk budget charge,
+    // then the tenant scan restarts (the tenant may now be idle).
+    if (expired != nullptr && is_expired(best->items.front(), now)) {
+      QueueItem& dead = best->items.front();
+      best->queued -= dead.packets;
+      queued_packets_ -= dead.packets;
+      best->expired += dead.packets;
+      expired->push_back(std::move(dead));
+      best->items.pop_front();
+      continue;
+    }
     // Level 2: FIFO within the tenant. Requests are never split; a
     // request larger than the remaining budget still ships when it is
     // the first of the chunk.
     const QueueItem& front = best->items.front();
     if (gathered > 0 && gathered + front.packets > max_packets) break;
+    // Feed the overload detector with this item's time-in-queue.
+    if (now >= front.enqueued_at_ms) {
+      observe_sojourn_locked(*best, now - front.enqueued_at_ms, now);
+    }
     chunk.push_back(front);
     gathered += front.packets;
     best->queued -= front.packets;
@@ -170,6 +261,9 @@ std::vector<TenantStats> FairShareQueue::tenant_stats() const {
     s.capacity_packets = tenant.capacity;
     s.served_packets = tenant.served;
     s.rejected_requests = tenant.rejected;
+    s.expired_packets = tenant.expired;
+    s.overload_rejected_requests = tenant.overload_rejected;
+    s.overloaded = tenant.overloaded;
     stats.push_back(s);
   }
   return stats;

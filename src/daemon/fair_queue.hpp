@@ -16,10 +16,31 @@
 // per-tenant property, not a global one). A rejected enqueue carries a
 // retry-after hint derived from the tenant's queued backlog.
 //
+// Two resilience layers ride on top of capacity admission (DESIGN.md
+// section 15):
+//
+//  - Lazy deadline expiry: items may carry an expiry timestamp; an item
+//    found dead at dequeue is popped into the caller's expired list and
+//    banks NO service credit (no served packets, no virtual-time
+//    advance), so a flood of already-dead work cannot distort the fair
+//    share. Items are never scanned proactively -- expiry costs O(1)
+//    amortized at the dequeue front, CoDel-style.
+//
+//  - CoDel-style overload control, per tenant: the sojourn (time in
+//    queue) of each dequeued item is compared against codel_target_ms.
+//    Once sojourns have stayed continuously above target for
+//    codel_interval_ms the tenant is *overloaded* and new enqueues are
+//    rejected with retry-after until a sojourn dips below target (or
+//    the tenant goes idle). Admission latency therefore tracks queue
+//    *delay*, not queue *length* -- the standing-queue detector of
+//    CoDel (Nichols & Jacobson) applied at admission instead of drop.
+//
 // The queue is the synchronization point between the connection threads
 // (producers) and the batch worker (consumer): all methods are
 // thread-safe, and dequeue_chunk blocks until work arrives or the queue
-// is told to drain.
+// is told to drain. Time is passed in explicitly (milliseconds on the
+// caller's monotonic clock) or defaulted to steady_clock, so tests
+// drive expiry and overload deterministically.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +61,11 @@ struct FairQueueOptions {
   std::size_t drain_rate_hint = 100;
   // Weight given to tenants that were not registered explicitly.
   std::uint64_t default_weight = 1;
+  // CoDel overload control: sojourn target and detection interval in
+  // milliseconds. codel_target_ms == 0 disables the detector (the
+  // default; oblvd enables it via --codel-target-ms).
+  std::uint64_t codel_target_ms = 0;
+  std::uint64_t codel_interval_ms = 500;
 };
 
 // One queued unit of work. `token` is an opaque caller handle (the
@@ -48,12 +74,26 @@ struct QueueItem {
   std::string tenant;
   std::size_t packets = 0;
   std::uint64_t token = 0;
+  // Milliseconds on the producer's monotonic clock. enqueued_at_ms
+  // feeds the CoDel sojourn; expires_at_ms == 0 means no deadline.
+  std::uint64_t enqueued_at_ms = 0;
+  std::uint64_t expires_at_ms = 0;
+};
+
+// Why an enqueue was refused (kNone when admitted).
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kCapacity,  // tenant share (or the global bound) is full
+  kOverload,  // CoDel marked the tenant overloaded (standing queue)
+  kDeadline,  // the item was already expired at admission
+  kDraining,  // the queue is shutting down
 };
 
 struct AdmissionResult {
   bool admitted = false;
   // Set when !admitted: suggested client backoff.
   std::uint32_t retry_after_ms = 0;
+  RejectReason reason = RejectReason::kNone;
 };
 
 // Point-in-time stats for introspection.
@@ -64,10 +104,17 @@ struct TenantStats {
   std::size_t capacity_packets = 0;
   std::uint64_t served_packets = 0;
   std::uint64_t rejected_requests = 0;
+  std::uint64_t expired_packets = 0;
+  std::uint64_t overload_rejected_requests = 0;
+  bool overloaded = false;
 };
 
 class FairShareQueue {
  public:
+  // Sentinel for the now_ms parameters: read std::chrono::steady_clock
+  // instead (production path; tests pass explicit timestamps).
+  static constexpr std::uint64_t kNowFromClock = ~std::uint64_t{0};
+
   explicit FairShareQueue(FairQueueOptions options = {});
 
   // Declares a tenant and its weight; recomputes every tenant's
@@ -76,9 +123,13 @@ class FairShareQueue {
   void register_tenant(const std::string& name, std::uint64_t weight)
       OBLV_EXCLUDES(mu_);
 
-  // Admits `item` unless the tenant's capacity share (or the draining
-  // flag) forbids it. O(log #tenants).
-  AdmissionResult try_enqueue(const QueueItem& item) OBLV_EXCLUDES(mu_);
+  // Admits `item` unless it is already expired, the tenant is
+  // overloaded, the tenant's capacity share is full, or the queue is
+  // draining -- in that checking order, reported via
+  // AdmissionResult::reason. O(log #tenants).
+  AdmissionResult try_enqueue(const QueueItem& item,
+                              std::uint64_t now_ms = kNowFromClock)
+      OBLV_EXCLUDES(mu_);
 
   // Pops whole items from the fairest tenant (smallest virtual time,
   // then from the next fairest, ...) until at least `max_packets` are
@@ -86,8 +137,16 @@ class FairShareQueue {
   // not draining; returns an empty vector only when draining and empty.
   // An item larger than max_packets is still returned alone (requests
   // are never split).
-  std::vector<QueueItem> dequeue_chunk(std::size_t max_packets)
-      OBLV_EXCLUDES(mu_);
+  //
+  // When `expired` is non-null, items found past their expires_at_ms
+  // are popped into it instead of the chunk; they bank no service
+  // credit and do not count against max_packets. A null `expired`
+  // skips expiry entirely (legacy call sites behave as before). The
+  // call can return an empty chunk with a non-empty expired list; the
+  // caller must treat that as progress, not as drain-complete.
+  std::vector<QueueItem> dequeue_chunk(
+      std::size_t max_packets, std::vector<QueueItem>* expired = nullptr,
+      std::uint64_t now_ms = kNowFromClock) OBLV_EXCLUDES(mu_);
 
   // Draining: every later try_enqueue is rejected, and dequeue_chunk
   // returns the remaining backlog then empty vectors instead of
@@ -107,6 +166,12 @@ class FairShareQueue {
     std::size_t capacity = 0;     // packets (share of the global bound)
     std::uint64_t served = 0;     // packets, lifetime
     std::uint64_t rejected = 0;   // requests, lifetime
+    std::uint64_t expired = 0;    // packets shed in-queue, lifetime
+    std::uint64_t overload_rejected = 0;  // requests, lifetime
+    // CoDel detector: timestamp of the first continuously-above-target
+    // sojourn (0 = currently below target) and the overload verdict.
+    std::uint64_t first_above_ms = 0;
+    bool overloaded = false;
     std::deque<QueueItem> items;  // FIFO within the tenant
   };
 
@@ -116,6 +181,8 @@ class FairShareQueue {
   Tenant& tenant_locked(const std::string& name) OBLV_REQUIRES(mu_);
   void recompute_shares_locked() OBLV_REQUIRES(mu_);
   std::uint64_t active_virtual_floor_locked() const OBLV_REQUIRES(mu_);
+  void observe_sojourn_locked(Tenant& tenant, std::uint64_t sojourn_ms,
+                              std::uint64_t now_ms) OBLV_REQUIRES(mu_);
 
   FairQueueOptions options_;
   // Single-lock design: one mutex covers tenant selection AND the

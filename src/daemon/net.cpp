@@ -1,9 +1,12 @@
 #include "daemon/net.hpp"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
+#include <limits>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -14,9 +17,18 @@
 
 #include "daemon/protocol.hpp"
 
+#ifdef OBLV_CHAOS_ENABLED
+#include <thread>
+
+#include "daemon/chaos.hpp"
+#endif
+
 // This translation unit is the sanctioned home of every raw socket
 // syscall (lint rule D007): all reads and writes below are bounded by
-// poll() deadlines, so callers can never wedge on a stalled peer.
+// poll() deadlines, so callers can never wedge on a stalled peer. It is
+// also where the chaos fault points live (-DOBLV_CHAOS=ON): read_frame
+// and write_all consult chaos::next() once per frame and may slice,
+// stall, or fail the transfer -- see src/daemon/chaos.hpp.
 
 namespace oblivious::daemon {
 
@@ -50,31 +62,56 @@ void set_error(std::string* error, const std::string& message) {
 
 void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
 
-// Bounded single poll: true when `fd` reports any of `events`.
+// Bounded single poll: true when `fd` reports any of `events`. EINTR
+// must not extend the deadline, so the remaining wait is recomputed
+// from a steady-clock deadline instead of restarting the full timeout
+// (a signal storm would otherwise keep a "bounded" wait alive forever).
 bool poll_one(int fd, short events, int timeout_ms) {
   struct pollfd pfd;
   pfd.fd = fd;
   pfd.events = events;
   pfd.revents = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int remaining_ms = timeout_ms;
   for (;;) {
     // oblv-lint: allow(D007) net.cpp is the sanctioned syscall site; the
     // timeout bounds the wait
-    const int rc = ::poll(&pfd, 1, timeout_ms);
-    if (rc < 0 && errno == EINTR) continue;
+    const int rc = ::poll(&pfd, 1, remaining_ms);
+    if (rc < 0 && errno == EINTR) {
+      if (timeout_ms < 0) continue;  // infinite wait: just retry
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now);
+      // Round up so a sub-millisecond remainder still polls once more
+      // instead of busy-spinning on a zero timeout.
+      remaining_ms = static_cast<int>(left.count()) + 1;
+      continue;
+    }
     return rc > 0 && (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
   }
 }
 
+// No cap on per-syscall transfer size (the normal case). The chaos
+// short-read/torn-write faults shrink this to 1 to drive the resume
+// loops below through their partial-transfer paths.
+constexpr std::size_t kNoSliceLimit = std::numeric_limits<std::size_t>::max();
+
 // Reads exactly `size` bytes with a per-call deadline. Returns kOk,
 // kTimeout, kError, or -- when EOF arrives before any byte -- kClosed
-// (kTruncated when EOF interrupts a partial read).
+// (kTruncated when EOF interrupts a partial read). Each syscall moves
+// at most `max_slice` bytes.
 IoStatus read_exact(int fd, std::uint8_t* data, std::size_t size,
-                    int timeout_ms, std::string* error) {
+                    int timeout_ms, std::string* error,
+                    std::size_t max_slice = kNoSliceLimit) {
   std::size_t got = 0;
   while (got < size) {
     if (!poll_one(fd, POLLIN, timeout_ms)) return IoStatus::kTimeout;
+    const std::size_t want = std::min(size - got, max_slice);
     // oblv-lint: allow(D007) bounded by the poll_one deadline above
-    const ssize_t n = ::read(fd, data + got, size - got);
+    const ssize_t n = ::read(fd, data + got, want);
     if (n == 0) return got == 0 ? IoStatus::kClosed : IoStatus::kTruncated;
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
@@ -212,12 +249,33 @@ bool wait_readable(int fd, int timeout_ms) {
 
 IoStatus read_frame(int fd, std::vector<std::uint8_t>& payload,
                     int timeout_ms, std::string* error) {
+  std::size_t max_slice = kNoSliceLimit;
+#ifdef OBLV_CHAOS_ENABLED
+  if (chaos::enabled()) {
+    const chaos::Decision fault = chaos::next(chaos::Site::kReadFrame);
+    switch (fault.fault) {
+      case chaos::Fault::kReset:
+        set_error(error, "chaos: injected reset on read");
+        return IoStatus::kError;
+      case chaos::Fault::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.stall_ms));
+        break;
+      case chaos::Fault::kShortRead:
+        max_slice = 1;  // every syscall for this frame moves one byte
+        break;
+      default:
+        break;
+    }
+  }
+#endif
   std::uint8_t prefix[4];
   // An idle wait before the first prefix byte is a normal timeout; the
   // caller loops. EOF here is an orderly close between frames.
-  const IoStatus head = read_exact(fd, prefix, 1, timeout_ms, error);
+  const IoStatus head =
+      read_exact(fd, prefix, 1, timeout_ms, error, max_slice);
   if (head != IoStatus::kOk) return head;
-  IoStatus rest = read_exact(fd, prefix + 1, 3, timeout_ms, error);
+  IoStatus rest = read_exact(fd, prefix + 1, 3, timeout_ms, error, max_slice);
   if (rest == IoStatus::kClosed) return IoStatus::kTruncated;
   if (rest != IoStatus::kOk) return rest;
 
@@ -233,20 +291,40 @@ IoStatus read_frame(int fd, std::vector<std::uint8_t>& payload,
   }
   payload.resize(length);
   if (length == 0) return IoStatus::kOk;
-  rest = read_exact(fd, payload.data(), length, timeout_ms, error);
+  rest = read_exact(fd, payload.data(), length, timeout_ms, error, max_slice);
   if (rest == IoStatus::kClosed) return IoStatus::kTruncated;
   return rest;
 }
 
 IoStatus write_all(int fd, const std::uint8_t* data, std::size_t size,
                    int timeout_ms, std::string* error) {
+  std::size_t max_slice = kNoSliceLimit;
+#ifdef OBLV_CHAOS_ENABLED
+  if (chaos::enabled()) {
+    const chaos::Decision fault = chaos::next(chaos::Site::kWriteAll);
+    switch (fault.fault) {
+      case chaos::Fault::kReset:
+        set_error(error, "chaos: injected reset on write");
+        return IoStatus::kError;
+      case chaos::Fault::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.stall_ms));
+        break;
+      case chaos::Fault::kTornWrite:
+        max_slice = 1;  // every syscall for this buffer moves one byte
+        break;
+      default:
+        break;
+    }
+  }
+#endif
   std::size_t sent = 0;
   while (sent < size) {
     if (!poll_one(fd, POLLOUT, timeout_ms)) return IoStatus::kTimeout;
+    const std::size_t want = std::min(size - sent, max_slice);
     // oblv-lint: allow(D007) bounded by the poll_one deadline above;
     // MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE
-    const ssize_t n =
-        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data + sent, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       set_error(error, "send: " + errno_string(errno));
@@ -273,8 +351,13 @@ WakeupPipe make_wakeup_pipe() {
 
 void write_wakeup(int write_fd) {
   const std::uint8_t byte = 1;
-  // oblv-lint: allow(D007) nonblocking write end; async-signal-safe
-  [[maybe_unused]] const ssize_t n = ::write(write_fd, &byte, 1);
+  for (;;) {
+    // oblv-lint: allow(D007) nonblocking write end; async-signal-safe
+    const ssize_t n = ::write(write_fd, &byte, 1);
+    // EINTR: retry (write remains async-signal-safe). EAGAIN: the pipe
+    // already holds a pending wakeup byte, which is all a waker needs.
+    if (n >= 0 || errno != EINTR) return;
+  }
 }
 
 void drain_wakeup(int read_fd) {
@@ -283,6 +366,7 @@ void drain_wakeup(int read_fd) {
     if (!poll_one(read_fd, POLLIN, 0)) return;
     // oblv-lint: allow(D007) poll(0) above guarantees data is pending
     const ssize_t n = ::read(read_fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;  // retry, pipe still readable
     if (n <= 0) return;
   }
 }

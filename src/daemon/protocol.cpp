@@ -149,11 +149,13 @@ FrameHeader read_header(Reader& r) {
   }
   FrameHeader header;
   header.version = r.u16("version");
-  if (header.version != kProtocolVersion) {
+  if (header.version < kMinProtocolVersion ||
+      header.version > kProtocolVersion) {
     throw ProtocolError("unknown protocol version " +
                         std::to_string(header.version) + " (this daemon "
-                        "speaks version " + std::to_string(kProtocolVersion) +
-                        ")");
+                        "speaks versions " +
+                        std::to_string(kMinProtocolVersion) + ".." +
+                        std::to_string(kProtocolVersion) + ")");
   }
   header.type = static_cast<MessageType>(r.u16("type"));
   header.request_id = r.u32("request_id");
@@ -173,13 +175,19 @@ void check_type(const FrameHeader& header, MessageType want,
 // --- encoders ---------------------------------------------------------------
 
 void encode_route_request(const RouteRequest& request,
-                          std::vector<std::uint8_t>& out) {
+                          std::vector<std::uint8_t>& out,
+                          std::uint16_t version) {
   OBLV_REQUIRE(request.tenant.size() <= 0xffff,
                "tenant name longer than a u16 length");
+  OBLV_REQUIRE(version >= kMinProtocolVersion && version <= kProtocolVersion,
+               "encode_route_request: unsupported protocol version");
+  OBLV_REQUIRE(version >= 2 || request.deadline_ms == 0,
+               "deadline_ms requires protocol version 2");
   const std::size_t at = begin_frame(
-      out, FrameHeader{kProtocolVersion, MessageType::kRouteRequest,
-                       request.request_id});
+      out,
+      FrameHeader{version, MessageType::kRouteRequest, request.request_id});
   put_u64(out, request.seed);
+  if (version >= 2) put_u32(out, request.deadline_ms);
   put_u16(out, static_cast<std::uint16_t>(request.tenant.size()));
   put_bytes(out, request.tenant);
   put_u32(out, static_cast<std::uint32_t>(request.demands.size()));
@@ -191,11 +199,14 @@ void encode_route_request(const RouteRequest& request,
 }
 
 void encode_route_response(const RouteResponse& response,
-                           std::vector<std::uint8_t>& out) {
+                           std::vector<std::uint8_t>& out,
+                           std::uint16_t version) {
   OBLV_REQUIRE(response.message.size() <= 0xffff,
                "response message longer than a u16 length");
+  OBLV_REQUIRE(version >= kMinProtocolVersion && version <= kProtocolVersion,
+               "encode_route_response: unsupported protocol version");
   const std::size_t at = begin_frame(
-      out, FrameHeader{kProtocolVersion, MessageType::kRouteResponse,
+      out, FrameHeader{version, MessageType::kRouteResponse,
                        response.request_id});
   put_u16(out, static_cast<std::uint16_t>(response.status));
   put_u32(out, response.retry_after_ms);
@@ -261,7 +272,10 @@ RouteRequest decode_route_request(const std::uint8_t* payload,
   check_type(header, MessageType::kRouteRequest, "route request");
   RouteRequest request;
   request.request_id = header.request_id;
+  request.version = header.version;
   request.seed = r.u64("seed");
+  // v1 bodies have no deadline field; the request simply never expires.
+  if (header.version >= 2) request.deadline_ms = r.u32("deadline_ms");
   const std::uint16_t tenant_len = r.u16("tenant length");
   request.tenant = r.bytes(tenant_len, "tenant");
   const std::uint32_t count = r.u32("demand count");

@@ -9,7 +9,7 @@
 // and every payload starts with the fixed header
 //
 //   u32  magic       "OBLV" (0x564c424f little-endian)
-//   u16  version     kProtocolVersion
+//   u16  version     kMinProtocolVersion..kProtocolVersion
 //   u16  type        MessageType
 //   u32  request_id  echoed verbatim in the response
 //
@@ -21,9 +21,18 @@
 // server turns that into a per-connection error without touching the
 // accept loop.
 //
+// Versioning: the decoder accepts every version in
+// [kMinProtocolVersion, kProtocolVersion] and the body layout branches
+// on the header's version, so old clients keep working unmodified. The
+// server echoes the request's version in its response, so a v1 client
+// never sees a frame it cannot parse. Version 2 added `deadline_ms` to
+// kRouteRequest (and the kExpired status a deadline can produce); a v1
+// request simply has no deadline and can never expire.
+//
 // Bodies:
 //
-//   kRouteRequest:   u64 seed, u16 tenant length, tenant bytes,
+//   kRouteRequest:   u64 seed, [v2+: u32 deadline_ms, 0 = none],
+//                    u16 tenant length, tenant bytes,
 //                    u32 demand count, count x (i64 src, i64 dst)
 //   kRouteResponse:  u16 status, u32 retry_after_ms, u16 message length,
 //                    message bytes, u32 path count, count x
@@ -49,7 +58,9 @@
 namespace oblivious::daemon {
 
 inline constexpr std::uint32_t kMagic = 0x564c424fu;  // "OBLV"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
+// Oldest version this build still decodes (v1 lacks deadline_ms).
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
 // Hard ceiling on a frame payload; a length prefix above this is a
 // protocol violation (it would otherwise let one client stall a
 // connection thread on a multi-gigabyte read).
@@ -70,6 +81,7 @@ enum class RouteStatus : std::uint16_t {
   kRejected = 1,      // admission backpressure; retry_after_ms is set
   kError = 2,         // malformed request (bad endpoints, empty batch)
   kShuttingDown = 3,  // daemon is draining; do not retry here
+  kExpired = 4,       // v2+: deadline_ms elapsed before the reply
 };
 
 // Raised by every decoder on malformed input. The message pinpoints the
@@ -89,8 +101,15 @@ struct FrameHeader {
 struct RouteRequest {
   std::uint32_t request_id = 0;
   std::uint64_t seed = 1;
+  // Milliseconds the client is willing to wait, measured by the server
+  // from admission; 0 means no deadline. v2+ on the wire -- a decoded
+  // v1 request always carries 0.
+  std::uint32_t deadline_ms = 0;
   std::string tenant;
   std::vector<Demand> demands;
+  // Header version the request arrived with (set by the decoder); the
+  // server echoes it in the response so old clients stay compatible.
+  std::uint16_t version = kProtocolVersion;
 };
 
 struct RouteResponse {
@@ -105,10 +124,14 @@ struct RouteResponse {
 // Each encoder appends one complete frame (length prefix + payload) to
 // `out`, which keeps its capacity across calls.
 
+// `version` selects the wire layout (compat tests craft v1 frames; the
+// server echoes a v1 client's version when responding).
 void encode_route_request(const RouteRequest& request,
-                          std::vector<std::uint8_t>& out);
+                          std::vector<std::uint8_t>& out,
+                          std::uint16_t version = kProtocolVersion);
 void encode_route_response(const RouteResponse& response,
-                           std::vector<std::uint8_t>& out);
+                           std::vector<std::uint8_t>& out,
+                           std::uint16_t version = kProtocolVersion);
 void encode_metrics_request(std::uint32_t request_id,
                             std::vector<std::uint8_t>& out);
 void encode_metrics_response(std::uint32_t request_id,

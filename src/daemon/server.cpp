@@ -20,6 +20,23 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Milliseconds on the monotonic clock, comparable with QueueItem's
+// enqueued_at_ms/expires_at_ms (the fair queue reads the same clock).
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// What the batch worker hands back through a Pending's promise: either
+// routed paths, or the verdict that the deadline passed first (the
+// connection thread turns that into a kExpired response).
+struct RouteOutcome {
+  bool expired = false;
+  std::vector<SegmentPath> paths;
+};
+
 }  // namespace
 
 // One admitted route request in flight between a connection thread and
@@ -30,7 +47,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 struct Server::Pending {
   RouteRequest request;
   std::chrono::steady_clock::time_point admitted_at;
-  std::promise<std::vector<SegmentPath>> promise;
+  std::promise<RouteOutcome> promise;
 };
 
 Server::Server(const Mesh& mesh, ServerOptions options)
@@ -64,9 +81,12 @@ ServerStats Server::stats() const {
   s.requests_delivered = requests_delivered_.load(std::memory_order_relaxed);
   s.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
   // oblv-lint: allow(D009) same drain-synchronized snapshot as above.
+  s.requests_expired = requests_expired_.load(std::memory_order_relaxed);
   s.packets_submitted = packets_submitted_.load(std::memory_order_relaxed);
   s.packets_delivered = packets_delivered_.load(std::memory_order_relaxed);
+  // oblv-lint: allow(D009) same drain-synchronized snapshot as above.
   s.packets_rejected = packets_rejected_.load(std::memory_order_relaxed);
+  s.packets_expired = packets_expired_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.connections_accepted =
       connections_accepted_.load(std::memory_order_relaxed);
@@ -89,6 +109,10 @@ void Server::publish_gauges() const {
       .set(static_cast<double>(s.packets_delivered));
   registry.gauge("daemon.packets.rejected")
       .set(static_cast<double>(s.packets_rejected));
+  registry.gauge("daemon.requests.expired")
+      .set(static_cast<double>(s.requests_expired));
+  registry.gauge("daemon.packets.expired")
+      .set(static_cast<double>(s.packets_expired));
   registry.gauge("daemon.protocol_errors")
       .set(static_cast<double>(s.protocol_errors));
   registry.gauge("daemon.connections")
@@ -103,6 +127,8 @@ void Server::publish_gauges() const {
     registry.gauge("daemon.load.memory_bytes")
         .set(static_cast<double>(accountant_->memory_bytes()));
   }
+  std::uint64_t overloaded_tenants = 0;
+  std::uint64_t overload_rejected = 0;
   for (const TenantStats& t : queue_.tenant_stats()) {
     const std::string prefix = "daemon.tenant." + t.name;
     registry.gauge(prefix + ".weight").set(static_cast<double>(t.weight));
@@ -114,7 +140,22 @@ void Server::publish_gauges() const {
         .set(static_cast<double>(t.capacity_packets));
     registry.gauge(prefix + ".rejected_requests")
         .set(static_cast<double>(t.rejected_requests));
+    registry.gauge(prefix + ".expired_packets")
+        .set(static_cast<double>(t.expired_packets));
+    registry.gauge(prefix + ".overload_rejected_requests")
+        .set(static_cast<double>(t.overload_rejected_requests));
+    registry.gauge(prefix + ".overloaded")
+        .set(t.overloaded ? 1.0 : 0.0);
+    overloaded_tenants += t.overloaded ? 1 : 0;
+    overload_rejected += t.overload_rejected_requests;
   }
+  // The daemon.overload.* gauge set: how many tenants the CoDel
+  // detector currently marks overloaded, and the lifetime count of
+  // admissions it refused.
+  registry.gauge("daemon.overload.tenants")
+      .set(static_cast<double>(overloaded_tenants));
+  registry.gauge("daemon.overload.rejected_requests")
+      .set(static_cast<double>(overload_rejected));
 }
 
 std::string Server::metrics_json() const {
@@ -169,12 +210,13 @@ int Server::run() {
   publish_gauges();
   const ServerStats s = stats();
   OBLV_CHECK(s.unaccounted_requests() == 0,
-             "drain accounting: submitted != delivered + rejected");
+             "drain accounting: submitted != delivered + rejected + expired");
   return 0;
 }
 
 void Server::handle_route_request(int fd, std::vector<std::uint8_t>& payload,
-                                  std::vector<std::uint8_t>& out) {
+                                  std::vector<std::uint8_t>& out,
+                                  std::uint64_t frame_start_ms) {
   RouteRequest request = decode_route_request(payload.data(), payload.size());
   requests_submitted_.fetch_add(1, std::memory_order_relaxed);
   packets_submitted_.fetch_add(request.demands.size(),
@@ -183,6 +225,7 @@ void Server::handle_route_request(int fd, std::vector<std::uint8_t>& payload,
 
   RouteResponse response;
   response.request_id = request.request_id;
+  const std::uint16_t wire_version = request.version;
 
   // Validation at admission, not in the worker: route_batch must never
   // throw on the batch thread (ThreadPool tasks are noexcept).
@@ -206,7 +249,7 @@ void Server::handle_route_request(int fd, std::vector<std::uint8_t>& payload,
     OBLV_COUNTER_ADD("daemon.admission.invalid", 1);
     response.status = RouteStatus::kError;
     response.message = invalid;
-    encode_route_response(response, out);
+    encode_route_response(response, out, wire_version);
     return;
   }
 
@@ -214,34 +257,66 @@ void Server::handle_route_request(int fd, std::vector<std::uint8_t>& payload,
   pending.admitted_at = std::chrono::steady_clock::now();
   const std::size_t packets = request.demands.size();
   const std::string tenant = request.tenant;
+  const std::uint32_t deadline_ms = request.deadline_ms;
   pending.request = std::move(request);
 
   QueueItem item;
   item.tenant = tenant;
   item.packets = packets;
   item.token = reinterpret_cast<std::uint64_t>(&pending);
+  item.enqueued_at_ms = steady_now_ms();
+  // The deadline budget starts when the frame started arriving, so a
+  // request whose own transport (slow-loris client, chaos stall) ate
+  // the budget is shed right here at admission.
+  item.expires_at_ms =
+      deadline_ms == 0 ? 0 : frame_start_ms + deadline_ms;
   const AdmissionResult admission = queue_.try_enqueue(item);
   if (!admission.admitted) {
-    requests_rejected_.fetch_add(1, std::memory_order_relaxed);
-    packets_rejected_.fetch_add(packets, std::memory_order_relaxed);
-    OBLV_COUNTER_ADD("daemon.admission.rejected", 1);
-    response.status = queue_.draining() ? RouteStatus::kShuttingDown
-                                        : RouteStatus::kRejected;
-    response.retry_after_ms = admission.retry_after_ms;
-    response.message = queue_.draining() ? "daemon is draining"
-                                         : "queue full; retry later";
-    encode_route_response(response, out);
+    if (admission.reason == RejectReason::kDeadline) {
+      requests_expired_.fetch_add(1, std::memory_order_relaxed);
+      packets_expired_.fetch_add(packets, std::memory_order_relaxed);
+      OBLV_COUNTER_ADD("daemon.deadline.shed_admission", 1);
+      response.status = RouteStatus::kExpired;
+      response.message = "deadline expired before admission";
+    } else {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      packets_rejected_.fetch_add(packets, std::memory_order_relaxed);
+      OBLV_COUNTER_ADD("daemon.admission.rejected", 1);
+      if (admission.reason == RejectReason::kOverload) {
+        OBLV_COUNTER_ADD("daemon.overload.shed", 1);
+        response.status = RouteStatus::kRejected;
+        response.message = "tenant overloaded (standing queue); retry later";
+      } else if (admission.reason == RejectReason::kDraining) {
+        response.status = RouteStatus::kShuttingDown;
+        response.message = "daemon is draining";
+      } else {
+        response.status = RouteStatus::kRejected;
+        response.message = "queue full; retry later";
+      }
+      response.retry_after_ms = admission.retry_after_ms;
+    }
+    encode_route_response(response, out, wire_version);
     return;
   }
 
   // The worker fulfils every admitted request, even during drain, so
   // this wait always completes.
-  std::future<std::vector<SegmentPath>> future = pending.promise.get_future();
+  std::future<RouteOutcome> future = pending.promise.get_future();
   try {
-    response.paths = future.get();
-    response.status = RouteStatus::kOk;
-    requests_delivered_.fetch_add(1, std::memory_order_relaxed);
-    packets_delivered_.fetch_add(packets, std::memory_order_relaxed);
+    RouteOutcome outcome = future.get();
+    if (outcome.expired) {
+      // Shed in-queue or post-route by the worker (which bumped the
+      // per-site daemon.deadline.shed_* counter); account it here.
+      requests_expired_.fetch_add(1, std::memory_order_relaxed);
+      packets_expired_.fetch_add(packets, std::memory_order_relaxed);
+      response.status = RouteStatus::kExpired;
+      response.message = "deadline expired before reply";
+    } else {
+      response.paths = std::move(outcome.paths);
+      response.status = RouteStatus::kOk;
+      requests_delivered_.fetch_add(1, std::memory_order_relaxed);
+      packets_delivered_.fetch_add(packets, std::memory_order_relaxed);
+    }
   } catch (const std::exception& e) {
     // Unreachable by construction (demands pre-validated); keep the
     // accounting identity if it ever fires.
@@ -250,7 +325,7 @@ void Server::handle_route_request(int fd, std::vector<std::uint8_t>& payload,
     response.status = RouteStatus::kError;
     response.message = e.what();
   }
-  encode_route_response(response, out);
+  encode_route_response(response, out, wire_version);
   (void)fd;
 }
 
@@ -264,6 +339,10 @@ void Server::connection_loop(UniqueFd fd) {
     // io_timeout_ms budget (a mid-frame stall drops the connection,
     // never wedges the loop).
     if (!wait_readable(fd.get(), options_.poll_tick_ms)) continue;
+    // The socket turned readable: the frame starts arriving now. A v2
+    // deadline is measured from this stamp, so a frame that trickles in
+    // slowly consumes its own budget.
+    const std::uint64_t frame_start_ms = steady_now_ms();
     std::string io_error;
     const IoStatus status =
         read_frame(fd.get(), payload, options_.io_timeout_ms, &io_error);
@@ -289,7 +368,7 @@ void Server::connection_loop(UniqueFd fd) {
           encode_metrics_response(header.request_id, metrics_json(), out);
           break;
         case MessageType::kRouteRequest:
-          handle_route_request(fd.get(), payload, out);
+          handle_route_request(fd.get(), payload, out, frame_start_ms);
           break;
         default:
           throw ProtocolError("unsupported message type " +
@@ -318,10 +397,25 @@ void Server::connection_loop(UniqueFd fd) {
 
 void Server::batch_worker_loop() {
   std::vector<SegmentPath> paths;
+  std::vector<QueueItem> dead;
   for (;;) {
+    dead.clear();
     const std::vector<QueueItem> chunk =
-        queue_.dequeue_chunk(options_.max_batch_packets);
-    if (chunk.empty()) break;  // draining and flushed
+        queue_.dequeue_chunk(options_.max_batch_packets, &dead);
+    // Shedding expired work is progress too: only an empty chunk AND no
+    // expired items means the drain backlog is flushed.
+    if (chunk.empty() && dead.empty()) break;
+
+    // Expired in queue (lazy expiry banked no service credit): fulfil
+    // the waiting connection threads with the expiry verdict.
+    for (const QueueItem& item : dead) {
+      auto* pending = reinterpret_cast<Pending*>(item.token);
+      OBLV_COUNTER_ADD("daemon.deadline.shed_dequeue", 1);
+      RouteOutcome outcome;
+      outcome.expired = true;
+      pending->promise.set_value(std::move(outcome));
+    }
+    if (chunk.empty()) continue;
 
     std::size_t chunk_packets = 0;
     for (const QueueItem& item : chunk) chunk_packets += item.packets;
@@ -340,16 +434,25 @@ void Server::batch_worker_loop() {
       try {
         route_batch(*router_, pending->request.demands, routing_pool_,
                     options, paths);
-        {
+        RouteOutcome outcome;
+        // Shed-before-reply: the deadline passed while this item sat in
+        // the chunk or routed. The paths are discarded undelivered, so
+        // the load accountant is not charged for them.
+        if (item.expires_at_ms != 0 &&
+            steady_now_ms() >= item.expires_at_ms) {
+          OBLV_COUNTER_ADD("daemon.deadline.shed_reply", 1);
+          outcome.expired = true;
+        } else {
           // The single worker charges requests in dequeue order, so even
           // sketch estimates are a deterministic function of the served
           // request sequence; the lock is only against metrics readers.
           oblv::MutexLock lock(account_mu_);
           accountant_->add_segment_paths(paths);
+          outcome.paths = std::move(paths);
         }
         OBLV_HISTOGRAM_ADD("daemon.service_seconds",
                            seconds_since(pending->admitted_at));
-        pending->promise.set_value(std::move(paths));
+        pending->promise.set_value(std::move(outcome));
       } catch (...) {
         pending->promise.set_exception(std::current_exception());
       }

@@ -22,13 +22,21 @@
 // any interleaving of clients, tenants, and batches. Timing and batch
 // composition are not deterministic; path selection is.
 //
+// Deadlines (protocol v2, DESIGN.md section 15): a request carrying
+// deadline_ms > 0 is shed the moment the daemon notices it cannot meet
+// it -- at admission (the frame's transport time already consumed the
+// budget, e.g. a slow-loris client), at dequeue (lazy expiry in the
+// fair queue, no service credit banked), or before reply (the deadline
+// passed while routing). Each site counts under its own
+// daemon.deadline.shed_* metric and the client sees kExpired.
+//
 // Drain (SIGTERM in the oblvd binary): request_drain() flips one
 // atomic. The accept loop then (1) stops accepting, (2) marks the
 // queue draining so new requests are rejected with kShuttingDown,
 // (3) lets the batch worker flush every admitted request, (4) joins
 // the connection threads after their final responses, and run()
 // returns 0. Accounting holds the exit invariant
-// submitted == delivered + rejected (daemon.unaccounted == 0).
+// submitted == delivered + rejected + expired (daemon.unaccounted == 0).
 #pragma once
 
 #include <atomic>
@@ -70,22 +78,25 @@ struct ServerOptions {
 };
 
 // Request-level and packet-level accounting. The daemon-wide invariant
-// submitted == delivered + rejected is checked at drain and exported as
-// daemon.unaccounted.
+// submitted == delivered + rejected + expired is checked at drain and
+// exported as daemon.unaccounted.
 struct ServerStats {
   std::uint64_t requests_submitted = 0;
   std::uint64_t requests_delivered = 0;
   std::uint64_t requests_rejected = 0;
+  std::uint64_t requests_expired = 0;
   std::uint64_t packets_submitted = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_rejected = 0;
+  std::uint64_t packets_expired = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t connections_accepted = 0;
 
   std::int64_t unaccounted_requests() const {
     return static_cast<std::int64_t>(requests_submitted) -
            static_cast<std::int64_t>(requests_delivered) -
-           static_cast<std::int64_t>(requests_rejected);
+           static_cast<std::int64_t>(requests_rejected) -
+           static_cast<std::int64_t>(requests_expired);
   }
 };
 
@@ -124,8 +135,12 @@ class Server {
 
   void connection_loop(UniqueFd fd);
   void batch_worker_loop();
+  // `frame_start_ms` is when the request's frame started arriving: a
+  // v2 deadline is measured from there, so transport stalls (slow-loris
+  // clients, chaos faults) consume the request's own budget.
   void handle_route_request(int fd, std::vector<std::uint8_t>& payload,
-                            std::vector<std::uint8_t>& out);
+                            std::vector<std::uint8_t>& out,
+                            std::uint64_t frame_start_ms);
   void publish_gauges() const;
 
   const Mesh& mesh_;
@@ -144,9 +159,11 @@ class Server {
   std::atomic<std::uint64_t> requests_submitted_{0};
   std::atomic<std::uint64_t> requests_delivered_{0};
   std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> requests_expired_{0};
   std::atomic<std::uint64_t> packets_submitted_{0};
   std::atomic<std::uint64_t> packets_delivered_{0};
   std::atomic<std::uint64_t> packets_rejected_{0};
+  std::atomic<std::uint64_t> packets_expired_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
 

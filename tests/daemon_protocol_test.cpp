@@ -30,7 +30,8 @@ RouteRequest sample_request() {
 }
 
 TEST(DaemonProtocolTest, RouteRequestRoundTrip) {
-  const RouteRequest request = sample_request();
+  RouteRequest request = sample_request();
+  request.deadline_ms = 750;
   std::vector<std::uint8_t> frame;
   encode_route_request(request, frame);
   const auto payload = payload_of(frame);
@@ -44,12 +45,74 @@ TEST(DaemonProtocolTest, RouteRequestRoundTrip) {
       decode_route_request(payload.data(), payload.size());
   EXPECT_EQ(decoded.request_id, request.request_id);
   EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.deadline_ms, 750u);
+  EXPECT_EQ(decoded.version, kProtocolVersion);
   EXPECT_EQ(decoded.tenant, request.tenant);
   ASSERT_EQ(decoded.demands.size(), request.demands.size());
   for (std::size_t i = 0; i < decoded.demands.size(); ++i) {
     EXPECT_EQ(decoded.demands[i].src, request.demands[i].src);
     EXPECT_EQ(decoded.demands[i].dst, request.demands[i].dst);
   }
+}
+
+TEST(DaemonProtocolTest, Version1RequestStillDecodes) {
+  // An old client's frame: version 1 in the header, no deadline field
+  // in the body. The decoder must accept it and default the deadline.
+  const RouteRequest request = sample_request();
+  std::vector<std::uint8_t> frame;
+  encode_route_request(request, frame, /*version=*/1);
+  const auto payload = payload_of(frame);
+
+  EXPECT_EQ(decode_header(payload.data(), payload.size()).version, 1u);
+  const RouteRequest decoded =
+      decode_route_request(payload.data(), payload.size());
+  EXPECT_EQ(decoded.version, 1u);
+  EXPECT_EQ(decoded.deadline_ms, 0u) << "a v1 request can never expire";
+  EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.tenant, request.tenant);
+  EXPECT_EQ(decoded.demands.size(), request.demands.size());
+}
+
+TEST(DaemonProtocolTest, Version1ResponseOmitsNothingV1Knows) {
+  // The server echoes a v1 client's version; the frame must carry a v1
+  // header and still round-trip (the response body layout is shared).
+  RouteResponse response;
+  response.request_id = 21;
+  response.status = RouteStatus::kRejected;
+  response.retry_after_ms = 40;
+  response.message = "queue full";
+  std::vector<std::uint8_t> frame;
+  encode_route_response(response, frame, /*version=*/1);
+  const auto payload = payload_of(frame);
+  EXPECT_EQ(decode_header(payload.data(), payload.size()).version, 1u);
+  const RouteResponse decoded =
+      decode_route_response(payload.data(), payload.size());
+  EXPECT_EQ(decoded.status, RouteStatus::kRejected);
+  EXPECT_EQ(decoded.retry_after_ms, 40u);
+}
+
+TEST(DaemonProtocolTest, FutureVersionThrows) {
+  std::vector<std::uint8_t> frame;
+  encode_ping(1, frame);
+  auto payload = payload_of(frame);
+  payload[4] = static_cast<std::uint8_t>(kProtocolVersion + 1);
+  payload[5] = 0;
+  EXPECT_THROW(decode_header(payload.data(), payload.size()), ProtocolError);
+}
+
+TEST(DaemonProtocolTest, ExpiredResponseRoundTrip) {
+  RouteResponse response;
+  response.request_id = 13;
+  response.status = RouteStatus::kExpired;
+  response.message = "deadline expired before reply";
+  std::vector<std::uint8_t> frame;
+  encode_route_response(response, frame);
+  const auto payload = payload_of(frame);
+  const RouteResponse decoded =
+      decode_route_response(payload.data(), payload.size());
+  EXPECT_EQ(decoded.status, RouteStatus::kExpired);
+  EXPECT_EQ(decoded.message, "deadline expired before reply");
+  EXPECT_TRUE(decoded.paths.empty());
 }
 
 TEST(DaemonProtocolTest, RouteResponseRoundTripWithPaths) {
@@ -189,8 +252,10 @@ TEST(DaemonProtocolTest, DemandCountOverclaimThrows) {
   std::vector<std::uint8_t> frame;
   encode_route_request(request, frame);
   auto payload = payload_of(frame);
-  // demand count sits after header(12) + seed(8) + tenant len(2) + tenant.
-  const std::size_t count_at = kHeaderBytes + 8 + 2 + request.tenant.size();
+  // demand count sits after header(12) + seed(8) + deadline(4) +
+  // tenant len(2) + tenant.
+  const std::size_t count_at =
+      kHeaderBytes + 8 + 4 + 2 + request.tenant.size();
   payload[count_at] = 0xff;
   payload[count_at + 1] = 0xff;
   payload[count_at + 2] = 0xff;

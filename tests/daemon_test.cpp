@@ -273,6 +273,104 @@ TEST(DaemonServerTest, UnknownVersionGetsErrorResponseThenClose) {
   EXPECT_TRUE(client.ping());
 }
 
+TEST(DaemonServerTest, DeadlineMeasuredFromFrameStartShedsSlowLoris) {
+  // The v2 deadline budget starts when the frame's first byte arrives,
+  // so a client that dribbles its frame consumes its own budget: a
+  // 1 ms deadline written with a 50 ms mid-frame pause must come back
+  // kExpired (shed at admission), deterministically.
+  const Mesh mesh({16, 16});
+  ServerHarness harness(mesh);
+  {
+    RouteRequest request;
+    request.request_id = 5;
+    request.seed = 3;
+    request.deadline_ms = 1;
+    request.tenant = "loris";
+    request.demands = some_demands(mesh, 8, 3);
+    std::vector<std::uint8_t> frame;
+    encode_route_request(request, frame);
+
+    UniqueFd raw = connect_to(harness.endpoint());
+    ASSERT_EQ(write_all(raw.get(), frame.data(), 10, 1000), IoStatus::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_EQ(write_all(raw.get(), frame.data() + 10, frame.size() - 10,
+                        1000),
+              IoStatus::kOk);
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(read_frame(raw.get(), payload, 5000), IoStatus::kOk);
+    const RouteResponse response =
+        decode_route_response(payload.data(), payload.size());
+    EXPECT_EQ(response.status, RouteStatus::kExpired);
+    EXPECT_TRUE(response.paths.empty());
+  }
+  EXPECT_EQ(harness.drain(), 0);
+  const ServerStats stats = harness.server().stats();
+  EXPECT_EQ(stats.requests_expired, 1u);
+  EXPECT_EQ(stats.requests_delivered, 0u);
+  EXPECT_EQ(stats.unaccounted_requests(), 0);
+}
+
+TEST(DaemonServerTest, GenerousDeadlineStillDelivers) {
+  const Mesh mesh({16, 16});
+  ServerHarness harness(mesh);
+  DaemonClient client(harness.endpoint());
+  const auto demands = some_demands(mesh, 16, 11);
+  const RouteResponse response =
+      client.route("t", 11, demands, /*deadline_ms=*/60000);
+  ASSERT_EQ(response.status, RouteStatus::kOk);
+  EXPECT_EQ(response.paths.size(), demands.size());
+}
+
+TEST(DaemonServerTest, V1ClientIsServedAndAnsweredInV1) {
+  // A legacy client speaks version 1 (no deadline field); the server
+  // must decode it and echo version 1 in the response header so the
+  // client never sees a frame it cannot parse.
+  const Mesh mesh({16, 16});
+  ServerHarness harness(mesh);
+  RouteRequest request;
+  request.request_id = 77;
+  request.seed = 9;
+  request.tenant = "legacy";
+  request.demands = some_demands(mesh, 12, 9);
+  std::vector<std::uint8_t> frame;
+  encode_route_request(request, frame, /*version=*/1);
+
+  UniqueFd raw = connect_to(harness.endpoint());
+  ASSERT_EQ(write_all(raw.get(), frame.data(), frame.size(), 1000),
+            IoStatus::kOk);
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(read_frame(raw.get(), payload, 5000), IoStatus::kOk);
+  EXPECT_EQ(decode_header(payload.data(), payload.size()).version, 1u);
+  const RouteResponse response =
+      decode_route_response(payload.data(), payload.size());
+  EXPECT_EQ(response.request_id, 77u);
+  ASSERT_EQ(response.status, RouteStatus::kOk);
+  EXPECT_EQ(response.paths.size(), request.demands.size());
+}
+
+TEST(DaemonServerTest, RetryPolicyBacksOffAndCountsAttempts) {
+  const Mesh mesh({16, 16});
+  ServerOptions options;
+  options.queue.capacity_packets = 64;
+  ServerHarness harness(mesh, options);
+  DaemonClient client(harness.endpoint());
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.base_ms = 1;
+  policy.max_backoff_ms = 5;  // keep the test fast
+  // 100 packets can never fit a 64-packet queue: every attempt is
+  // rejected, the client must burn exactly max_retries retries and
+  // surface the final rejection.
+  const RouteResponse response = client.route_with_retry(
+      "greedy", 1, some_demands(mesh, 100, 1), /*deadline_ms=*/0, policy);
+  EXPECT_EQ(response.status, RouteStatus::kRejected);
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_GT(client.stats().backoff_ms_total, 0u);
+  EXPECT_EQ(harness.drain(), 0);
+  EXPECT_EQ(harness.server().stats().requests_rejected, 3u);
+  EXPECT_EQ(harness.server().stats().unaccounted_requests(), 0);
+}
+
 TEST(DaemonServerTest, DrainDeliversEverythingAdmitted) {
   const Mesh mesh({16, 16});
   ServerHarness harness(mesh);
@@ -297,7 +395,8 @@ TEST(DaemonServerTest, DrainDeliversEverythingAdmitted) {
   producer.join();
   const ServerStats stats = harness.server().stats();
   EXPECT_EQ(stats.unaccounted_requests(), 0);
-  EXPECT_EQ(stats.requests_delivered + stats.requests_rejected,
+  EXPECT_EQ(stats.requests_delivered + stats.requests_rejected +
+                stats.requests_expired,
             stats.requests_submitted);
 }
 

@@ -217,6 +217,158 @@ TEST(DaemonFairQueueTest, StatsTrackServedAndRejected) {
   EXPECT_EQ(stats[0].queued_packets, 0u);
 }
 
+QueueItem deadline_item(const std::string& tenant, std::size_t packets,
+                        std::uint64_t token, std::uint64_t enqueued_at_ms,
+                        std::uint64_t expires_at_ms) {
+  QueueItem it{tenant, packets, token};
+  it.enqueued_at_ms = enqueued_at_ms;
+  it.expires_at_ms = expires_at_ms;
+  return it;
+}
+
+TEST(DaemonFairQueueTest, RejectReasonsAreDistinct) {
+  FairQueueOptions options;
+  options.capacity_packets = 10;
+  FairShareQueue queue(options);
+  queue.register_tenant("t", 1);
+
+  EXPECT_EQ(queue.try_enqueue(item("t", 10)).reason, RejectReason::kNone);
+  EXPECT_EQ(queue.try_enqueue(item("t", 1)).reason, RejectReason::kCapacity);
+  // A dead-on-arrival deadline outranks capacity: it is expiry, not
+  // backpressure, and must not advise a retry.
+  const AdmissionResult dead =
+      queue.try_enqueue(deadline_item("t", 1, 0, 100, 150), /*now_ms=*/200);
+  EXPECT_FALSE(dead.admitted);
+  EXPECT_EQ(dead.reason, RejectReason::kDeadline);
+  EXPECT_EQ(dead.retry_after_ms, 0u);
+  queue.begin_drain();
+  EXPECT_EQ(queue.try_enqueue(item("t", 1)).reason, RejectReason::kDraining);
+}
+
+TEST(DaemonFairQueueTest, DeadlineShedAtAdmissionCountsExpiredNotRejected) {
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  const AdmissionResult result =
+      queue.try_enqueue(deadline_item("t", 7, 0, 0, 50), /*now_ms=*/50);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.reason, RejectReason::kDeadline);
+  const auto stats = queue.tenant_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].expired_packets, 7u);
+  EXPECT_EQ(stats[0].rejected_requests, 0u);
+  EXPECT_EQ(queue.queued_packets(), 0u);
+}
+
+TEST(DaemonFairQueueTest, LazyExpiryAtDequeueBanksNoCredit) {
+  FairQueueOptions options;
+  options.capacity_packets = 1000;
+  FairShareQueue queue(options);
+  queue.register_tenant("dead", 1);
+  queue.register_tenant("live", 1);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        queue.try_enqueue(deadline_item("dead", 10, i, 10, 50), 10).admitted);
+  }
+  ASSERT_TRUE(queue.try_enqueue(item("live", 10, 99)).admitted);
+
+  std::vector<QueueItem> expired;
+  const auto chunk = queue.dequeue_chunk(10, &expired, /*now_ms=*/100);
+  // The dead fronts shed without consuming the 10-packet chunk budget;
+  // the one live item fills the whole chunk.
+  ASSERT_EQ(chunk.size(), 1u);
+  EXPECT_EQ(chunk[0].token, 99u);
+  ASSERT_EQ(expired.size(), 3u);
+  for (const QueueItem& e : expired) EXPECT_EQ(e.tenant, "dead");
+
+  std::map<std::string, TenantStats> stats;
+  for (const TenantStats& t : queue.tenant_stats()) stats[t.name] = t;
+  // Shedding banked no service credit for the dead tenant...
+  EXPECT_EQ(stats["dead"].served_packets, 0u);
+  EXPECT_EQ(stats["dead"].expired_packets, 30u);
+  EXPECT_EQ(stats["live"].served_packets, 10u);
+  EXPECT_EQ(queue.queued_packets(), 0u);
+}
+
+TEST(DaemonFairQueueTest, AllExpiredChunkIsProgressNotDrainCompletion) {
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  ASSERT_TRUE(queue.try_enqueue(deadline_item("t", 4, 1, 0, 5), 0).admitted);
+  ASSERT_TRUE(queue.try_enqueue(deadline_item("t", 4, 2, 0, 5), 0).admitted);
+  std::vector<QueueItem> expired;
+  // Everything queued is dead: the chunk comes back empty but the
+  // expired list is the proof of progress (the worker must not treat
+  // this as "queue drained").
+  const auto chunk = queue.dequeue_chunk(64, &expired, /*now_ms=*/100);
+  EXPECT_TRUE(chunk.empty());
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(queue.queued_packets(), 0u);
+}
+
+TEST(DaemonFairQueueTest, LegacyDequeueWithoutExpiryOutStillDelivers) {
+  // Call sites that predate deadlines pass no expired-out vector; an
+  // expired front must then be delivered, not silently dropped.
+  FairShareQueue queue;
+  queue.register_tenant("t", 1);
+  ASSERT_TRUE(queue.try_enqueue(deadline_item("t", 4, 8, 0, 5), 0).admitted);
+  const auto chunk = queue.dequeue_chunk(64, nullptr, /*now_ms=*/100);
+  ASSERT_EQ(chunk.size(), 1u);
+  EXPECT_EQ(chunk[0].token, 8u);
+}
+
+TEST(DaemonFairQueueTest, CodelEntersOverloadAfterStandingQueue) {
+  FairQueueOptions options;
+  options.capacity_packets = 1000;
+  options.codel_target_ms = 10;
+  options.codel_interval_ms = 100;
+  FairShareQueue queue(options);
+  queue.register_tenant("t", 1);
+
+  ASSERT_TRUE(queue.try_enqueue(deadline_item("t", 1, 1, 0, 0), 0).admitted);
+  ASSERT_TRUE(queue.try_enqueue(deadline_item("t", 1, 2, 0, 0), 0).admitted);
+  // A sojourn that recovers within target must be dequeued last: it is
+  // what ends the overload episode.
+  ASSERT_TRUE(
+      queue.try_enqueue(deadline_item("t", 1, 3, 195, 0), 0).admitted);
+
+  // First above-target sojourn starts the clock...
+  (void)queue.dequeue_chunk(1, nullptr, /*now_ms=*/50);
+  EXPECT_FALSE(queue.tenant_stats()[0].overloaded);
+  // ...a full interval later the queue is standing, not bursting.
+  (void)queue.dequeue_chunk(1, nullptr, /*now_ms=*/160);
+  EXPECT_TRUE(queue.tenant_stats()[0].overloaded);
+
+  // Overloaded + standing queue: admission degrades to reject with a
+  // retry hint of at least one interval.
+  const AdmissionResult rejected = queue.try_enqueue(item("t", 1), 165);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.reason, RejectReason::kOverload);
+  EXPECT_GE(rejected.retry_after_ms, options.codel_interval_ms);
+  EXPECT_EQ(queue.tenant_stats()[0].overload_rejected_requests, 1u);
+
+  // One good sojourn (5 ms < 10 ms target) exits the episode.
+  (void)queue.dequeue_chunk(1, nullptr, /*now_ms=*/200);
+  EXPECT_FALSE(queue.tenant_stats()[0].overloaded);
+}
+
+TEST(DaemonFairQueueTest, IdleTenantResetsStaleOverloadVerdict) {
+  FairQueueOptions options;
+  options.capacity_packets = 1000;
+  options.codel_target_ms = 10;
+  options.codel_interval_ms = 100;
+  FairShareQueue queue(options);
+  queue.register_tenant("t", 1);
+  ASSERT_TRUE(queue.try_enqueue(deadline_item("t", 1, 1, 0, 0), 0).admitted);
+  ASSERT_TRUE(queue.try_enqueue(deadline_item("t", 1, 2, 0, 0), 0).admitted);
+  (void)queue.dequeue_chunk(1, nullptr, 50);
+  (void)queue.dequeue_chunk(1, nullptr, 160);
+  EXPECT_TRUE(queue.tenant_stats()[0].overloaded);
+  // The backlog is gone: the tenant is idle, so the verdict is stale
+  // and the next admission must succeed.
+  EXPECT_EQ(queue.queued_packets(), 0u);
+  EXPECT_TRUE(queue.try_enqueue(item("t", 1), 500).admitted);
+  EXPECT_FALSE(queue.tenant_stats()[0].overloaded);
+}
+
 TEST(DaemonFairQueueTest, ConcurrentAdmissionAccountingUnderDrain) {
   // Accounting stress for the lock discipline (DESIGN.md section 13):
   // 8 producers across 4 tenants hammer try_enqueue while one consumer

@@ -11,7 +11,7 @@ Scenario (fixed seed, bounded duration):
      noisy CI runner cannot flake the ratio);
   4. SIGTERM -> the daemon must drain gracefully: exit code 0, metrics
      JSON written, daemon.unaccounted == 0, and submitted ==
-     delivered + rejected.
+     delivered + rejected + expired.
 
 Exit 0 when every assertion holds.  Used by ctest (DaemonSmoke) and the
 daemon-integration CI job.
@@ -168,9 +168,11 @@ def main():
     submitted = gauges["daemon.requests.submitted"]
     delivered = gauges["daemon.requests.delivered"]
     rejected = gauges["daemon.requests.rejected"]
-    if submitted != delivered + rejected:
+    expired = gauges.get("daemon.requests.expired", 0)
+    if submitted != delivered + rejected + expired:
         fail(f"accounting identity broken: {submitted} submitted != "
-             f"{delivered} delivered + {rejected} rejected")
+             f"{delivered} delivered + {rejected} rejected + "
+             f"{expired} expired")
     if args.metrics_out:
         os.makedirs(os.path.dirname(args.metrics_out) or ".", exist_ok=True)
         with open(args.metrics_out, "w") as f:
@@ -178,7 +180,7 @@ def main():
         print(f"metrics copied to {args.metrics_out}")
 
     print(f"OK: drain clean ({submitted} submitted = {delivered} delivered "
-          f"+ {rejected} rejected), light p99 isolated")
+          f"+ {rejected} rejected + {expired} expired), light p99 isolated")
     return 0
 
 

@@ -55,6 +55,16 @@ Rules (all scoped to the paper-reproduction discipline in DESIGN.md §7):
         relaxed counters that gate `== 0` exit checks are a
         silent-undercount hazard unless some other synchronization
         (a join, a drain barrier) orders the writes before the read.
+  D010  No direct EdgeLoadMap construction outside the LoadAccountant
+        factory: a direct instance hard-codes exact O(E) accounting and
+        bypasses the exact/sketch mode switch every measurement driver
+        honors.
+  D011  No errno branches in src/daemon/ outside the net*/chaos*
+        helpers: transport errors reach the daemon as IoStatus, and the
+        EINTR/EAGAIN/partial-I/O retry policy lives in the bounded
+        daemon::net helpers (with the chaos layer spoofing at the same
+        seam). An errno comparison anywhere else re-opens the scattered
+        retry logic those helpers were written to contain.
 
 Suppression: `// oblv-lint: allow(RULE) <justification>` on the flagged
 line or within the three lines above it. The justification is mandatory.
@@ -100,6 +110,7 @@ RULE_DOCS = {
     "D009": "relaxed atomic access to an accounting value",
     "D010": "direct EdgeLoadMap construction outside the LoadAccountant "
             "factory",
+    "D011": "errno branch in src/daemon/ outside the net*/chaos* helpers",
     "A001": "allowlist comment without justification",
 }
 
@@ -685,6 +696,43 @@ def check_d010(path: Path, rel: str, code: str,
     return findings
 
 
+# ---------------------------------------------------------------- D011 --
+
+# errno interpretation is transport policy. After the resilience pass,
+# every EINTR/EAGAIN/partial-I/O decision in the daemon lives in the
+# bounded net helpers (src/daemon/net*), and the chaos fault layer
+# (src/daemon/chaos*) spoofs errors at that same seam. An errno branch
+# anywhere else in src/daemon/ re-opens the scattered retry logic those
+# helpers were written to contain -- callers react to IoStatus, never to
+# raw errno.
+D011_EXEMPT_PREFIXES = ("src/daemon/net", "src/daemon/chaos")
+D011_RE = re.compile(
+    r"\berrno\s*(?:==|!=)|(?:==|!=)\s*errno\b|\bswitch\s*\(\s*errno\b")
+
+
+def check_d011(path: Path, rel: str, code: str,
+               allowed: dict[int, set[str]]) -> list[Finding]:
+    if not (rel.startswith("src/daemon/") or "/src/daemon/" in rel):
+        return []
+    for prefix in D011_EXEMPT_PREFIXES:
+        if rel.startswith(prefix) or f"/{prefix}" in rel:
+            return []
+    findings = []
+    seen: set[int] = set()
+    for m in D011_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if ln in seen or is_allowed(allowed, ln, "D011"):
+            continue
+        seen.add(ln)
+        findings.append(Finding(
+            "D011", path, ln,
+            "errno branch outside src/daemon/net*/chaos*: transport errors "
+            "reach the daemon as IoStatus and the EINTR/EAGAIN retry policy "
+            "lives in the bounded net helpers; branch on the helper result "
+            "or justify with // oblv-lint: allow(D011)"))
+    return findings
+
+
 # ---------------------------------------------------------------- C001 --
 
 C001_ASSERT_RE = re.compile(r"\bOBLV_(?:REQUIRE|EXPECTS)\s*\(")
@@ -738,6 +786,7 @@ def lint_file(path: Path, root: Path) -> list[Finding]:
     findings += check_d008(path, rel, code, allowed)
     findings += check_d009(path, rel, code, allowed)
     findings += check_d010(path, rel, code, allowed)
+    findings += check_d011(path, rel, code, allowed)
     findings += check_c001(path, raw)
     return findings
 

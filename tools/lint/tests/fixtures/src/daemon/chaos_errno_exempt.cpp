@@ -1,0 +1,13 @@
+// Exempt by path prefix: src/daemon/chaos* spoofs transport errors at
+// the net seam, so errno branching here is sanctioned and D011 must
+// stay quiet.
+#include <cerrno>
+
+namespace fixture {
+
+bool injected_reset_took() {
+  errno = 104;  // ECONNRESET spoof for the fault point
+  return errno == 104;
+}
+
+}  // namespace fixture

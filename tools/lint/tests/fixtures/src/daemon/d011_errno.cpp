@@ -1,0 +1,34 @@
+// D011 fixture: raw errno branching outside the net*/chaos* helpers.
+// The daemon proper reacts to IoStatus from the bounded helpers; errno
+// interpretation re-opened here is exactly what the rule catches.
+#include <cerrno>
+
+namespace fixture {
+
+int last_io_result();
+
+int poll_for_work() {
+  const int rc = last_io_result();
+  if (rc < 0 && errno == EINTR) {  // flagged: direct comparison
+    return 0;
+  }
+  if (EAGAIN == errno) {  // flagged: reversed comparison
+    return 0;
+  }
+  switch (errno) {  // flagged: errno dispatch
+    default:
+      return -1;
+  }
+}
+
+int my_errno_counter();  // lookalike identifier: must not fire
+
+int sanctioned_probe() {
+  const int rc = last_io_result();
+  // oblv-lint: allow(D011) startup-only probe: the result is logged once
+  // before the bounded helpers take over; there is no retry loop here
+  if (rc < 0 && errno != EINTR) return -1;
+  return rc;
+}
+
+}  // namespace fixture

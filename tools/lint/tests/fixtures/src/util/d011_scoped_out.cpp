@@ -1,0 +1,11 @@
+// Outside src/daemon/: errno branching here is not D011's business
+// (strtol-style APIs report through errno by design).
+#include <cerrno>
+
+namespace fixture {
+
+bool parse_overflowed() {
+  return errno == ERANGE;
+}
+
+}  // namespace fixture

@@ -212,6 +212,31 @@ class TestD010(unittest.TestCase):
                          [f.render(FIXTURES) for f in findings])
 
 
+class TestD011(unittest.TestCase):
+    def test_errno_branches_fire(self):
+        found = rules_and_lines(lint("src/daemon/d011_errno.cpp"))
+        self.assertIn(("D011", 12), found)  # errno == EINTR
+        self.assertIn(("D011", 15), found)  # reversed comparison
+        self.assertIn(("D011", 18), found)  # switch (errno)
+
+    def test_allow_and_lookalikes_do_not_fire(self):
+        findings = lint("src/daemon/d011_errno.cpp")
+        lines = {f.line for f in findings}
+        self.assertEqual(lines, {12, 15, 18},
+                         [f.render(FIXTURES) for f in findings])
+
+    def test_chaos_files_exempt_by_path(self):
+        self.assertEqual(lint("src/daemon/chaos_errno_exempt.cpp"), [])
+
+    def test_net_files_exempt_by_path(self):
+        self.assertEqual(
+            [f for f in lint("src/daemon/net_exempt.cpp")
+             if f.rule == "D011"], [])
+
+    def test_scoped_to_daemon(self):
+        self.assertEqual(lint("src/util/d011_scoped_out.cpp"), [])
+
+
 class TestA001(unittest.TestCase):
     def test_allow_without_justification_flagged_and_ineffective(self):
         found = rules_and_lines(lint("src/util/bad_allow.cpp"))

@@ -5,7 +5,10 @@
 // small pool of connections. Service latency is measured against the
 // *scheduled* arrival, not the send time, so queueing delay inside the
 // generator counts against the daemon -- the open-loop convention.
-// Rejected requests (backpressure) are counted, never retried.
+// Rejected requests (backpressure) are retried per --retries with the
+// client's capped seeded backoff, or counted and dropped at --retries 0.
+// Requests can carry a v2 deadline (--deadline-ms); the daemon sheds
+// expired work as kExpired, counted separately from rejections.
 //
 // Examples:
 //   oblv_load --socket /tmp/oblvd.sock --mesh 64x64
@@ -45,12 +48,20 @@ constexpr const char* kUsage = R"(usage: oblv_load [flags]
   --connections N      connections (worker threads) per tenant (default 4)
   --seed N             schedule + demand seed (default 1)
   --timeout-ms N       per-request client timeout (default 10000)
+  --deadline-ms N      v2 request deadline; the daemon sheds work it
+                       cannot finish in time as kExpired (default 0 =
+                       no deadline)
+  --retries N          retries per rejected request, honoring the
+                       daemon's retry_after_ms hint with capped seeded
+                       backoff (default 0 = never retry)
+  --retry-base-ms N    base of the exponential backoff schedule
+                       (default 5)
   --json FILE          write the oblv-load-v1 report
   --help               this text
 
 Latency is completion minus *scheduled* arrival (open loop). The exit
-status is 0 when every request was accounted (delivered + rejected ==
-sent) and nonzero otherwise.
+status is 0 when every request was accounted (delivered + rejected +
+expired + errors == sent) and nonzero otherwise.
 )";
 
 struct TenantSpec {
@@ -64,7 +75,10 @@ struct TenantReport {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
   std::uint64_t errors = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t backoff_ms = 0;
   std::uint64_t delivered_packets = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -159,7 +173,10 @@ struct TenantRun {
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> delivered{0};
   std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> expired{0};
   std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> backoff_ms{0};
   std::atomic<std::uint64_t> delivered_packets{0};
   std::mutex latency_mu;
   std::vector<double> latencies_ms;
@@ -167,6 +184,7 @@ struct TenantRun {
 
 void worker(TenantRun& run, const daemon::Endpoint& endpoint,
             const Mesh& mesh, std::uint64_t seed, int timeout_ms,
+            std::uint32_t deadline_ms, const daemon::RetryPolicy& retry,
             Clock::time_point start) {
   std::unique_ptr<daemon::DaemonClient> client;
   try {
@@ -181,6 +199,12 @@ void worker(TenantRun& run, const daemon::Endpoint& endpoint,
   }
   const std::uint64_t tenant_seed = splitmix64(seed ^ tenant_hash(run.spec.name));
   std::vector<double> local_latencies;
+  // Retry counters live in the client; fold them into the tenant totals
+  // whenever a client is dropped (reconnect) and once at worker exit.
+  const auto harvest = [&run](const daemon::DaemonClient& c) {
+    run.retries.fetch_add(c.stats().retries);
+    run.backoff_ms.fetch_add(c.stats().backoff_ms_total);
+  };
   while (true) {
     const std::size_t i = run.next.fetch_add(1);
     if (i >= run.schedule.size()) break;
@@ -193,8 +217,8 @@ void worker(TenantRun& run, const daemon::Endpoint& endpoint,
     const std::vector<Demand> demands =
         make_demands(mesh, request_seed, run.spec.packets);
     try {
-      const daemon::RouteResponse response =
-          client->route(run.spec.name, request_seed, demands);
+      const daemon::RouteResponse response = client->route_with_retry(
+          run.spec.name, request_seed, demands, deadline_ms, retry);
       const double latency_ms =
           std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
               .count();
@@ -208,12 +232,16 @@ void worker(TenantRun& run, const daemon::Endpoint& endpoint,
         case daemon::RouteStatus::kShuttingDown:
           run.rejected.fetch_add(1);
           break;
+        case daemon::RouteStatus::kExpired:
+          run.expired.fetch_add(1);
+          break;
         case daemon::RouteStatus::kError:
           run.errors.fetch_add(1);
           break;
       }
     } catch (const std::exception&) {
       run.errors.fetch_add(1);
+      harvest(*client);
       // The connection is in an unknown state after a transport error;
       // reconnect before the next arrival.
       try {
@@ -226,6 +254,7 @@ void worker(TenantRun& run, const daemon::Endpoint& endpoint,
       }
     }
   }
+  harvest(*client);
   std::lock_guard<std::mutex> lock(run.latency_mu);
   run.latencies_ms.insert(run.latencies_ms.end(), local_latencies.begin(),
                           local_latencies.end());
@@ -263,6 +292,13 @@ int run(const Flags& flags) {
       static_cast<std::size_t>(flags.get_int("connections", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const int timeout_ms = static_cast<int>(flags.get_int("timeout-ms", 10000));
+  const auto deadline_ms =
+      static_cast<std::uint32_t>(flags.get_int("deadline-ms", 0));
+  daemon::RetryPolicy retry;
+  retry.max_retries = static_cast<std::size_t>(flags.get_int("retries", 0));
+  retry.base_ms =
+      static_cast<std::uint32_t>(flags.get_int("retry-base-ms", 5));
+  retry.seed = seed;
 
   std::vector<std::unique_ptr<TenantRun>> runs;
   for (const TenantSpec& spec : tenants) {
@@ -277,8 +313,9 @@ int run(const Flags& flags) {
   for (auto& run_state : runs) {
     for (std::size_t c = 0; c < connections; ++c) {
       threads.emplace_back([&run_state, &endpoint, &mesh, seed, timeout_ms,
-                            start] {
-        worker(*run_state, endpoint, mesh, seed, timeout_ms, start);
+                            deadline_ms, &retry, start] {
+        worker(*run_state, endpoint, mesh, seed, timeout_ms, deadline_ms,
+               retry, start);
       });
     }
   }
@@ -288,14 +325,18 @@ int run(const Flags& flags) {
 
   std::vector<TenantReport> reports;
   std::uint64_t total_sent = 0, total_delivered = 0, total_rejected = 0,
-                total_errors = 0, total_packets = 0;
+                total_expired = 0, total_errors = 0, total_retries = 0,
+                total_packets = 0;
   for (auto& run_state : runs) {
     TenantReport r;
     r.name = run_state->spec.name;
     r.sent = run_state->schedule.size();
     r.delivered = run_state->delivered.load();
     r.rejected = run_state->rejected.load();
+    r.expired = run_state->expired.load();
     r.errors = run_state->errors.load();
+    r.retries = run_state->retries.load();
+    r.backoff_ms = run_state->backoff_ms.load();
     r.delivered_packets = run_state->delivered_packets.load();
     std::vector<double>& lat = run_state->latencies_ms;
     std::sort(lat.begin(), lat.end());
@@ -309,22 +350,26 @@ int run(const Flags& flags) {
     total_sent += r.sent;
     total_delivered += r.delivered;
     total_rejected += r.rejected;
+    total_expired += r.expired;
     total_errors += r.errors;
+    total_retries += r.retries;
     total_packets += r.delivered_packets;
     reports.push_back(std::move(r));
   }
   const double throughput_pps =
       wall_s > 0.0 ? static_cast<double>(total_packets) / wall_s : 0.0;
 
-  Table table({"tenant", "sent", "delivered", "rejected", "errors", "p50 ms",
-               "p99 ms", "mean ms"});
+  Table table({"tenant", "sent", "delivered", "rejected", "expired",
+               "errors", "retries", "p50 ms", "p99 ms", "mean ms"});
   for (const TenantReport& r : reports) {
     table.row()
         .add(r.name)
         .add(static_cast<std::int64_t>(r.sent))
         .add(static_cast<std::int64_t>(r.delivered))
         .add(static_cast<std::int64_t>(r.rejected))
+        .add(static_cast<std::int64_t>(r.expired))
         .add(static_cast<std::int64_t>(r.errors))
+        .add(static_cast<std::int64_t>(r.retries))
         .add(r.p50_ms, 3)
         .add(r.p99_ms, 3)
         .add(r.mean_ms, 3);
@@ -332,7 +377,8 @@ int run(const Flags& flags) {
   table.print(std::cout);
   std::cout << "totals  : " << total_sent << " sent, " << total_delivered
             << " delivered, " << total_rejected << " rejected, "
-            << total_errors << " errors\n";
+            << total_expired << " expired, " << total_errors << " errors, "
+            << total_retries << " retries\n";
   std::cout << "packets : " << total_packets << " delivered, "
             << throughput_pps / 1000.0 << " kpkt/s over " << wall_s
             << " s\n";
@@ -346,7 +392,10 @@ int run(const Flags& flags) {
       const TenantReport& r = reports[i];
       out << "    \"" << json_escape(r.name) << "\": {\"sent\": " << r.sent
           << ", \"delivered\": " << r.delivered
-          << ", \"rejected\": " << r.rejected << ", \"errors\": " << r.errors
+          << ", \"rejected\": " << r.rejected
+          << ", \"expired\": " << r.expired << ", \"errors\": " << r.errors
+          << ", \"retries\": " << r.retries
+          << ", \"backoff_ms\": " << r.backoff_ms
           << ", \"delivered_packets\": " << r.delivered_packets
           << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
           << ", \"mean_ms\": " << r.mean_ms << "}"
@@ -355,7 +404,9 @@ int run(const Flags& flags) {
     out << "  },\n  \"totals\": {\"sent\": " << total_sent
         << ", \"delivered\": " << total_delivered
         << ", \"rejected\": " << total_rejected
+        << ", \"expired\": " << total_expired
         << ", \"errors\": " << total_errors
+        << ", \"retries\": " << total_retries
         << ", \"delivered_packets\": " << total_packets
         << ", \"throughput_pps\": " << throughput_pps
         << ", \"wall_seconds\": " << wall_s << "}\n}\n";
@@ -369,7 +420,10 @@ int run(const Flags& flags) {
     std::cout << "report written to " << path << "\n";
   }
 
-  return total_delivered + total_rejected + total_errors == total_sent ? 0 : 1;
+  return total_delivered + total_rejected + total_expired + total_errors ==
+                 total_sent
+             ? 0
+             : 1;
 }
 
 }  // namespace
@@ -379,7 +433,8 @@ int main(int argc, char** argv) {
     return run(Flags::parse(
         argc, argv,
         {"socket", "tcp-port", "mesh", "torus", "tenants", "duration-ms",
-         "connections", "seed", "timeout-ms", "json", "help"}));
+         "connections", "seed", "timeout-ms", "deadline-ms", "retries",
+         "retry-base-ms", "json", "help"}));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n" << kUsage;
     return 1;

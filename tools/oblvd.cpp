@@ -21,6 +21,10 @@
 #include "obs/metrics.hpp"
 #include "util/flags.hpp"
 
+#ifdef OBLV_CHAOS_ENABLED
+#include "daemon/chaos.hpp"
+#endif
+
 namespace {
 
 using namespace oblivious;
@@ -42,13 +46,23 @@ constexpr const char* kUsage = R"(usage: oblvd [flags]
   --account MODE       congestion accounting: exact | sketch (default
                        exact; sketch bounds memory on gigantic meshes)
   --sketch-bytes N     sketch memory budget in bytes (default 1 MiB)
+  --codel-target-ms N  CoDel overload control: per-tenant time-in-queue
+                       target in ms (0 disables, the default)
+  --codel-interval-ms N  CoDel detection interval in ms (default 500)
+  --chaos-seed N       arm the deterministic network-chaos fault points
+                       with this seed (requires a -DOBLV_CHAOS=ON build)
+  --chaos-short-read N   short-read rate, per mille (default 0)
+  --chaos-torn-write N   torn-write rate, per mille (default 0)
+  --chaos-stall N        stall rate, per mille (default 0)
+  --chaos-reset N        reset rate, per mille (default 0)
+  --chaos-stall-ms N     stall duration in ms (default 5)
   --metrics-json FILE  write the final oblv-metrics-v1 report (with
                        daemon.* gauges) after the drain completes
   --help               this text
 
 Send SIGTERM (or SIGINT) to drain: the daemon stops accepting, flushes
-every admitted request, verifies submitted == delivered + rejected, and
-exits 0.
+every admitted request, verifies
+submitted == delivered + rejected + expired, and exits 0.
 )";
 
 daemon::Server* g_server = nullptr;
@@ -128,6 +142,33 @@ int run(const Flags& flags) {
   options.accounting.sketch.sketch_bytes = static_cast<std::size_t>(
       flags.get_int("sketch-bytes",
                     static_cast<std::int64_t>(SketchConfig{}.sketch_bytes)));
+  options.queue.codel_target_ms =
+      static_cast<std::uint64_t>(flags.get_int("codel-target-ms", 0));
+  options.queue.codel_interval_ms =
+      static_cast<std::uint64_t>(flags.get_int("codel-interval-ms", 500));
+
+  if (flags.has("chaos-seed")) {
+#ifdef OBLV_CHAOS_ENABLED
+    daemon::chaos::ChaosConfig chaos;
+    chaos.seed = static_cast<std::uint64_t>(flags.get_int("chaos-seed", 0));
+    chaos.short_read_per_mille =
+        static_cast<std::uint32_t>(flags.get_int("chaos-short-read", 0));
+    chaos.torn_write_per_mille =
+        static_cast<std::uint32_t>(flags.get_int("chaos-torn-write", 0));
+    chaos.stall_per_mille =
+        static_cast<std::uint32_t>(flags.get_int("chaos-stall", 0));
+    chaos.reset_per_mille =
+        static_cast<std::uint32_t>(flags.get_int("chaos-reset", 0));
+    chaos.stall_ms =
+        static_cast<std::uint32_t>(flags.get_int("chaos-stall-ms", 5));
+    daemon::chaos::configure(chaos);
+    std::cout << "oblvd: chaos armed, seed " << chaos.seed << "\n";
+#else
+    throw std::invalid_argument(
+        "--chaos-seed requires a -DOBLV_CHAOS=ON build (the fault points "
+        "are compiled out of this binary)");
+#endif
+  }
 
   daemon::Server server(mesh, options);
   g_server = &server;
@@ -151,7 +192,8 @@ int run(const Flags& flags) {
   const daemon::ServerStats stats = server.stats();
   std::cout << "oblvd: drained -- " << stats.requests_submitted
             << " submitted, " << stats.requests_delivered << " delivered, "
-            << stats.requests_rejected << " rejected, unaccounted "
+            << stats.requests_rejected << " rejected, "
+            << stats.requests_expired << " expired, unaccounted "
             << stats.unaccounted_requests() << "\n";
   if (flags.has("metrics-json")) {
     const std::string path = flags.get("metrics-json", "");
@@ -175,7 +217,9 @@ int main(int argc, char** argv) {
         argc, argv,
         {"socket", "tcp-port", "mesh", "torus", "algorithm", "threads",
          "queue-capacity", "batch-max", "tenants", "drain-rate", "account",
-         "sketch-bytes", "metrics-json", "help"}));
+         "sketch-bytes", "codel-target-ms", "codel-interval-ms",
+         "chaos-seed", "chaos-short-read", "chaos-torn-write", "chaos-stall",
+         "chaos-reset", "chaos-stall-ms", "metrics-json", "help"}));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n" << kUsage;
     return 1;
